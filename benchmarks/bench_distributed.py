@@ -1,0 +1,57 @@
+"""Section 4.3: distributed evaluation — traffic vs site count and
+partitioner, plus the locality bound.
+
+No figure in the paper plots this (the distributed algorithm is presented
+analytically), but DESIGN.md commits to measuring the claimed bound:
+data shipment <= total size of boundary-crossing balls, for any
+partitioning.
+"""
+
+import pytest
+
+from repro.core.strong import match
+from repro.datasets import generate_graph
+from repro.datasets.patterns import sample_pattern_from_data
+from repro.distributed import (
+    bfs_partition,
+    crossing_ball_bound,
+    distributed_match,
+    hash_partition,
+)
+from repro.experiments import render_table
+from benchmarks.conftest import emit
+
+
+def test_distributed_traffic(benchmark, scale):
+    data = generate_graph(600, alpha=1.15, num_labels=scale["labels"], seed=37)
+    pattern = sample_pattern_from_data(data, 6, seed=501)
+    assert pattern is not None
+    central = {sg.signature() for sg in match(pattern, data)}
+
+    site_counts = [2, 4, 8]
+    rows = {"hash": [], "bfs": [], "bound(hash)": [], "bound(bfs)": []}
+    for k in site_counts:
+        for name, partitioner in (("hash", hash_partition), ("bfs", bfs_partition)):
+            assignment = partitioner(data, k)
+            report = distributed_match(pattern, data, assignment, k)
+            assert {sg.signature() for sg in report.result} == central
+            bound = crossing_ball_bound(data, assignment, pattern.diameter)
+            assert report.data_shipment_units <= bound
+            rows[name].append(report.data_shipment_units)
+            rows[f"bound({name})"].append(bound)
+
+    emit(
+        "distributed_traffic",
+        render_table(
+            "Distributed evaluation: shipped data units vs #sites "
+            "(bound = total size of boundary-crossing balls)",
+            "#sites",
+            site_counts,
+            rows,
+        ),
+    )
+    # Locality-aware partitioning ships no more than hashing.
+    assert sum(rows["bfs"]) <= sum(rows["hash"])
+
+    assignment = bfs_partition(data, 4)
+    benchmark(lambda: distributed_match(pattern, data, assignment, 4))

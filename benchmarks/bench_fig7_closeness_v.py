@@ -1,0 +1,27 @@
+"""Figures 7(f)-(h): closeness vs data size |V| with fixed |Vq| = 10.
+
+Paper claim: closeness is *insensitive* to graph size — each algorithm's
+series stays within its band across the sweep.
+"""
+
+import pytest
+
+from repro.experiments import render_closeness_figure
+from benchmarks.conftest import emit
+
+
+@pytest.mark.parametrize("dataset", ["Amazon", "YouTube", "Synthetic"])
+def test_fig7_closeness_vs_v(benchmark, v_sweeps, dataset):
+    sweep = v_sweeps[dataset]
+    letter = {"Amazon": "f", "YouTube": "g", "Synthetic": "h"}[dataset]
+    emit(
+        f"fig7{letter}_closeness_v_{dataset.lower()}",
+        render_closeness_figure(
+            f"Figure 7({letter}): closeness vs |V| ({dataset}, |Vq|=10)", sweep
+        ),
+    )
+    means = sweep.mean_closeness(reliable_only=True)
+    assert means["Match"] >= means["Sim"]
+    assert means["Match"] >= 0.5
+
+    benchmark(lambda: sweep.mean_closeness())

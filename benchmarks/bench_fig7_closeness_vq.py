@@ -1,0 +1,33 @@
+"""Figures 7(c)-(e): closeness vs pattern size |Vq| on the three datasets.
+
+Paper series: VF2 = 1.0 by construction; Match in [0.70, 0.80]; MCS in
+[0.46, 0.57]; TALE in [0.35, 0.42]; Sim in [0.25, 0.38].  We assert the
+*shape*: Match dominates the approximate matchers and Sim, which is the
+weakest; the measured ranges are recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import render_closeness_figure
+from benchmarks.conftest import emit
+
+
+@pytest.mark.parametrize("dataset", ["Amazon", "YouTube", "Synthetic"])
+def test_fig7_closeness_vs_vq(benchmark, vq_sweeps, dataset):
+    sweep = vq_sweeps[dataset]
+    letter = {"Amazon": "c", "YouTube": "d", "Synthetic": "e"}[dataset]
+    emit(
+        f"fig7{letter}_closeness_vq_{dataset.lower()}",
+        render_closeness_figure(
+            f"Figure 7({letter}): closeness vs |Vq| ({dataset})", sweep
+        ),
+    )
+    means = sweep.mean_closeness(reliable_only=True)
+    assert means["VF2"] == pytest.approx(1.0)
+    assert means["Match"] >= means["Sim"], "Match must beat Sim"
+    assert means["Match"] >= means["TALE"], "Match must beat TALE"
+    assert means["Match"] >= 0.5, "Match closeness must stay high"
+
+    # The benchmarked unit: one quality point (the |Vq|=middle pattern).
+    mid_run = sweep.runs[len(sweep.runs) // 2]
+    benchmark(lambda: mid_run.closeness_of("Match"))

@@ -1,0 +1,28 @@
+"""Figures 7(l)-(n): number of matched subgraphs vs |V| (|Vq| = 10).
+
+Paper shape: counts grow with the data graph; Match stays below VF2.
+"""
+
+import pytest
+
+from repro.experiments import render_subgraph_count_figure
+from benchmarks.conftest import emit
+
+
+@pytest.mark.parametrize("dataset", ["Amazon", "YouTube", "Synthetic"])
+def test_fig7_subgraphs_vs_v(benchmark, v_sweeps, dataset):
+    sweep = v_sweeps[dataset]
+    letter = {"Amazon": "l", "YouTube": "m", "Synthetic": "n"}[dataset]
+    emit(
+        f"fig7{letter}_subgraphs_v_{dataset.lower()}",
+        render_subgraph_count_figure(
+            f"Figure 7({letter}): # matched subgraphs vs |V| ({dataset})",
+            sweep,
+        ),
+    )
+    counts = sweep.subgraph_count_series()
+    total_match = sum(c for c in counts["Match"] if c is not None)
+    total_vf2 = sum(c for c in counts["VF2"] if c is not None)
+    assert total_match <= max(total_vf2, 1) or total_vf2 == 0
+
+    benchmark(lambda: sweep.subgraph_count_series())

@@ -1,0 +1,32 @@
+"""Figures 7(i)-(k): number of matched subgraphs vs |Vq|.
+
+Paper shape: Match returns consistently fewer matched subgraphs than VF2
+(~25-38% of VF2's count), while TALE and MCS return more than VF2; counts
+fall as patterns grow.  Sim is omitted (it returns one relation).
+"""
+
+import pytest
+
+from repro.experiments import render_subgraph_count_figure
+from benchmarks.conftest import emit
+
+
+@pytest.mark.parametrize("dataset", ["Amazon", "YouTube", "Synthetic"])
+def test_fig7_subgraphs_vs_vq(benchmark, vq_sweeps, dataset):
+    sweep = vq_sweeps[dataset]
+    letter = {"Amazon": "i", "YouTube": "j", "Synthetic": "k"}[dataset]
+    emit(
+        f"fig7{letter}_subgraphs_vq_{dataset.lower()}",
+        render_subgraph_count_figure(
+            f"Figure 7({letter}): # matched subgraphs vs |Vq| ({dataset})",
+            sweep,
+        ),
+    )
+    counts = sweep.subgraph_count_series()
+    total_match = sum(c for c in counts["Match"] if c is not None)
+    total_vf2 = sum(c for c in counts["VF2"] if c is not None)
+    assert total_match <= max(total_vf2, 1) or total_vf2 == 0, (
+        "Match must not return more matched subgraphs than VF2 overall"
+    )
+
+    benchmark(lambda: sweep.subgraph_count_series())

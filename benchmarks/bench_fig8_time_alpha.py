@@ -1,0 +1,38 @@
+"""Figure 8(h): running time vs data density α (synthetic, no VF2).
+
+Paper shape: denser graphs cost more across the family; Sim < Match+ <
+Match at every density.
+"""
+
+import pytest
+
+from repro.datasets import generate_graph
+from repro.datasets.patterns import sample_pattern_from_data
+from repro.experiments import render_timing_figure, sweep_timing
+from benchmarks.conftest import emit
+
+
+def test_fig8h_time_vs_alpha(benchmark, scale):
+    n = max(1000, scale["perf_synthetic_nodes"] // 4)
+
+    def pair_for(alpha, repeat):
+        data = generate_graph(
+            n, alpha=float(alpha), num_labels=scale["labels"], seed=31
+        )
+        pattern = sample_pattern_from_data(data, 10, seed=451 + repeat)
+        return (pattern, data) if pattern else None
+
+    sweep = sweep_timing("alpha", scale["alpha_sweep"], pair_for, include_vf2=False)
+    emit(
+        "fig8h_time_alpha_synthetic",
+        render_timing_figure("Figure 8(h): time (s) vs data density α", sweep),
+    )
+    series = sweep.series()
+    sim_total = sum(v for v in series["Sim"] if v is not None)
+    match_total = sum(v for v in series["Match"] if v is not None)
+    assert sim_total <= match_total
+
+    pattern, data = pair_for(scale["alpha_sweep"][0], 0)
+    from repro.core.matchplus import match_plus
+
+    benchmark(lambda: match_plus(pattern, data))

@@ -1,0 +1,37 @@
+"""Figure 8(d): running time vs pattern density αq (synthetic, no VF2).
+
+Paper shape: times rise gently with αq; Sim < Match+ < Match throughout.
+"""
+
+import pytest
+
+from repro.datasets import generate_graph, generate_pattern, label_alphabet
+from repro.experiments import render_timing_figure, sweep_timing
+from benchmarks.conftest import emit
+
+
+def test_fig8d_time_vs_alphaq(benchmark, scale):
+    data = generate_graph(
+        scale["perf_synthetic_nodes"], alpha=1.2, num_labels=scale["labels"], seed=23
+    )
+    labels = list(data.label_set())
+
+    def pair_for(alpha_q, repeat):
+        pattern = generate_pattern(
+            10, alpha=float(alpha_q), labels=labels, seed=421 + repeat
+        )
+        return pattern, data
+
+    sweep = sweep_timing("alpha_q", scale["alpha_sweep"], pair_for, include_vf2=False)
+    emit(
+        "fig8d_time_alphaq_synthetic",
+        render_timing_figure("Figure 8(d): time (s) vs pattern density αq", sweep),
+    )
+    ratios = sweep.speedup_match_plus()
+    if ratios:
+        assert sum(ratios) / len(ratios) <= 1.05
+
+    pattern, _ = pair_for(scale["alpha_sweep"][0], 0)
+    from repro.core.matchplus import match_plus
+
+    benchmark(lambda: match_plus(pattern, data))

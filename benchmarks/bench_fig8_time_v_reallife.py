@@ -1,0 +1,54 @@
+"""Figures 8(e)/(f): running time vs |V| on Amazon / YouTube (with VF2).
+
+Paper shape: VF2's cost explodes with |V| while the simulation family
+grows smoothly; Sim < Match+ < Match.
+"""
+
+import pytest
+
+from repro.datasets import generate_amazon, generate_youtube
+from repro.datasets.patterns import sample_pattern_from_data
+from repro.experiments import render_timing_figure, sweep_timing
+from benchmarks.conftest import emit
+
+
+@pytest.mark.parametrize("dataset", ["Amazon", "YouTube"])
+def test_fig8ef_time_vs_v(benchmark, scale, dataset):
+    letter = "e" if dataset == "Amazon" else "f"
+    sweep_sizes = (
+        scale["amazon_v_sweep"] if dataset == "Amazon" else scale["youtube_v_sweep"]
+    )
+
+    def data_for(n):
+        if dataset == "Amazon":
+            return generate_amazon(int(n), num_labels=scale["labels"], seed=11)
+        return generate_youtube(int(n), num_labels=15, seed=13)
+
+    def pair_for(n, repeat):
+        data = data_for(n)
+        pattern = sample_pattern_from_data(data, 10, seed=431 + repeat)
+        return (pattern, data) if pattern else None
+
+    sweep = sweep_timing(
+        "|V|",
+        sweep_sizes,
+        pair_for,
+        include_vf2=True,
+        vf2_max_states=scale["vf2_max_states"],
+    )
+    emit(
+        f"fig8{letter}_time_v_{dataset.lower()}",
+        render_timing_figure(
+            f"Figure 8({letter}): time (s) vs |V| ({dataset}, |Vq|=10)", sweep
+        ),
+    )
+    series = sweep.series()
+    sim_total = sum(v for v in series["Sim"] if v is not None)
+    match_total = sum(v for v in series["Match"] if v is not None)
+    assert sim_total <= match_total
+
+    data = data_for(sweep_sizes[0])
+    pattern = sample_pattern_from_data(data, 10, seed=431)
+    from repro.core.matchplus import match_plus
+
+    benchmark(lambda: match_plus(pattern, data))

@@ -1,0 +1,40 @@
+"""Figure 8(g): running time vs |V| on synthetic data (no VF2).
+
+Paper shape: near-linear growth for the whole simulation family
+(the paper reports Match+ going from ~100s to ~600s over a 10× size
+increase); Match+ consistently below Match.
+"""
+
+import pytest
+
+from repro.datasets import generate_graph
+from repro.datasets.patterns import sample_pattern_from_data
+from repro.experiments import render_timing_figure, sweep_timing
+from benchmarks.conftest import emit
+
+
+def test_fig8g_time_vs_v_synthetic(benchmark, scale):
+    def pair_for(n, repeat):
+        data = generate_graph(
+            int(n), alpha=1.2, num_labels=scale["labels"], seed=29
+        )
+        pattern = sample_pattern_from_data(data, 10, seed=441 + repeat)
+        return (pattern, data) if pattern else None
+
+    sweep = sweep_timing("|V|", scale["perf_v_sweep"], pair_for, include_vf2=False)
+    emit(
+        "fig8g_time_v_synthetic",
+        render_timing_figure("Figure 8(g): time (s) vs |V| (synthetic)", sweep),
+    )
+    series = sweep.series()
+    match_series = [v for v in series["Match"] if v is not None]
+    # Growth must be polynomial-smooth, not explosive: the largest input
+    # should cost less than (size ratio)^3 times the smallest.
+    if len(match_series) >= 2 and match_series[0] > 0:
+        size_ratio = scale["perf_v_sweep"][-1] / scale["perf_v_sweep"][0]
+        assert match_series[-1] / match_series[0] <= size_ratio ** 3
+
+    pattern, data = pair_for(scale["perf_v_sweep"][0], 0)
+    from repro.core.matchplus import match_plus
+
+    benchmark(lambda: match_plus(pattern, data))

@@ -1,0 +1,53 @@
+"""Figures 8(a)/(b): running time vs |Vq| on Amazon / YouTube (with VF2).
+
+Paper shape: VF2 is far slower than the simulation family once |Vq| > 2;
+Sim < Match+ < Match; everything except VF2 scales smoothly with |Vq|.
+"""
+
+import pytest
+
+from repro.datasets.patterns import sample_pattern_from_data
+from repro.experiments import render_timing_figure, sweep_timing
+from benchmarks.conftest import emit
+
+
+def _mean(values):
+    values = [v for v in values if v is not None]
+    return sum(values) / len(values) if values else 0.0
+
+
+@pytest.mark.parametrize("dataset", ["Amazon", "YouTube"])
+def test_fig8ab_time_vs_vq(benchmark, amazon_graph, youtube_graph, scale, dataset):
+    data = amazon_graph if dataset == "Amazon" else youtube_graph
+    letter = "a" if dataset == "Amazon" else "b"
+
+    def pair_for(vq, repeat):
+        pattern = sample_pattern_from_data(data, int(vq), seed=401 + repeat)
+        return (pattern, data) if pattern else None
+
+    sweep = sweep_timing(
+        "|Vq|",
+        scale["vq_sweep"],
+        pair_for,
+        include_vf2=True,
+        vf2_max_states=scale["vf2_max_states"],
+    )
+    emit(
+        f"fig8{letter}_time_vq_{dataset.lower()}",
+        render_timing_figure(
+            f"Figure 8({letter}): time (s) vs |Vq| ({dataset})", sweep
+        ),
+    )
+    series = sweep.series()
+    # Sim is the cheapest of the simulation family.
+    assert _mean(series["Sim"]) <= _mean(series["Match"])
+    # Match+ beats Match on average (the paper reports ~2/3).
+    ratios = sweep.speedup_match_plus()
+    if ratios:
+        assert sum(ratios) / len(ratios) <= 1.0
+
+    point = sweep.axis_values[len(sweep.axis_values) // 2]
+    pattern, _ = pair_for(point, 0)
+    from repro.core.matchplus import match_plus
+
+    benchmark(lambda: match_plus(pattern, data))

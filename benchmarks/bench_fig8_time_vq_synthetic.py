@@ -1,0 +1,39 @@
+"""Figure 8(c): running time vs |Vq| on the large synthetic graph (no VF2).
+
+Paper shape: Sim < Match+ < Match; all three scale well with |Vq|.
+"""
+
+import pytest
+
+from repro.datasets import generate_graph
+from repro.datasets.patterns import sample_pattern_from_data
+from repro.experiments import render_timing_figure, sweep_timing
+from benchmarks.conftest import emit
+
+
+def test_fig8c_time_vs_vq_synthetic(benchmark, scale):
+    data = generate_graph(
+        scale["perf_synthetic_nodes"], alpha=1.2, num_labels=scale["labels"], seed=19
+    )
+
+    def pair_for(vq, repeat):
+        pattern = sample_pattern_from_data(data, int(vq), seed=411 + repeat)
+        return (pattern, data) if pattern else None
+
+    sweep = sweep_timing("|Vq|", scale["vq_sweep"], pair_for, include_vf2=False)
+    emit(
+        "fig8c_time_vq_synthetic",
+        render_timing_figure("Figure 8(c): time (s) vs |Vq| (synthetic)", sweep),
+    )
+    series = sweep.series()
+    sim_mean = sum(v for v in series["Sim"] if v is not None)
+    match_mean = sum(v for v in series["Match"] if v is not None)
+    assert sim_mean <= match_mean
+    ratios = sweep.speedup_match_plus()
+    if ratios:
+        assert sum(ratios) / len(ratios) <= 1.0
+
+    pattern, _ = pair_for(scale["vq_sweep"][2], 0)
+    from repro.core.matchplus import match_plus
+
+    benchmark(lambda: match_plus(pattern, data))

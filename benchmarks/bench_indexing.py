@@ -1,0 +1,59 @@
+"""Future-work bench: neighborhood-label indexing.
+
+Measures the index's center-pruning power and the end-to-end effect on
+plain ``Match`` (the regime the paper's future work targets: one graph,
+many queries).
+"""
+
+import pytest
+
+from repro.core.indexing import IndexedMatcher, NeighborhoodLabelIndex
+from repro.core.strong import match
+from repro.datasets import generate_graph
+from repro.datasets.patterns import sample_pattern_from_data
+from repro.experiments import render_table
+from repro.utils.timer import timed
+from benchmarks.conftest import emit
+
+
+def test_index_pruning_and_speedup(benchmark, scale):
+    data = generate_graph(1200, alpha=1.15, num_labels=scale["labels"], seed=59)
+    patterns = [
+        sample_pattern_from_data(data, size, seed=911 + size)
+        for size in (4, 6, 8)
+    ]
+    patterns = [p for p in patterns if p is not None and p.diameter <= 6]
+    assert patterns
+
+    index, build_seconds = timed(lambda: NeighborhoodLabelIndex(data, 6))
+    matcher = IndexedMatcher(data, max_radius=6)
+    matcher.index = index
+
+    rows = {"pruning ratio": [], "Match (s)": [], "indexed Match (s)": []}
+    sizes = []
+    for pattern in patterns:
+        sizes.append(pattern.num_nodes)
+        rows["pruning ratio"].append(index.pruning_ratio(pattern))
+        plain_result, plain_seconds = timed(lambda: match(pattern, data))
+        indexed_result, indexed_seconds = timed(lambda: matcher.match(pattern))
+        assert {sg.signature() for sg in plain_result} == {
+            sg.signature() for sg in indexed_result
+        }
+        rows["Match (s)"].append(plain_seconds)
+        rows["indexed Match (s)"].append(indexed_seconds)
+
+    emit(
+        "indexing",
+        render_table(
+            f"Neighborhood-label index (build {build_seconds:.3f}s, "
+            "amortized over queries)",
+            "|Vq|",
+            sizes,
+            rows,
+        ),
+    )
+    # Indexing must never slow the query side down materially.
+    assert sum(rows["indexed Match (s)"]) <= 1.5 * sum(rows["Match (s)"])
+
+    pattern = patterns[0]
+    benchmark(lambda: matcher.match(pattern))

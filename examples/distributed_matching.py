@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Distributed strong simulation over a partitioned graph (Section 4.3).
+
+The locality of strong simulation makes it distributable: each site
+evaluates the balls centered at its own nodes, fetching only the
+boundary-crossing ball regions from its peers.  This script partitions a
+synthetic social network across simulated sites with two different
+partitioners, runs the coordinator protocol, verifies the answer equals
+the centralized one, and reports the measured data shipment against the
+paper's bound.
+
+Run:  python examples/distributed_matching.py
+"""
+
+from repro import match
+from repro.datasets import generate_graph
+from repro.datasets.patterns import sample_pattern_from_data
+from repro.distributed import (
+    bfs_partition,
+    crossing_ball_bound,
+    cut_edges,
+    distributed_match,
+    hash_partition,
+)
+
+
+def main() -> None:
+    graph = generate_graph(1000, alpha=1.15, num_labels=15, seed=5)
+    pattern = sample_pattern_from_data(graph, 6, seed=9)
+    assert pattern is not None
+    print(f"data graph: {graph}")
+    print(f"pattern:    {pattern}")
+    print()
+
+    central = match(pattern, graph)
+    central_signatures = {sg.signature() for sg in central}
+    print(f"centralized Match: {len(central)} perfect subgraphs")
+    print()
+
+    num_sites = 4
+    for name, partitioner in (
+        ("hash (locality-oblivious)", hash_partition),
+        ("bfs  (locality-aware)", bfs_partition),
+    ):
+        assignment = partitioner(graph, num_sites)
+        report = distributed_match(pattern, graph, assignment, num_sites)
+        assert {sg.signature() for sg in report.result} == central_signatures
+        bound = crossing_ball_bound(graph, assignment, pattern.diameter)
+        print(f"partitioner: {name}")
+        print(f"  cut edges:            {cut_edges(graph, assignment)}")
+        print(f"  messages:             {report.bus.total_messages}")
+        print(f"  data shipped (units): {report.data_shipment_units}")
+        print(f"  paper's bound:        {bound}")
+        print(f"  per-site subgraphs:   {report.per_site_subgraphs}")
+        print("  result identical to centralized: True")
+        print()
+
+
+if __name__ == "__main__":
+    main()

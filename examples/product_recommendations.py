@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Product co-purchase search on an Amazon-style network (Figure 7(a)).
+
+Scenario: find "Parenting & Families" books that are co-purchased with
+"Children's Books" and "Home & Garden" books, and mutually co-purchased
+with "Health, Mind & Body" books — the pattern QA of the paper's Amazon
+case study — on a synthetic co-purchase network with realistic degree
+skew and category labels.
+
+The script contrasts the three matching notions and shows why strong
+simulation is the practical choice: isomorphism misses near-matches,
+simulation drowns the analyst, strong simulation returns a handful of
+small, inspectable subgraphs.
+
+Run:  python examples/product_recommendations.py
+"""
+
+from repro import graph_simulation, match_plus, minimize_pattern
+from repro.baselines import vf2
+from repro.datasets import generate_amazon
+from repro.datasets.paper_figures import pattern_qa
+
+
+def main() -> None:
+    network = generate_amazon(4000, num_labels=30, seed=2024)
+    pattern = pattern_qa()
+    print(f"co-purchase network: {network}")
+    print(f"pattern QA: {pattern} (labels: {sorted(map(str, pattern.label_set()))})")
+    print()
+
+    # Exact isomorphism (budgeted — it is exponential).
+    iso = vf2(pattern, network, max_matches=500, max_states=2_000_000)
+    print(f"VF2:   {iso.num_matched_subgraphs} matched subgraphs "
+          f"({'budget hit' if iso.exhausted else 'complete'})")
+
+    # Plain simulation: one giant relation.
+    relation = graph_simulation(pattern, network)
+    print(f"Sim:   one relation touching {len(relation.data_nodes())} products")
+
+    # Strong simulation (Match+ — all optimizations).
+    result = match_plus(pattern, network)
+    print(f"Match: {len(result)} perfect subgraphs, touching "
+          f"{len(result.matched_data_nodes())} products")
+    print()
+
+    minimized = minimize_pattern(pattern)
+    focal_class = minimized.node_to_class["PF"]
+    focal = sorted(map(str, result.all_matches_of(focal_class)))[:10]
+    print("sample 'Parenting & Families' hits:", focal)
+
+    sizes = sorted(sg.num_nodes for sg in result)
+    if sizes:
+        print(f"subgraph sizes: min={sizes[0]}, median={sizes[len(sizes)//2]}, "
+              f"max={sizes[-1]} — all small enough to inspect by hand")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Related-video discovery on a YouTube-style network (Figure 7(b)).
+
+Scenario: find "Entertainment" videos related to both "Film & Animation"
+and "Music" videos, where some "Sports" video is related to the same two
+— the pattern QY of the paper's YouTube case study.
+
+Also demonstrates bounded simulation (the prior art the paper extends):
+relaxing each pattern edge to a 2-hop path finds more candidates, at the
+cost of the topology guarantees strong simulation provides.
+
+Run:  python examples/video_discovery.py
+"""
+
+from repro import (
+    BoundedPattern,
+    bounded_simulation,
+    match_plus,
+    minimize_pattern,
+)
+from repro.datasets import generate_youtube
+from repro.datasets.paper_figures import pattern_qy
+
+
+def main() -> None:
+    network = generate_youtube(3000, num_labels=15, seed=77)
+    pattern = pattern_qy()
+    print(f"related-video network: {network}")
+    print(f"pattern QY: {pattern}")
+    print()
+
+    # Strong simulation: topology-preserving matches.
+    result = match_plus(pattern, network)
+    minimized = minimize_pattern(pattern)
+    focal_class = minimized.node_to_class["E"]
+    strong_hits = result.all_matches_of(focal_class)
+    print(f"strong simulation: {len(result)} perfect subgraphs; "
+          f"{len(strong_hits)} Entertainment videos qualify")
+
+    # Bounded simulation with 2-hop edges: a looser, larger answer.
+    bounded = BoundedPattern(
+        pattern, {edge: 2 for edge in pattern.edges()}
+    )
+    bounded_rel = bounded_simulation(bounded, network)
+    bounded_hits = (
+        bounded_rel.matches_of("E") if bounded_rel.is_total() else frozenset()
+    )
+    print(f"bounded simulation (2 hops): {len(bounded_hits)} Entertainment "
+          "videos qualify")
+    print()
+
+    extra = len(bounded_hits) - len(strong_hits & set(bounded_hits))
+    print("bounded simulation trades topology for recall: "
+          f"{extra} extra candidates lack the exact relatedness structure")
+
+    for subgraph in list(result)[:3]:
+        nodes = sorted(map(str, subgraph.graph.nodes()))[:8]
+        print(f"  sample perfect subgraph ({subgraph.num_nodes} nodes): {nodes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro — strong simulation for graph pattern matching.
+
+A from-scratch reproduction of:
+
+    Shuai Ma, Yang Cao, Wenfei Fan, Jinpeng Huai, Tianyu Wo.
+    "Capturing Topology in Graph Pattern Matching."
+    PVLDB 5(4): 310-321, 2011.
+
+Public API highlights
+---------------------
+* :class:`repro.DiGraph` / :class:`repro.Pattern` — the data model;
+* :func:`repro.match` — strong simulation (algorithm ``Match``);
+* :func:`repro.match_plus` — the optimized ``Match+``;
+* :func:`repro.graph_simulation` / :func:`repro.dual_simulation` — the
+  weaker matching notions;
+* :mod:`repro.baselines` — VF2 / Ullmann / TALE / MCS comparators;
+* :mod:`repro.distributed` — the distributed evaluation of Section 4.3;
+* :mod:`repro.datasets` — synthetic and surrogate real-life generators.
+
+Quickstart
+----------
+>>> from repro import DiGraph, Pattern, match
+>>> g = DiGraph.from_parts(
+...     {"hr": "HR", "se": "SE", "bio": "Bio"},
+...     [("hr", "se"), ("hr", "bio"), ("se", "bio")],
+... )
+>>> q = Pattern.build(
+...     {"h": "HR", "b": "Bio"},
+...     [("h", "b")],
+... )
+>>> result = match(q, g)
+>>> sorted(result.all_matches_of("b"))
+['bio']
+"""
+
+from repro.core import (
+    Ball,
+    BoundedPattern,
+    DiGraph,
+    MatchPlusOptions,
+    MatchRelation,
+    MatchResult,
+    Pattern,
+    PerfectSubgraph,
+    bounded_simulation,
+    dual_simulation,
+    graph_simulation,
+    match,
+    match_plus,
+    matches_via_dual_simulation,
+    matches_via_simulation,
+    matches_via_strong_simulation,
+    minimize_pattern,
+)
+from repro.exceptions import (
+    DatasetError,
+    DistributedError,
+    GraphError,
+    MatchingError,
+    PatternError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ball",
+    "BoundedPattern",
+    "DatasetError",
+    "DiGraph",
+    "DistributedError",
+    "GraphError",
+    "MatchPlusOptions",
+    "MatchRelation",
+    "MatchResult",
+    "MatchingError",
+    "Pattern",
+    "PatternError",
+    "PerfectSubgraph",
+    "ReproError",
+    "__version__",
+    "bounded_simulation",
+    "dual_simulation",
+    "graph_simulation",
+    "match",
+    "match_plus",
+    "matches_via_dual_simulation",
+    "matches_via_simulation",
+    "matches_via_strong_simulation",
+    "minimize_pattern",
+]

@@ -1,0 +1,41 @@
+"""Baseline matchers used by the paper's evaluation.
+
+* :func:`vf2` — exact subgraph isomorphism (the paper's VF2 comparator);
+* :func:`enumerate_embeddings_ullmann` — Ullmann's algorithm, kept as an
+  independent exact oracle;
+* :func:`tale` — TALE-style approximate matching (Tian & Patel 2008);
+* :func:`mcs_match` — the maximum-common-subgraph comparator with the
+  paper's 0.7 acceptance threshold.
+"""
+
+from repro.baselines.mcs import McsParameters, McsResult, greedy_mcs_size, mcs_match
+from repro.baselines.tale import NeighborhoodIndex, TaleParameters, TaleResult, tale
+from repro.baselines.ullmann import (
+    enumerate_embeddings_ullmann,
+    has_subgraph_isomorphism_ullmann,
+)
+from repro.baselines.vf2 import (
+    VF2Budget,
+    VF2Result,
+    enumerate_embeddings,
+    has_subgraph_isomorphism,
+    vf2,
+)
+
+__all__ = [
+    "McsParameters",
+    "McsResult",
+    "NeighborhoodIndex",
+    "TaleParameters",
+    "TaleResult",
+    "VF2Budget",
+    "VF2Result",
+    "enumerate_embeddings",
+    "enumerate_embeddings_ullmann",
+    "greedy_mcs_size",
+    "has_subgraph_isomorphism",
+    "has_subgraph_isomorphism_ullmann",
+    "mcs_match",
+    "tale",
+    "vf2",
+]

@@ -1,0 +1,198 @@
+"""Maximum-common-subgraph approximate matching (the paper's MCS baseline).
+
+Section 5: "For MCS, a subgraph Gs(Vs, Es) of G matches pattern graph Q if
+|mcs(Q, Gs)| / max(|Vq|, |Vs|) >= 0.7", with the maximum common subgraph
+approximated via Kann's polynomial approximation (STACS 1992).  Because
+comparing Q against all 2^|V| subgraphs is infeasible, the paper compares
+against subgraphs of G having the same number of nodes as Q; we realize
+that as one BFS-grown connected |Vq|-node subgraph per data node (deduped).
+
+The MCS size itself is approximated greedily: seed with the
+label-compatible pair of highest degree product, then repeatedly add the
+compatible pair that preserves adjacency agreement with the partial map —
+a standard polynomial-time greedy relaxation in the spirit of Kann's
+approximation (exact MCS is itself np-hard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.digraph import DiGraph, Node
+from repro.core.pattern import Pattern
+
+
+@dataclass(frozen=True)
+class McsParameters:
+    """Tuning knobs of the MCS comparator.
+
+    Attributes
+    ----------
+    threshold:
+        Acceptance ratio ``|mcs| / max(|Vq|, |Vs|)``; the paper uses 0.7.
+    max_candidates:
+        Cap on candidate subgraphs examined (one per distinct BFS-grown
+        node set), keeping large sweeps bounded.
+    """
+
+    threshold: float = 0.7
+    max_candidates: Optional[int] = None
+
+
+class McsResult:
+    """Accepted candidate subgraphs of one MCS run."""
+
+    __slots__ = ("pattern", "accepted")
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        accepted: List[Tuple[FrozenSet[Node], int]],
+    ) -> None:
+        self.pattern = pattern
+        self.accepted = accepted
+
+    @property
+    def num_matched_subgraphs(self) -> int:
+        """Number of accepted candidate subgraphs."""
+        return len(self.accepted)
+
+    def matched_nodes(self) -> Set[Node]:
+        """Union of nodes over accepted subgraphs (closeness denominator)."""
+        nodes: Set[Node] = set()
+        for node_set, _ in self.accepted:
+            nodes.update(node_set)
+        return nodes
+
+    def __repr__(self) -> str:
+        return f"McsResult({self.num_matched_subgraphs} accepted subgraphs)"
+
+
+def grow_candidate_subgraph(
+    data: DiGraph,
+    seed: Node,
+    size: int,
+) -> FrozenSet[Node]:
+    """A connected node set of up to ``size`` nodes grown by BFS from ``seed``.
+
+    Deterministic: neighbors are visited in sorted repr order, so repeated
+    runs (and the deduplication of overlapping seeds) are stable.
+    """
+    selected: Set[Node] = {seed}
+    frontier = [seed]
+    while frontier and len(selected) < size:
+        node = frontier.pop(0)
+        for neighbor in sorted(data.neighbors(node), key=repr):
+            if neighbor not in selected:
+                selected.add(neighbor)
+                frontier.append(neighbor)
+                if len(selected) >= size:
+                    break
+    return frozenset(selected)
+
+
+def greedy_mcs_size(pattern: Pattern, data: DiGraph, nodes: FrozenSet[Node]) -> int:
+    """Greedy lower bound on ``|mcs(Q, Gs)|`` for ``Gs = data[nodes]``.
+
+    Builds a partial injective map pattern-node -> candidate-node, adding
+    at each step the label-compatible pair whose adjacency to the partial
+    map agrees best (number of pattern edges to mapped nodes that are
+    mirrored in the candidate subgraph).
+    """
+    candidate_nodes = list(nodes)
+    mapping: Dict[Node, Node] = {}
+    used: Set[Node] = set()
+
+    def agreement(u: Node, v: Node) -> int:
+        score = 0
+        for u2, w in mapping.items():
+            if pattern.graph.has_edge(u, u2) and _edge_within(data, nodes, v, w):
+                score += 1
+            if pattern.graph.has_edge(u2, u) and _edge_within(data, nodes, w, v):
+                score += 1
+        return score
+
+    unmapped = set(pattern.nodes())
+    while unmapped:
+        best: Optional[Tuple[Node, Node]] = None
+        best_key: Tuple[int, int] = (-1, -1)
+        for u in unmapped:
+            label = pattern.label(u)
+            for v in candidate_nodes:
+                if v in used or data.label(v) != label:
+                    continue
+                key = (agreement(u, v), pattern.graph.degree(u))
+                if key > best_key:
+                    best_key = key
+                    best = (u, v)
+        if best is None:
+            break
+        u, v = best
+        # Grow a *connected* common subgraph: once the map is non-empty,
+        # a pair contributes to |mcs| only if it shares at least one
+        # agreeing edge with the structure mapped so far.  Without this,
+        # isolated label coincidences inflate |mcs| and the 0.7 threshold
+        # accepts nearly everything.
+        if mapping and best_key[0] == 0:
+            break
+        mapping[u] = v
+        used.add(v)
+        unmapped.discard(u)
+
+    # Count the nodes participating in at least the common structure:
+    # every mapped pair contributes one common node.
+    return len(mapping)
+
+
+def _edge_within(
+    data: DiGraph,
+    nodes: FrozenSet[Node],
+    source: Node,
+    target: Node,
+) -> bool:
+    """True iff the data edge exists and stays inside the candidate set."""
+    return source in nodes and target in nodes and data.has_edge(source, target)
+
+
+def mcs_match(
+    pattern: Pattern,
+    data: DiGraph,
+    params: Optional[McsParameters] = None,
+    seeds: Optional[List[Node]] = None,
+) -> McsResult:
+    """Run the MCS comparator across candidate subgraphs of ``data``.
+
+    ``seeds`` restricts the candidate growth to specific data nodes
+    (defaults to nodes whose label occurs in the pattern, a sound and
+    large reduction — a candidate subgraph containing no pattern label
+    can never reach the 0.7 threshold).
+    """
+    if params is None:
+        params = McsParameters()
+    if seeds is None:
+        seeds = sorted(
+            (
+                v
+                for label in pattern.label_set()
+                for v in data.nodes_with_label(label)
+            ),
+            key=repr,
+        )
+    size = pattern.num_nodes
+    seen: Set[FrozenSet[Node]] = set()
+    accepted: List[Tuple[FrozenSet[Node], int]] = []
+    examined = 0
+    for seed in seeds:
+        if params.max_candidates is not None and examined >= params.max_candidates:
+            break
+        node_set = grow_candidate_subgraph(data, seed, size)
+        if node_set in seen:
+            continue
+        seen.add(node_set)
+        examined += 1
+        mcs_size = greedy_mcs_size(pattern, data, node_set)
+        denominator = max(pattern.num_nodes, len(node_set))
+        if denominator and mcs_size / denominator >= params.threshold:
+            accepted.append((node_set, mcs_size))
+    return McsResult(pattern, accepted)

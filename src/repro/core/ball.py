@@ -1,0 +1,158 @@
+"""Balls ``Ĝ[w, r]`` — the locality neighborhoods of strong simulation.
+
+Section 2.2 defines the ball with center ``v`` and radius ``r`` as the
+subgraph of ``G`` whose nodes lie within undirected distance ``r`` of
+``v``, keeping *exactly* the edges of ``G`` over that node set (i.e. the
+induced subgraph).  Border nodes — nodes at distance exactly ``r`` — drive
+the ``dualFilter`` optimization (Proposition 5), so the ball records them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set
+
+from repro.core.digraph import DiGraph, Node
+from repro.core.traversal import undirected_distances
+from repro.exceptions import GraphError
+
+
+class Ball:
+    """An extracted ball: induced subgraph + center + radius + border nodes.
+
+    Attributes
+    ----------
+    graph:
+        The induced subgraph ``Ĝ[w, r]``.
+    center:
+        The ball center ``w``.
+    radius:
+        The radius ``r`` used for extraction.
+    distances:
+        Undirected distance from the center for every ball node.
+    """
+
+    __slots__ = ("graph", "center", "radius", "distances")
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        center: Node,
+        radius: int,
+        distances: Dict[Node, int],
+    ) -> None:
+        self.graph = graph
+        self.center = center
+        self.radius = radius
+        self.distances = distances
+
+    @property
+    def border_nodes(self) -> FrozenSet[Node]:
+        """Nodes at distance exactly ``radius`` from the center.
+
+        These are the only nodes whose match status can differ between the
+        global dual-simulation relation and the per-ball relation
+        (Proposition 5): every violation inside the ball is caused by an
+        edge cut off at the border.
+        """
+        return frozenset(
+            node for node, dist in self.distances.items() if dist == self.radius
+        )
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.graph
+
+    def __len__(self) -> int:
+        return self.graph.num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"Ball(center={self.center!r}, radius={self.radius}, "
+            f"|V|={self.graph.num_nodes}, |E|={self.graph.num_edges})"
+        )
+
+
+def extract_ball(graph: DiGraph, center: Node, radius: int) -> Ball:
+    """Build ``Ĝ[center, radius]`` by bounded undirected BFS (Section 4.1).
+
+    Runs in O(|V| + |E|) time per ball, as in the paper's analysis of
+    ``BuildBall``.
+    """
+    if radius < 0:
+        raise GraphError(f"ball radius must be non-negative, got {radius}")
+    distances = undirected_distances(graph, center, radius)
+    node_set = set(distances)
+    sub = DiGraph()
+    for node in node_set:
+        sub.add_node(node, graph.label(node))
+    for node in node_set:
+        for target in graph.successors_raw(node):
+            if target in node_set:
+                sub.add_edge(node, target)
+    return Ball(sub, center, radius, distances)
+
+
+def extract_ball_restricted(
+    graph: DiGraph,
+    center: Node,
+    radius: int,
+    allowed: Set[Node],
+) -> Ball:
+    """Extract ``Ĝ[center, radius]`` keeping only ``allowed`` nodes.
+
+    Distances are measured over the *full* graph (ball membership is a
+    property of ``G``), but the materialized subgraph is restricted to
+    ``allowed`` — used by ``Match+`` where only nodes surviving global
+    dual simulation can ever participate in a match, so carrying the rest
+    into the per-ball refinement is wasted work.  The center itself must
+    be allowed.
+    """
+    if radius < 0:
+        raise GraphError(f"ball radius must be non-negative, got {radius}")
+    if center not in allowed:
+        raise GraphError("ball center must be in the allowed node set")
+    distances = undirected_distances(graph, center, radius)
+    node_set = set(distances) & allowed
+    sub = DiGraph()
+    for node in node_set:
+        sub.add_node(node, graph.label(node))
+    for node in node_set:
+        for target in graph.successors_raw(node):
+            if target in node_set:
+                sub.add_edge(node, target)
+    kept_distances = {node: distances[node] for node in node_set}
+    return Ball(sub, center, radius, kept_distances)
+
+
+def iter_balls(
+    graph: DiGraph,
+    radius: int,
+    centers: Optional[Iterable[Node]] = None,
+) -> Iterator[Ball]:
+    """Yield the ball around every center (all graph nodes by default).
+
+    ``centers`` lets optimized algorithms restrict attention to candidate
+    centers — e.g. nodes whose label occurs in the pattern, or nodes that
+    survived global dual simulation (``dualFilter``).
+    """
+    if centers is None:
+        centers = graph.nodes()
+    for center in centers:
+        yield extract_ball(graph, center, radius)
+
+
+def ball_node_sets(
+    graph: DiGraph,
+    radius: int,
+    centers: Optional[Iterable[Node]] = None,
+) -> Dict[Node, Set[Node]]:
+    """Map each center to its ball's node set, without building subgraphs.
+
+    Cheaper than :func:`iter_balls` when only membership is needed (e.g.
+    the distributed runtime sizing its data shipments).
+    """
+    if centers is None:
+        centers = graph.nodes()
+    return {
+        center: set(undirected_distances(graph, center, radius))
+        for center in centers
+    }

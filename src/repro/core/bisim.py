@@ -1,0 +1,109 @@
+"""Graph bisimulation and the intractable subgraph-bisimulation boundary.
+
+Section 3.2 positions strong simulation at a tractability boundary:
+replacing simulation with *bisimulation* in pattern matching makes the
+problem np-hard (subgraph bisimulation, Dovier & Piazza 2003), although
+graph bisimulation itself is ptime.  This module provides:
+
+* :func:`maximum_bisimulation` — the coarsest bisimulation relation
+  between two graphs, by fixpoint refinement (ptime);
+* :func:`are_bisimilar` — ``Q ∼ G`` in the paper's sense: ``Q ≺ G`` with
+  maximum relation ``S`` and ``G ≺ Q`` with ``S⁻``;
+* :func:`subgraph_bisimulation_exists` — an exponential-time exact search
+  for a subgraph of ``G`` bisimilar to ``Q``, usable only on tiny inputs;
+  it exists to *demonstrate* the boundary, and its cost is measured by an
+  ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Optional, Set, Tuple
+
+from repro.core.digraph import DiGraph, Node
+from repro.core.pattern import Pattern
+
+Pair = Tuple[Node, Node]
+
+
+def maximum_bisimulation(first: DiGraph, second: DiGraph) -> Set[Pair]:
+    """The coarsest bisimulation relation between two labeled digraphs.
+
+    A pair ``(a, b)`` survives iff labels agree and the child condition
+    holds in both directions: every child of ``a`` is matched by a child
+    of ``b`` in the relation and vice versa.  Computed by removing
+    violating pairs until a fixpoint; the result may be empty.
+    """
+    relation: Set[Pair] = {
+        (a, b)
+        for a in first.nodes()
+        for b in second.nodes_with_label(first.label(a))
+    }
+    changed = True
+    while changed:
+        changed = False
+        stale = []
+        for a, b in relation:
+            forward_ok = all(
+                any((a2, b2) in relation for b2 in second.successors_raw(b))
+                for a2 in first.successors_raw(a)
+            )
+            backward_ok = forward_ok and all(
+                any((a2, b2) in relation for a2 in first.successors_raw(a))
+                for b2 in second.successors_raw(b)
+            )
+            if not (forward_ok and backward_ok):
+                stale.append((a, b))
+        if stale:
+            relation.difference_update(stale)
+            changed = True
+    return relation
+
+
+def are_bisimilar(pattern: Pattern, data: DiGraph) -> bool:
+    """``Q ∼ G`` per Section 3.2.
+
+    True iff the coarsest bisimulation is total on *both* node sets —
+    every node of the pattern is bisimilar to some node of the data graph
+    and vice versa.
+    """
+    relation = maximum_bisimulation(pattern.graph, data)
+    covered_left = {a for a, _ in relation}
+    covered_right = {b for _, b in relation}
+    return (
+        covered_left == set(pattern.nodes())
+        and covered_right == set(data.nodes())
+    )
+
+
+def subgraph_bisimulation_exists(
+    pattern: Pattern,
+    data: DiGraph,
+    max_extra_nodes: int = 3,
+) -> Optional[FrozenSet[Node]]:
+    """Exact subgraph-bisimulation search (exponential; tiny inputs only).
+
+    Searches for a node subset ``Vs`` of ``G`` whose induced subgraph is
+    bisimilar to ``Q``.  Subsets are enumerated by size from ``|Vq|`` up to
+    ``|Vq| + max_extra_nodes``, restricted to nodes whose label occurs in
+    the pattern (a sound pruning: a node with a foreign label can never be
+    bisimilar to any pattern node, and an unmatched node in ``Vs`` breaks
+    totality).  Returns the first witness subset, or ``None``.
+
+    This is np-hard in general (Dovier & Piazza 2003) and the enumeration
+    is exponential; callers must keep ``G`` small.  The function exists to
+    exhibit the tractability boundary of Section 3.2 next to cubic-time
+    strong simulation.
+    """
+    labels_needed = pattern.label_set()
+    candidates = [
+        v for v in data.nodes() if data.label(v) in labels_needed
+    ]
+    upper = min(len(candidates), pattern.num_nodes + max_extra_nodes)
+    for size in range(pattern.num_nodes, upper + 1):
+        for subset in combinations(candidates, size):
+            node_set = frozenset(subset)
+            induced = data.subgraph(node_set)
+            if are_bisimilar(pattern, induced):
+                return node_set
+    return None

@@ -1,0 +1,136 @@
+"""Connected components and strongly connected components.
+
+``ExtractMaxPG`` (Fig. 3 of the paper) needs the connected component of the
+match graph that contains the ball center; the pruning optimization of
+Section 4.2 needs components restricted to candidate nodes.  Both are
+undirected components.  Tarjan's strongly-connected-components algorithm is
+also provided: the paper notes that finding pairwise disconnected
+components is linear-time equivalent to finding SCCs, and the bisimulation
+utilities use SCCs as well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.core.digraph import DiGraph, Node
+from repro.core.traversal import undirected_distances
+from repro.exceptions import NodeNotFound
+
+
+def connected_components(graph: DiGraph) -> List[Set[Node]]:
+    """All undirected connected components, each as a node set."""
+    seen: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for node in graph.nodes():
+        if node in seen:
+            continue
+        component = set(undirected_distances(graph, node))
+        seen.update(component)
+        components.append(component)
+    return components
+
+
+def component_containing(graph: DiGraph, node: Node) -> Set[Node]:
+    """The undirected connected component of ``node``."""
+    if node not in graph:
+        raise NodeNotFound(node)
+    return set(undirected_distances(graph, node))
+
+
+def component_containing_restricted(
+    graph: DiGraph,
+    node: Node,
+    allowed: Set[Node],
+) -> Set[Node]:
+    """The component of ``node`` in the subgraph induced by ``allowed``.
+
+    This is the primitive behind connectivity pruning (Section 4.2,
+    Example 6): candidate nodes that are not undirected-reachable from the
+    ball center *within the candidate set* can never join the perfect
+    subgraph, so they are removed early.
+    """
+    if node not in allowed:
+        return set()
+    component: Set[Node] = {node}
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        for neighbor in graph.successors_raw(current) | graph.predecessors_raw(current):
+            if neighbor in allowed and neighbor not in component:
+                component.add(neighbor)
+                stack.append(neighbor)
+    return component
+
+
+def strongly_connected_components(graph: DiGraph) -> List[Set[Node]]:
+    """Tarjan's algorithm, iterative formulation.
+
+    Returns SCCs in reverse topological order of the condensation.
+    """
+    index_counter = 0
+    indices: Dict[Node, int] = {}
+    lowlinks: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    result: List[Set[Node]] = []
+
+    for root in graph.nodes():
+        if root in indices:
+            continue
+        work: List[Tuple[Node, Iterator[Node]]] = [(root, iter(graph.successors_raw(root)))]
+        indices[root] = lowlinks[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in indices:
+                    indices[child] = lowlinks[child] = index_counter
+                    index_counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(graph.successors_raw(child))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+            if lowlinks[node] == indices[node]:
+                scc: Set[Node] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.add(member)
+                    if member == node:
+                        break
+                result.append(scc)
+    return result
+
+
+def condensation(graph: DiGraph) -> Tuple[DiGraph, Dict[Node, int]]:
+    """The condensation DAG of ``graph`` plus the node -> SCC-id mapping.
+
+    SCC nodes in the condensation are labeled by the frozenset of labels of
+    their members, which is enough for the structural uses in this library.
+    """
+    sccs = strongly_connected_components(graph)
+    membership: Dict[Node, int] = {}
+    for scc_id, scc in enumerate(sccs):
+        for node in scc:
+            membership[node] = scc_id
+    dag = DiGraph()
+    for scc_id, scc in enumerate(sccs):
+        dag.add_node(scc_id, frozenset(graph.label(node) for node in scc))
+    for source, target in graph.edges():
+        src_id, dst_id = membership[source], membership[target]
+        if src_id != dst_id:
+            dag.add_edge(src_id, dst_id)
+    return dag, membership

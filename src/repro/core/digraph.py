@@ -1,0 +1,373 @@
+"""Node-labeled directed graphs — the data model of the paper.
+
+The paper (Section 2.1) defines a *data graph* ``G(V, E, l)`` as a finite
+set of nodes ``V``, a set of directed edges ``E ⊆ V × V`` and a labeling
+function ``l`` mapping each node to a label drawn from a (possibly
+infinite) alphabet ``Σ``.  :class:`DiGraph` implements exactly this model
+with adjacency sets in both directions plus a label index, which the
+simulation algorithms rely on for their initial candidate computation.
+
+Node identifiers may be any hashable object; labels likewise.  Self-loops
+are permitted (``E ⊆ V × V`` does not exclude them); parallel edges are
+not, matching the set semantics of ``E``.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.exceptions import DuplicateNode, EdgeNotFound, GraphError, NodeNotFound
+
+Node = Hashable
+Label = Hashable
+Edge = Tuple[Node, Node]
+
+
+class DiGraph:
+    """A finite, node-labeled, directed graph.
+
+    The class exposes the vocabulary used throughout the paper:
+
+    * ``successors`` / ``predecessors`` — the child / parent relations that
+      simulation and dual simulation preserve;
+    * ``label`` and ``nodes_with_label`` — the labeling function ``l`` and
+      its inverse index;
+    * ``subgraph`` — the node/edge-induced subgraph ``G[Vs, Es]``.
+
+    Example
+    -------
+    >>> g = DiGraph()
+    >>> g.add_node(1, "HR")
+    >>> g.add_node(2, "Bio")
+    >>> g.add_edge(1, 2)
+    >>> sorted(g.successors(1))
+    [2]
+    >>> g.label(2)
+    'Bio'
+    """
+
+    __slots__ = ("_labels", "_succ", "_pred", "_label_index", "_edge_count")
+
+    def __init__(self) -> None:
+        self._labels: Dict[Node, Label] = {}
+        self._succ: Dict[Node, Set[Node]] = {}
+        self._pred: Dict[Node, Set[Node]] = {}
+        self._label_index: Dict[Label, Set[Node]] = {}
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_parts(
+        cls,
+        labels: Mapping[Node, Label],
+        edges: Iterable[Edge],
+    ) -> "DiGraph":
+        """Build a graph from a label mapping and an edge iterable.
+
+        Every edge endpoint must appear in ``labels``.
+        """
+        graph = cls()
+        for node, label in labels.items():
+            graph.add_node(node, label)
+        for source, target in edges:
+            graph.add_edge(source, target)
+        return graph
+
+    def add_node(self, node: Node, label: Label) -> None:
+        """Add ``node`` with ``label``; raise :class:`DuplicateNode` if present."""
+        if node in self._labels:
+            raise DuplicateNode(node)
+        self._labels[node] = label
+        self._succ[node] = set()
+        self._pred[node] = set()
+        self._label_index.setdefault(label, set()).add(node)
+
+    def add_edge(self, source: Node, target: Node) -> None:
+        """Add the directed edge ``(source, target)``.
+
+        Both endpoints must already be nodes.  Adding an existing edge is a
+        no-op (edges form a set).
+        """
+        if source not in self._labels:
+            raise NodeNotFound(source)
+        if target not in self._labels:
+            raise NodeNotFound(target)
+        if target not in self._succ[source]:
+            self._succ[source].add(target)
+            self._pred[target].add(source)
+            self._edge_count += 1
+
+    def remove_edge(self, source: Node, target: Node) -> None:
+        """Remove the directed edge ``(source, target)``."""
+        if source not in self._labels or target not in self._succ[source]:
+            raise EdgeNotFound(source, target)
+        self._succ[source].discard(target)
+        self._pred[target].discard(source)
+        self._edge_count -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every incident edge."""
+        if node not in self._labels:
+            raise NodeNotFound(node)
+        for target in list(self._succ[node]):
+            self.remove_edge(node, target)
+        for source in list(self._pred[node]):
+            self.remove_edge(source, node)
+        label = self._labels.pop(node)
+        bucket = self._label_index[label]
+        bucket.discard(node)
+        if not bucket:
+            del self._label_index[label]
+        del self._succ[node]
+        del self._pred[node]
+
+    def relabel_node(self, node: Node, label: Label) -> None:
+        """Change the label of an existing node, keeping the index coherent."""
+        if node not in self._labels:
+            raise NodeNotFound(node)
+        old = self._labels[node]
+        if old == label:
+            return
+        bucket = self._label_index[old]
+        bucket.discard(node)
+        if not bucket:
+            del self._label_index[old]
+        self._labels[node] = label
+        self._label_index.setdefault(label, set()).add(node)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._labels)
+
+    @property
+    def num_nodes(self) -> int:
+        """``|V|`` — number of nodes."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """``|E|`` — number of directed edges."""
+        return self._edge_count
+
+    @property
+    def size(self) -> int:
+        """``|G| = |V| + |E|`` — the size measure used by the paper."""
+        return self.num_nodes + self.num_edges
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over nodes (insertion order)."""
+        return iter(self._labels)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over directed edges as ``(source, target)`` pairs."""
+        for source, targets in self._succ.items():
+            for target in targets:
+                yield (source, target)
+
+    def label(self, node: Node) -> Label:
+        """Return ``l(node)``."""
+        try:
+            return self._labels[node]
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def labels(self) -> Mapping[Node, Label]:
+        """Read-only view of the labeling function."""
+        return dict(self._labels)
+
+    def label_set(self) -> FrozenSet[Label]:
+        """The set of labels that occur in the graph."""
+        return frozenset(self._label_index)
+
+    def nodes_with_label(self, label: Label) -> FrozenSet[Node]:
+        """All nodes carrying ``label`` (empty if the label never occurs)."""
+        return frozenset(self._label_index.get(label, frozenset()))
+
+    def successors(self, node: Node) -> FrozenSet[Node]:
+        """Children of ``node`` — targets of edges leaving it."""
+        try:
+            return frozenset(self._succ[node])
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def predecessors(self, node: Node) -> FrozenSet[Node]:
+        """Parents of ``node`` — sources of edges entering it."""
+        try:
+            return frozenset(self._pred[node])
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def successors_raw(self, node: Node) -> Set[Node]:
+        """Internal successor set (no copy).  Callers must not mutate it.
+
+        The simulation fixpoints iterate adjacency heavily; avoiding a
+        frozenset copy per call is a significant constant-factor win.
+        """
+        return self._succ[node]
+
+    def predecessors_raw(self, node: Node) -> Set[Node]:
+        """Internal predecessor set (no copy).  Callers must not mutate it."""
+        return self._pred[node]
+
+    def out_degree(self, node: Node) -> int:
+        """Number of children of ``node``."""
+        try:
+            return len(self._succ[node])
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def in_degree(self, node: Node) -> int:
+        """Number of parents of ``node``."""
+        try:
+            return len(self._pred[node])
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    def degree(self, node: Node) -> int:
+        """Total degree (in + out), counting a self-loop twice."""
+        return self.in_degree(node) + self.out_degree(node)
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        """True iff ``(source, target)`` is an edge."""
+        return source in self._succ and target in self._succ[source]
+
+    def neighbors(self, node: Node) -> FrozenSet[Node]:
+        """Undirected neighborhood: parents ∪ children."""
+        try:
+            return frozenset(self._succ[node]) | frozenset(self._pred[node])
+        except KeyError:
+            raise NodeNotFound(node) from None
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(
+        self,
+        nodes: Iterable[Node],
+        edges: Optional[Iterable[Edge]] = None,
+    ) -> "DiGraph":
+        """Return the subgraph ``G[Vs, Es]`` (Section 2.1).
+
+        With ``edges=None`` the *induced* subgraph is returned: all edges of
+        ``G`` with both endpoints in ``nodes``.  Otherwise exactly the given
+        edges are kept (each must exist in ``G`` and have both endpoints in
+        ``nodes``).
+        """
+        node_set = set(nodes)
+        sub = DiGraph()
+        for node in node_set:
+            sub.add_node(node, self.label(node))
+        if edges is None:
+            for node in node_set:
+                for target in self._succ[node]:
+                    if target in node_set:
+                        sub.add_edge(node, target)
+        else:
+            for source, target in edges:
+                if source not in node_set or target not in node_set:
+                    raise GraphError(
+                        f"edge ({source!r}, {target!r}) has an endpoint "
+                        "outside the subgraph node set"
+                    )
+                if not self.has_edge(source, target):
+                    raise EdgeNotFound(source, target)
+                sub.add_edge(source, target)
+        return sub
+
+    def copy(self) -> "DiGraph":
+        """Deep copy of the graph structure (labels are shared objects)."""
+        clone = DiGraph()
+        for node, label in self._labels.items():
+            clone.add_node(node, label)
+        for source, target in self.edges():
+            clone.add_edge(source, target)
+        return clone
+
+    def reverse(self) -> "DiGraph":
+        """Return the graph with every edge direction flipped."""
+        rev = DiGraph()
+        for node, label in self._labels.items():
+            rev.add_node(node, label)
+        for source, target in self.edges():
+            rev.add_edge(target, source)
+        return rev
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / repr
+    # ------------------------------------------------------------------
+    def same_as(self, other: "DiGraph") -> bool:
+        """Structural equality: identical node identities, labels and edges.
+
+        This is *identity* equality, not isomorphism; use the baselines
+        package for isomorphism checks.
+        """
+        if not isinstance(other, DiGraph):
+            return NotImplemented  # type: ignore[return-value]
+        if self._labels != other._labels:
+            return False
+        return self._succ == other._succ
+
+    def node_edge_signature(self) -> Tuple[FrozenSet[Node], FrozenSet[Edge]]:
+        """Hashable signature of the exact node and edge sets.
+
+        Used to deduplicate perfect subgraphs discovered from different
+        ball centers (Proposition 4 counts *distinct* maximum perfect
+        subgraphs).
+        """
+        return (frozenset(self._labels), frozenset(self.edges()))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(|V|={self.num_nodes}, "
+            f"|E|={self.num_edges}, labels={len(self._label_index)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience constructors used widely in tests and examples
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_label_pairs(
+        cls,
+        node_labels: Iterable[Tuple[Node, Label]],
+        edges: Iterable[Edge],
+    ) -> "DiGraph":
+        """Build from ``[(node, label), ...]`` plus an edge list."""
+        graph = cls()
+        for node, label in node_labels:
+            graph.add_node(node, label)
+        for source, target in edges:
+            graph.add_edge(source, target)
+        return graph
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Map total degree -> number of nodes with that degree."""
+        hist: Dict[int, int] = {}
+        for node in self._labels:
+            deg = self.degree(node)
+            hist[deg] = hist.get(deg, 0) + 1
+        return hist
+
+    def to_edge_list(self) -> List[Edge]:
+        """Materialize the edge set as a sorted-insertion list."""
+        return list(self.edges())

@@ -1,0 +1,148 @@
+"""Dual-simulation filtering — algorithm ``dualFilter`` (Fig. 5).
+
+The key observation (Section 4.2): compute the maximum dual-simulation
+relation ``S_G`` over the *whole* data graph once, then for each ball
+*project* ``S_G`` onto the ball and only *remove* matches invalidated by
+the ball boundary.  Deletions are much cheaper to propagate than the full
+per-ball fixpoint, and Proposition 5 localizes the work: every node at
+distance < r from the center keeps all of its data-graph neighbors inside
+the ball, so only *border nodes* (distance exactly r) can have lost a
+witness — the removal process starts from them and touches only nodes
+transitively affected.
+
+The pseudocode of Fig. 5 contains a typo in its child-direction recheck
+(line 14 repeats the border test instead of testing ``pred(v1) ∩ sim(u)``);
+we implement the intended semantics — after removing ``(u, v)``, a child
+pair ``(u1, v1)`` becomes invalid iff ``v1`` no longer has any parent in
+``sim(u)`` — and verify equivalence with the unoptimized ``Match`` in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Set, Tuple
+
+from repro.core.ball import Ball
+from repro.core.digraph import DiGraph, Node
+from repro.core.matchrel import MatchRelation
+from repro.core.pattern import Pattern
+from repro.core.result import PerfectSubgraph
+from repro.core.strong import extract_max_perfect_subgraph
+
+Pair = Tuple[Node, Node]
+
+
+def _pair_is_valid(
+    pattern: Pattern,
+    ball_graph: DiGraph,
+    sim: Dict[Node, Set[Node]],
+    u: Node,
+    v: Node,
+) -> bool:
+    """Check the dual-simulation conditions for one pair inside the ball."""
+    for u1 in pattern.successors(u):
+        targets = sim[u1]
+        if not any(v1 in targets for v1 in ball_graph.successors_raw(v)):
+            return False
+    for u2 in pattern.predecessors(u):
+        sources = sim[u2]
+        if not any(v2 in sources for v2 in ball_graph.predecessors_raw(v)):
+            return False
+    return True
+
+
+def dual_filter(
+    pattern: Pattern,
+    global_relation: MatchRelation,
+    ball: Ball,
+    extra_removals: Optional[Set[Pair]] = None,
+) -> Optional[PerfectSubgraph]:
+    """Algorithm ``dualFilter``: per-ball refinement of the global relation.
+
+    Parameters
+    ----------
+    pattern:
+        The pattern ``Q`` (already minimized by the caller, if desired).
+    global_relation:
+        The maximum dual-simulation relation of ``Q`` on the full data
+        graph ``G``.
+    ball:
+        The ball ``Ĝ[w, d_Q]`` under consideration, with border metadata.
+    extra_removals:
+        Additional pairs to remove and propagate before the border scan —
+        used by ``Match+`` to feed connectivity-pruning removals through
+        the same deletion cascade.
+
+    Returns
+    -------
+    Optional[PerfectSubgraph]
+        The maximum perfect subgraph of the ball, or ``None``.
+    """
+    ball_nodes = set(ball.graph.nodes())
+    # Line 1: project S_G onto the ball.
+    sim: Dict[Node, Set[Node]] = {
+        u: global_relation.matches_of_raw(u) & ball_nodes
+        for u in pattern.nodes()
+    }
+    if any(not candidates for candidates in sim.values()):
+        return None
+
+    ball_graph = ball.graph
+    border = ball.border_nodes
+
+    # Lines 2–5: seed the filter queue from border-node pairs that lost a
+    # witness to the ball boundary (Proposition 5 — only these can start
+    # the cascade).
+    filter_queue: Deque[Pair] = deque()
+    enqueued: Set[Pair] = set()
+    if extra_removals:
+        for pair in extra_removals:
+            if pair not in enqueued:
+                filter_queue.append(pair)
+                enqueued.add(pair)
+    for u in pattern.nodes():
+        for v in sim[u]:
+            if v not in border:
+                continue
+            if not _pair_is_valid(pattern, ball_graph, sim, u, v):
+                pair = (u, v)
+                filter_queue.append(pair)
+                enqueued.add(pair)
+
+    # Lines 6–15: propagate removals.
+    while filter_queue:
+        u, v = filter_queue.popleft()
+        if v not in sim[u]:
+            continue
+        sim[u].discard(v)
+        if not sim[u]:
+            return None  # line 16: some pattern node has no match left
+        # Parent direction: pairs (u2, v2) with pattern edge (u2, u) and
+        # data edge (v2, v) may have lost their only child witness.
+        for u2 in pattern.predecessors(u):
+            candidates = sim[u2]
+            targets = sim[u]
+            for v2 in ball_graph.predecessors_raw(v):
+                if v2 not in candidates or (u2, v2) in enqueued:
+                    continue
+                if not any(x in targets for x in ball_graph.successors_raw(v2)):
+                    filter_queue.append((u2, v2))
+                    enqueued.add((u2, v2))
+        # Child direction: pairs (u1, v1) with pattern edge (u, u1) and
+        # data edge (v, v1) may have lost their only parent witness.
+        for u1 in pattern.successors(u):
+            candidates = sim[u1]
+            sources = sim[u]
+            for v1 in ball_graph.successors_raw(v):
+                if v1 not in candidates or (u1, v1) in enqueued:
+                    continue
+                if not any(x in sources for x in ball_graph.predecessors_raw(v1)):
+                    filter_queue.append((u1, v1))
+                    enqueued.add((u1, v1))
+
+    relation = MatchRelation(sim)
+    if relation.is_empty():
+        return None
+    # Line 17: extract the perfect subgraph of this ball.
+    return extract_max_perfect_subgraph(pattern, ball, relation)

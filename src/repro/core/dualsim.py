@@ -1,0 +1,159 @@
+"""Dual simulation ``Q ≺_D G`` — simulation plus the duality condition.
+
+Section 2.2: ``Q ≺_D G`` iff ``Q ≺ G`` with a relation ``S`` that is also
+closed under the *parent* direction — for each ``(u, v) ∈ S`` and each
+pattern edge ``(u₂, u)``, some data edge ``(v₂, v)`` exists with
+``(u₂, v₂) ∈ S``.  Lemma 1: the maximum dual-simulation relation is unique,
+which is what the fixpoints below compute.
+
+Two equivalent implementations are provided:
+
+* :func:`dual_simulation_naive` — the pseudocode of procedure ``DualSim``
+  in Fig. 3, verbatim (repeat-until-no-change over all pattern edges, both
+  directions);
+* :func:`dual_simulation` — a worklist variant that only revisits pattern
+  nodes whose candidate sets shrank, used everywhere by default.
+
+Both run in O((|Vq| + |Eq|) (|V| + |E|)) per the paper's analysis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Set
+
+from repro.core.digraph import DiGraph, Node
+from repro.core.matchrel import MatchRelation
+from repro.core.pattern import Pattern
+from repro.core.simulation import _collapse_if_failed, initial_candidates
+
+
+def dual_simulation_naive(
+    pattern: Pattern,
+    data: DiGraph,
+    seeds: Optional[Dict[Node, Set[Node]]] = None,
+) -> MatchRelation:
+    """Literal transcription of procedure ``DualSim`` (Fig. 3).
+
+    Lines 3–10: while anything changes, drop ``v`` from ``sim(u)`` when a
+    child edge ``(u, u′)`` has no witness ``(v, v′)`` with ``v′ ∈ sim(u′)``
+    (lines 4–6), or a parent edge ``(u′, u)`` has no witness ``(v′, v)``
+    with ``v′ ∈ sim(u′)`` (lines 7–9).
+    """
+    sim = seeds if seeds is not None else initial_candidates(pattern, data)
+    changed = True
+    while changed:
+        changed = False
+        for u, u_prime in pattern.edges():
+            # Child direction: v in sim(u) needs a successor in sim(u').
+            targets = sim[u_prime]
+            stale = [
+                v
+                for v in sim[u]
+                if not any(v2 in targets for v2 in data.successors_raw(v))
+            ]
+            if stale:
+                sim[u].difference_update(stale)
+                changed = True
+            # Parent direction: v' in sim(u') needs a predecessor in sim(u).
+            sources = sim[u]
+            stale = [
+                v_prime
+                for v_prime in sim[u_prime]
+                if not any(v2 in sources for v2 in data.predecessors_raw(v_prime))
+            ]
+            if stale:
+                sim[u_prime].difference_update(stale)
+                changed = True
+        if any(not candidates for candidates in sim.values()):
+            break
+    _collapse_if_failed(sim)
+    return MatchRelation(sim)
+
+
+def dual_simulation(
+    pattern: Pattern,
+    data: DiGraph,
+    seeds: Optional[Dict[Node, Set[Node]]] = None,
+) -> MatchRelation:
+    """Worklist dual simulation — the default implementation.
+
+    A pattern node is queued when its candidate set shrinks; dequeuing it
+    rechecks only the pattern edges incident to it (parents check their
+    child-witness, children check their parent-witness).  The result is
+    the unique maximum dual-simulation relation (Lemma 1), or the empty
+    relation when ``Q ⊀_D G``.
+    """
+    sim = seeds if seeds is not None else initial_candidates(pattern, data)
+    queue = deque(pattern.nodes())
+    queued: Set[Node] = set(queue)
+
+    def shrink(u: Node, stale: list) -> bool:
+        """Remove stale candidates from sim(u); return False on collapse."""
+        sim[u].difference_update(stale)
+        if not sim[u]:
+            return False
+        if u not in queued:
+            queue.append(u)
+            queued.add(u)
+        return True
+
+    while queue:
+        w = queue.popleft()
+        queued.discard(w)
+        w_candidates = sim[w]
+        # Parents u of w: every v in sim(u) needs a child in sim(w).
+        for u in pattern.predecessors(w):
+            stale = [
+                v
+                for v in sim[u]
+                if not any(v2 in w_candidates for v2 in data.successors_raw(v))
+            ]
+            if stale and not shrink(u, stale):
+                _collapse_if_failed(sim)
+                return MatchRelation(sim)
+        # Children u of w: every v in sim(u) needs a parent in sim(w).
+        for u in pattern.successors(w):
+            stale = [
+                v
+                for v in sim[u]
+                if not any(v2 in w_candidates for v2 in data.predecessors_raw(v))
+            ]
+            if stale and not shrink(u, stale):
+                _collapse_if_failed(sim)
+                return MatchRelation(sim)
+    _collapse_if_failed(sim)
+    return MatchRelation(sim)
+
+
+def matches_via_dual_simulation(pattern: Pattern, data: DiGraph) -> bool:
+    """Decide ``Q ≺_D G``."""
+    return dual_simulation(pattern, data).is_total()
+
+
+def is_dual_simulation_relation(
+    pattern: Pattern,
+    data: DiGraph,
+    relation: MatchRelation,
+) -> bool:
+    """Independent checker for the dual-simulation conditions.
+
+    Verifies label agreement, totality on the pattern side, downward
+    witnesses for every pattern edge and upward witnesses for every
+    pattern edge — used by property tests to validate the fixpoints.
+    """
+    for u in pattern.nodes():
+        if not relation.matches_of_raw(u):
+            return False
+    for u, v in relation.pairs():
+        if v not in data or pattern.label(u) != data.label(v):
+            return False
+        for u_prime in pattern.successors(u):
+            targets = relation.matches_of_raw(u_prime)
+            if not any(v2 in targets for v2 in data.successors_raw(v)):
+                return False
+        for u2 in pattern.predecessors(u):
+            sources = relation.matches_of_raw(u2)
+            if not any(v2 in sources for v2 in data.predecessors_raw(v)):
+                return False
+    return True

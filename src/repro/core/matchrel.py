@@ -1,0 +1,144 @@
+"""Match relations ``S ⊆ Vq × V`` between pattern and data nodes.
+
+All simulation variants in the paper compute a binary relation between
+pattern nodes and data nodes.  :class:`MatchRelation` stores it in the
+``sim(u)`` form used by the algorithms of Figures 3 and 5 — a mapping from
+each pattern node ``u`` to the set of data nodes that (still) simulate it —
+and offers the pair-set view for the theory-facing code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Set, Tuple
+
+from repro.core.digraph import Node
+from repro.core.pattern import Pattern
+from repro.exceptions import MatchingError
+
+Pair = Tuple[Node, Node]
+
+
+class MatchRelation:
+    """A relation between pattern nodes and data nodes.
+
+    The relation is *total on the pattern side* exactly when it represents
+    a successful simulation: :meth:`is_total` reports whether every pattern
+    node has at least one match, which is the success criterion of every
+    ``DualSim``-style fixpoint (line 10 of Fig. 3: if some ``sim(v)``
+    empties, the whole relation collapses to ∅).
+    """
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: Mapping[Node, Set[Node]]) -> None:
+        self._sim: Dict[Node, Set[Node]] = {u: set(vs) for u, vs in sim.items()}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, pattern: Pattern) -> "MatchRelation":
+        """The empty relation over a pattern (every sim set empty)."""
+        return cls({u: set() for u in pattern.nodes()})
+
+    @classmethod
+    def from_pairs(cls, pattern: Pattern, pairs: Iterable[Pair]) -> "MatchRelation":
+        """Build from explicit ``(pattern_node, data_node)`` pairs."""
+        sim: Dict[Node, Set[Node]] = {u: set() for u in pattern.nodes()}
+        for u, v in pairs:
+            if u not in sim:
+                raise MatchingError(f"pair ({u!r}, {v!r}) uses unknown pattern node")
+            sim[u].add(v)
+        return cls(sim)
+
+    # ------------------------------------------------------------------
+    def matches_of(self, pattern_node: Node) -> FrozenSet[Node]:
+        """``sim(u)`` — the data nodes matching ``pattern_node``."""
+        try:
+            return frozenset(self._sim[pattern_node])
+        except KeyError:
+            raise MatchingError(
+                f"pattern node {pattern_node!r} not in relation"
+            ) from None
+
+    def matches_of_raw(self, pattern_node: Node) -> Set[Node]:
+        """Internal ``sim(u)`` set without a defensive copy (do not mutate)."""
+        return self._sim[pattern_node]
+
+    def pattern_nodes(self) -> Iterator[Node]:
+        """Iterate over the pattern nodes of the relation."""
+        return iter(self._sim)
+
+    def pairs(self) -> Iterator[Pair]:
+        """Iterate over all ``(pattern_node, data_node)`` pairs."""
+        for u, vs in self._sim.items():
+            for v in vs:
+                yield (u, v)
+
+    def pair_set(self) -> FrozenSet[Pair]:
+        """The relation as a frozenset of pairs."""
+        return frozenset(self.pairs())
+
+    def data_nodes(self) -> Set[Node]:
+        """All data nodes mentioned anywhere in the relation."""
+        result: Set[Node] = set()
+        for vs in self._sim.values():
+            result |= vs
+        return result
+
+    def is_total(self) -> bool:
+        """True iff every pattern node has at least one match."""
+        return all(self._sim.values()) and bool(self._sim)
+
+    def is_empty(self) -> bool:
+        """True iff no pair is in the relation."""
+        return not any(self._sim.values())
+
+    def __len__(self) -> int:
+        return sum(len(vs) for vs in self._sim.values())
+
+    def __contains__(self, pair: Pair) -> bool:
+        u, v = pair
+        return u in self._sim and v in self._sim[u]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MatchRelation):
+            return NotImplemented
+        return {u: vs for u, vs in self._sim.items()} == {
+            u: vs for u, vs in other._sim.items()
+        }
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are not hashed
+        raise TypeError("MatchRelation is unhashable; use pair_set()")
+
+    # ------------------------------------------------------------------
+    def restricted_to(self, data_nodes: Set[Node]) -> "MatchRelation":
+        """Project the relation onto a subset of data nodes.
+
+        This is the projection step of ``dualFilter`` (line 1 of Fig. 5):
+        the global dual-simulation relation is projected onto each ball.
+        """
+        return MatchRelation(
+            {u: vs & data_nodes for u, vs in self._sim.items()}
+        )
+
+    def copy(self) -> "MatchRelation":
+        """Independent deep copy."""
+        return MatchRelation(self._sim)
+
+    def contains_relation(self, other: "MatchRelation") -> bool:
+        """True iff ``other ⊆ self`` as pair sets (maximality checks)."""
+        return all(
+            other._sim.get(u, set()) <= vs for u, vs in self._sim.items()
+        ) and all(u in self._sim for u in other._sim)
+
+    def clear(self) -> None:
+        """Empty every sim set in place (relation collapse on failure)."""
+        for vs in self._sim.values():
+            vs.clear()
+
+    def to_sim_dict(self) -> Dict[Node, Set[Node]]:
+        """A fresh ``{pattern_node: set(data_nodes)}`` dictionary."""
+        return {u: set(vs) for u, vs in self._sim.items()}
+
+    def __repr__(self) -> str:
+        total = len(self)
+        return f"MatchRelation({len(self._sim)} pattern nodes, {total} pairs)"

@@ -1,0 +1,155 @@
+"""Query minimization ``minQ`` (Fig. 4, Theorem 6, Lemmas 2–3).
+
+Two pattern graphs are equivalent iff they return the same result on every
+data graph.  Lemma 3 reduces strong-simulation equivalence (at a fixed
+ball radius) to dual-simulation equivalence, and Lemma 2 shows a unique
+minimum equivalent pattern exists and is computable in quadratic time:
+
+1. compute the maximum dual-simulation relation ``S`` of ``Q ≺_D Q``
+   (the pattern matched against itself as a data graph);
+2. group pattern nodes into equivalence classes — ``u ~ v`` iff both
+   ``(u, v) ∈ S`` and ``(v, u) ∈ S``;
+3. build the quotient graph: one node per class, an edge between classes
+   iff some pair of members has an edge in ``Q``.
+
+The caller is responsible for keeping the *original* diameter ``d_Q`` as
+the ball radius (Lemma 3 only guarantees equivalence at a fixed radius;
+minimization can change the quotient's own diameter).
+:func:`minimize_pattern` therefore returns the quotient pattern together
+with the radius to use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from repro.core.digraph import DiGraph, Node
+from repro.core.dualsim import dual_simulation
+from repro.core.pattern import Pattern
+
+
+class MinimizedPattern:
+    """Outcome of ``minQ``: the quotient pattern plus bookkeeping.
+
+    Attributes
+    ----------
+    pattern:
+        The minimized (quotient) pattern graph ``Qm``.
+    radius:
+        The ball radius to use with ``Qm`` — the diameter of the *original*
+        pattern, per Lemma 3.
+    classes:
+        The node equivalence classes, as frozensets of original nodes, in
+        the order their representative class-nodes were created.
+    node_to_class:
+        Mapping from each original pattern node to its class id (the node
+        identifier used in ``Qm``).
+    """
+
+    __slots__ = ("pattern", "radius", "classes", "node_to_class")
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        radius: int,
+        classes: List[FrozenSet[Node]],
+        node_to_class: Dict[Node, int],
+    ) -> None:
+        self.pattern = pattern
+        self.radius = radius
+        self.classes = classes
+        self.node_to_class = node_to_class
+
+    def expand_match(self, class_id: int) -> FrozenSet[Node]:
+        """Original pattern nodes represented by a quotient node."""
+        return self.classes[class_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"MinimizedPattern(|Vq|={self.pattern.num_nodes}, "
+            f"radius={self.radius}, classes={len(self.classes)})"
+        )
+
+
+def dual_equivalence_classes(pattern: Pattern) -> List[Set[Node]]:
+    """Equivalence classes of pattern nodes under mutual dual simulation.
+
+    Line 1–2 of Fig. 4: compute the maximum match relation ``S`` of
+    ``Q ≺_D Q`` and put ``u, v`` in the same class iff ``(u, v) ∈ S`` and
+    ``(v, u) ∈ S``.  A pattern always dual-simulates itself via the
+    identity relation, so ``S`` is total and the classes partition ``Vq``.
+    """
+    relation = dual_simulation(pattern, pattern.graph)
+    classes: List[Set[Node]] = []
+    assigned: Dict[Node, int] = {}
+    for u in pattern.nodes():
+        if u in assigned:
+            continue
+        matches_u = relation.matches_of_raw(u)
+        new_class = {u}
+        for v in matches_u:
+            if v == u or v in assigned:
+                continue
+            if u in relation.matches_of_raw(v):
+                new_class.add(v)
+        class_id = len(classes)
+        for member in new_class:
+            assigned[member] = class_id
+        classes.append(new_class)
+    return classes
+
+
+def minimize_pattern(pattern: Pattern) -> MinimizedPattern:
+    """Algorithm ``minQ`` (Fig. 4): the minimum equivalent pattern.
+
+    Runs in O((|Vq| + |Eq|)²) time, dominated by the self dual simulation.
+
+    Example
+    -------
+    A pattern with two structurally identical branches collapses them:
+
+    >>> q = Pattern.build(
+    ...     {"r": "R", "b1": "B", "b2": "B"},
+    ...     [("r", "b1"), ("r", "b2")],
+    ... )
+    >>> minimize_pattern(q).pattern.num_nodes
+    2
+    """
+    classes = dual_equivalence_classes(pattern)
+    node_to_class: Dict[Node, int] = {}
+    frozen_classes: List[FrozenSet[Node]] = []
+    for class_id, members in enumerate(classes):
+        frozen_classes.append(frozenset(members))
+        for member in members:
+            node_to_class[member] = class_id
+
+    quotient = DiGraph()
+    for class_id, members in enumerate(classes):
+        representative = next(iter(members))
+        quotient.add_node(class_id, pattern.label(representative))
+    for u, u_prime in pattern.edges():
+        quotient.add_edge(node_to_class[u], node_to_class[u_prime])
+
+    minimized = Pattern(quotient)
+    return MinimizedPattern(
+        minimized,
+        radius=pattern.diameter,
+        classes=frozen_classes,
+        node_to_class=node_to_class,
+    )
+
+
+def patterns_dual_equivalent(first: Pattern, second: Pattern) -> bool:
+    """Decide dual-simulation equivalence of two patterns.
+
+    ``Q ≡ Q′`` via dual simulation iff each dual-simulates the other *and*
+    their quotients are isomorphic; for the library's purposes (testing
+    Lemma 2) we check mutual total dual simulation between the two
+    patterns, each treated as a data graph for the other, which is the
+    standard simulation-equivalence test.
+    """
+    forward = dual_simulation(first, second.graph)
+    if not forward.is_total():
+        return False
+    backward = dual_simulation(second, first.graph)
+    return backward.is_total()

@@ -1,0 +1,114 @@
+"""Pattern graphs: connected, node-labeled, directed queries.
+
+The paper assumes w.l.o.g. that pattern graphs are connected (Section 2.1)
+and repeatedly uses the pattern diameter ``d_Q`` as the ball radius of the
+locality condition.  :class:`Pattern` wraps a :class:`~repro.core.digraph.DiGraph`
+with connectivity validation at construction time and a cached diameter,
+so the matching algorithms can rely on both without re-checking.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.digraph import DiGraph, Edge, Label, Node
+from repro.core.traversal import diameter_undirected, is_connected_undirected
+from repro.exceptions import PatternError
+
+
+class Pattern:
+    """A validated pattern graph ``Q(Vq, Eq)`` with cached diameter ``d_Q``.
+
+    ``Pattern`` delegates all read access to the wrapped graph, which is
+    treated as immutable after construction: mutating the underlying graph
+    through the ``graph`` property voids the cached diameter, so don't.
+
+    Example
+    -------
+    >>> q = Pattern.build({"u": "HR", "v": "Bio"}, [("u", "v")])
+    >>> q.diameter
+    1
+    >>> sorted(q.graph.successors("u"))
+    ['v']
+    """
+
+    __slots__ = ("_graph", "_diameter")
+
+    def __init__(self, graph: DiGraph) -> None:
+        if graph.num_nodes == 0:
+            raise PatternError("pattern graphs must be non-empty")
+        if not is_connected_undirected(graph):
+            raise PatternError(
+                "pattern graphs are assumed connected (Section 2.1); got a "
+                "disconnected graph — split it into one Pattern per component"
+            )
+        self._graph = graph
+        self._diameter = diameter_undirected(graph)
+
+    @classmethod
+    def build(
+        cls,
+        labels: Mapping[Node, Label],
+        edges: Iterable[Edge],
+    ) -> "Pattern":
+        """Construct from a node -> label mapping and an edge iterable."""
+        return cls(DiGraph.from_parts(labels, edges))
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> DiGraph:
+        """The underlying labeled digraph (treat as read-only)."""
+        return self._graph
+
+    @property
+    def diameter(self) -> int:
+        """``d_Q`` — diameter of the pattern, the default ball radius."""
+        return self._diameter
+
+    @property
+    def num_nodes(self) -> int:
+        """``|Vq|``."""
+        return self._graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """``|Eq|``."""
+        return self._graph.num_edges
+
+    @property
+    def size(self) -> int:
+        """``|Q| = |Vq| + |Eq|`` — minimality is judged on this measure."""
+        return self._graph.size
+
+    def nodes(self):
+        """Iterate over pattern nodes."""
+        return self._graph.nodes()
+
+    def edges(self):
+        """Iterate over pattern edges."""
+        return self._graph.edges()
+
+    def label(self, node: Node) -> Label:
+        """The label of a pattern node."""
+        return self._graph.label(node)
+
+    def label_set(self):
+        """Labels occurring in the pattern."""
+        return self._graph.label_set()
+
+    def successors(self, node: Node):
+        """Children of a pattern node."""
+        return self._graph.successors(node)
+
+    def predecessors(self, node: Node):
+        """Parents of a pattern node."""
+        return self._graph.predecessors(node)
+
+    def __len__(self) -> int:
+        return self._graph.num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"Pattern(|Vq|={self.num_nodes}, |Eq|={self.num_edges}, "
+            f"d_Q={self._diameter})"
+        )

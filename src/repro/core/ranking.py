@@ -1,0 +1,130 @@
+"""Ranking perfect subgraphs (the paper's future work on top-k matches).
+
+Section 6: "we are to find metrics to rank matches found by strong
+simulation, to return top-ranked matches only."  This module provides
+three complementary metrics and a combined scorer:
+
+* **compactness** — how close the match's node count is to the pattern's
+  (1.0 for a same-size match; a ball-sized blob scores low).  A compact
+  match is closest to what isomorphism would have returned.
+* **specificity** — the inverse of the average ``|sim(u)|``: a match
+  where every pattern node has exactly one image is maximally specific.
+* **coverage density** — the fraction of the match's edges that witness
+  pattern edges *per pattern edge*: a match graph that realizes each
+  pattern edge with few data edges is structurally tighter.
+
+Scores are in (0, 1]; :func:`rank_matches` orders a
+:class:`~repro.core.result.MatchResult` best-first and
+:func:`top_k_matches` truncates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.pattern import Pattern
+from repro.core.result import MatchResult, PerfectSubgraph
+
+
+@dataclass(frozen=True)
+class RankingWeights:
+    """Relative weights of the three metrics (normalized internally)."""
+
+    compactness: float = 1.0
+    specificity: float = 1.0
+    density: float = 1.0
+
+    def normalized(self) -> "RankingWeights":
+        """Weights scaled to sum to 1 (uniform if all zero)."""
+        total = self.compactness + self.specificity + self.density
+        if total <= 0:
+            return RankingWeights(1 / 3, 1 / 3, 1 / 3)
+        return RankingWeights(
+            self.compactness / total,
+            self.specificity / total,
+            self.density / total,
+        )
+
+
+def compactness(pattern: Pattern, subgraph: PerfectSubgraph) -> float:
+    """``|Vq| / |Vs|`` — 1.0 when the match has exactly pattern size."""
+    if subgraph.num_nodes == 0:
+        return 0.0
+    return min(1.0, pattern.num_nodes / subgraph.num_nodes)
+
+
+def specificity(pattern: Pattern, subgraph: PerfectSubgraph) -> float:
+    """Inverse mean sim-set size — 1.0 when every pattern node has one image."""
+    sizes = [
+        len(subgraph.relation.matches_of_raw(u)) for u in pattern.nodes()
+    ]
+    if not sizes or any(size == 0 for size in sizes):
+        return 0.0
+    return len(sizes) / sum(sizes)
+
+
+def coverage_density(pattern: Pattern, subgraph: PerfectSubgraph) -> float:
+    """``|Eq| / |Es|`` — 1.0 when each pattern edge has one witness edge."""
+    if subgraph.num_edges == 0:
+        return 1.0 if pattern.num_edges == 0 else 0.0
+    return min(1.0, pattern.num_edges / subgraph.num_edges)
+
+
+def score_match(
+    pattern: Pattern,
+    subgraph: PerfectSubgraph,
+    weights: Optional[RankingWeights] = None,
+) -> float:
+    """The weighted combined score in (0, 1]."""
+    w = (weights or RankingWeights()).normalized()
+    return (
+        w.compactness * compactness(pattern, subgraph)
+        + w.specificity * specificity(pattern, subgraph)
+        + w.density * coverage_density(pattern, subgraph)
+    )
+
+
+def rank_matches(
+    result: MatchResult,
+    weights: Optional[RankingWeights] = None,
+) -> List[PerfectSubgraph]:
+    """Perfect subgraphs ordered best-first by combined score.
+
+    Ties break toward smaller matches (easier to inspect), then by the
+    repr of the discovery center for determinism.
+    """
+    pattern = result.pattern
+
+    def key(subgraph: PerfectSubgraph):
+        return (
+            -score_match(pattern, subgraph, weights),
+            subgraph.num_nodes,
+            repr(subgraph.center),
+        )
+
+    return sorted(result, key=key)
+
+
+def top_k_matches(
+    result: MatchResult,
+    k: int,
+    weights: Optional[RankingWeights] = None,
+) -> List[PerfectSubgraph]:
+    """The ``k`` best matches (fewer if the result is smaller)."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    return rank_matches(result, weights)[:k]
+
+
+def score_breakdown(
+    pattern: Pattern,
+    subgraph: PerfectSubgraph,
+) -> Dict[str, float]:
+    """All three metric values plus the default combined score."""
+    return {
+        "compactness": compactness(pattern, subgraph),
+        "specificity": specificity(pattern, subgraph),
+        "density": coverage_density(pattern, subgraph),
+        "combined": score_match(pattern, subgraph),
+    }

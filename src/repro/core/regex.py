@@ -1,0 +1,374 @@
+"""A small regular-expression engine over node-label alphabets.
+
+The paper's Remark (Section 2.2) notes strong simulation "can readily be
+extended by supporting ... regular expressions as edge constraints on
+pattern graphs, along the same lines as [18]" (Fan et al., ICDE 2011).
+That extension needs path-matching machinery: this module provides a
+self-contained regex engine — parser, Thompson NFA construction, and
+product-graph reachability over a data graph.
+
+Syntax (over *labels*, not characters)::
+
+    expr    := alt
+    alt     := concat ('|' concat)*
+    concat  := repeat+
+    repeat  := atom ('*' | '+' | '?')?
+    atom    := LABEL | '(' expr ')' | '.'
+
+``LABEL`` is any run of characters excluding the metacharacters
+``( ) | * + ? .`` and whitespace; ``.`` matches any single label.  A path
+*word* is the sequence of labels of the **intermediate** nodes of a path
+(endpoints excluded), so the pattern edge constraint ``A.B* -> ...``
+speaks about what lies strictly between the matched endpoints; the empty
+word corresponds to a direct edge.
+
+This mirrors [18]'s reachability semantics adapted to node-labeled
+graphs (the paper's data model has no edge labels — DESIGN.md documents
+the adaptation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.digraph import DiGraph, Label, Node
+from repro.exceptions import PatternError
+
+_METACHARS = set("()|*+?.")
+
+
+class RegexSyntaxError(PatternError):
+    """Raised for malformed regular expressions."""
+
+
+# ----------------------------------------------------------------------
+# Parsing to an AST
+# ----------------------------------------------------------------------
+class _Ast:
+    __slots__ = ()
+
+
+class _Atom(_Ast):
+    __slots__ = ("label",)
+
+    def __init__(self, label: Optional[str]) -> None:
+        self.label = label  # None means wildcard '.'
+
+
+class _Concat(_Ast):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: List[_Ast]) -> None:
+        self.parts = parts
+
+
+class _Alt(_Ast):
+    __slots__ = ("options",)
+
+    def __init__(self, options: List[_Ast]) -> None:
+        self.options = options
+
+
+class _Repeat(_Ast):
+    __slots__ = ("inner", "op")
+
+    def __init__(self, inner: _Ast, op: str) -> None:
+        self.inner = inner
+        self.op = op  # '*', '+' or '?'
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char in _METACHARS:
+            tokens.append(char)
+            index += 1
+            continue
+        start = index
+        while index < len(text) and text[index] not in _METACHARS and not text[index].isspace():
+            index += 1
+        tokens.append(text[start:index])
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self) -> Optional[str]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise RegexSyntaxError("unexpected end of expression")
+        self._pos += 1
+        return token
+
+    def parse(self) -> _Ast:
+        ast = self.parse_alt()
+        if self.peek() is not None:
+            raise RegexSyntaxError(f"unexpected token {self.peek()!r}")
+        return ast
+
+    def parse_alt(self) -> _Ast:
+        options = [self.parse_concat()]
+        while self.peek() == "|":
+            self.take()
+            options.append(self.parse_concat())
+        if len(options) == 1:
+            return options[0]
+        return _Alt(options)
+
+    def parse_concat(self) -> _Ast:
+        parts: List[_Ast] = []
+        while True:
+            token = self.peek()
+            if token is None or token in (")", "|"):
+                break
+            parts.append(self.parse_repeat())
+        if not parts:
+            return _Concat([])  # epsilon
+        if len(parts) == 1:
+            return parts[0]
+        return _Concat(parts)
+
+    def parse_repeat(self) -> _Ast:
+        atom = self.parse_atom()
+        token = self.peek()
+        if token in ("*", "+", "?"):
+            self.take()
+            return _Repeat(atom, token)
+        return atom
+
+    def parse_atom(self) -> _Ast:
+        token = self.take()
+        if token == "(":
+            inner = self.parse_alt()
+            if self.peek() != ")":
+                raise RegexSyntaxError("missing closing parenthesis")
+            self.take()
+            return inner
+        if token == ".":
+            return _Atom(None)
+        if token in _METACHARS:
+            raise RegexSyntaxError(f"unexpected metacharacter {token!r}")
+        return _Atom(token)
+
+
+# ----------------------------------------------------------------------
+# Thompson NFA
+# ----------------------------------------------------------------------
+class LabelNfa:
+    """An epsilon-free-stepped NFA over the label alphabet.
+
+    States are integers; ``transitions[state]`` is a list of
+    ``(label_or_None, next_state)`` where ``None`` is the wildcard.
+    Epsilon transitions are kept separately and closed over on demand.
+    """
+
+    def __init__(self) -> None:
+        self.transitions: List[List[Tuple[Optional[Label], int]]] = []
+        self.epsilon: List[List[int]] = []
+        self.start = self._new_state()
+        self.accept = self._new_state()
+
+    def _new_state(self) -> int:
+        self.transitions.append([])
+        self.epsilon.append([])
+        return len(self.transitions) - 1
+
+    def add_edge(self, source: int, label: Optional[Label], target: int) -> None:
+        self.transitions[source].append((label, target))
+
+    def add_epsilon(self, source: int, target: int) -> None:
+        self.epsilon[source].append(target)
+
+    # ------------------------------------------------------------------
+    def epsilon_closure(self, states: Iterable[int]) -> FrozenSet[int]:
+        """All states reachable via epsilon moves (including inputs)."""
+        closure: Set[int] = set(states)
+        stack = list(closure)
+        while stack:
+            state = stack.pop()
+            for nxt in self.epsilon[state]:
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def step(self, states: FrozenSet[int], label: Label) -> FrozenSet[int]:
+        """One consuming step on ``label`` followed by epsilon closure."""
+        moved: Set[int] = set()
+        for state in states:
+            for expected, nxt in self.transitions[state]:
+                if expected is None or expected == label:
+                    moved.add(nxt)
+        return self.epsilon_closure(moved)
+
+    def accepts_word(self, word: Sequence[Label]) -> bool:
+        """Whole-word acceptance (used by tests and documentation)."""
+        current = self.epsilon_closure({self.start})
+        for label in word:
+            current = self.step(current, label)
+            if not current:
+                return False
+        return self.accept in current
+
+
+def _build(ast: _Ast, nfa: LabelNfa) -> Tuple[int, int]:
+    """Thompson construction; returns (entry, exit) states."""
+    if isinstance(ast, _Atom):
+        entry, exit_ = nfa._new_state(), nfa._new_state()
+        nfa.add_edge(entry, ast.label, exit_)
+        return entry, exit_
+    if isinstance(ast, _Concat):
+        if not ast.parts:
+            entry = nfa._new_state()
+            return entry, entry
+        entry, current = _build(ast.parts[0], nfa)
+        for part in ast.parts[1:]:
+            nxt_entry, nxt_exit = _build(part, nfa)
+            nfa.add_epsilon(current, nxt_entry)
+            current = nxt_exit
+        return entry, current
+    if isinstance(ast, _Alt):
+        entry, exit_ = nfa._new_state(), nfa._new_state()
+        for option in ast.options:
+            o_entry, o_exit = _build(option, nfa)
+            nfa.add_epsilon(entry, o_entry)
+            nfa.add_epsilon(o_exit, exit_)
+        return entry, exit_
+    if isinstance(ast, _Repeat):
+        i_entry, i_exit = _build(ast.inner, nfa)
+        entry, exit_ = nfa._new_state(), nfa._new_state()
+        nfa.add_epsilon(entry, i_entry)
+        nfa.add_epsilon(i_exit, exit_)
+        if ast.op in ("*", "?"):
+            nfa.add_epsilon(entry, exit_)
+        if ast.op in ("*", "+"):
+            nfa.add_epsilon(i_exit, i_entry)
+        return entry, exit_
+    raise RegexSyntaxError(f"unknown AST node {type(ast).__name__}")
+
+
+def compile_regex(expression: str) -> LabelNfa:
+    """Parse and compile a label regex to an NFA.
+
+    >>> nfa = compile_regex("A (B|C)* D?")
+    >>> nfa.accepts_word(["A"])
+    True
+    >>> nfa.accepts_word(["A", "C", "B", "D"])
+    True
+    >>> nfa.accepts_word(["B"])
+    False
+    """
+    ast = _Parser(_tokenize(expression)).parse()
+    nfa = LabelNfa()
+    entry, exit_ = _build(ast, nfa)
+    nfa.add_epsilon(nfa.start, entry)
+    nfa.add_epsilon(exit_, nfa.accept)
+    return nfa
+
+
+# ----------------------------------------------------------------------
+# Product-graph reachability
+# ----------------------------------------------------------------------
+def regex_successors(
+    data: DiGraph,
+    source: Node,
+    nfa: LabelNfa,
+    max_hops: Optional[int] = None,
+) -> Set[Node]:
+    """Nodes ``t`` with a directed path source → t whose *intermediate*
+    labels spell a word in the regex language.
+
+    BFS over the product (node, NFA-state-set); a target qualifies when
+    it is entered while the pre-step state set is accepting (the target's
+    own label is not consumed).  ``max_hops`` bounds path length
+    (``None`` = unbounded).  A direct edge corresponds to the empty word.
+    """
+    start_states = nfa.epsilon_closure({nfa.start})
+    results: Set[Node] = set()
+    seen: Dict[Node, Set[FrozenSet[int]]] = {}
+    frontier: List[Tuple[Node, FrozenSet[int], int]] = [
+        (source, start_states, 0)
+    ]
+    seen.setdefault(source, set()).add(start_states)
+    while frontier:
+        node, states, depth = frontier.pop()
+        if max_hops is not None and depth >= max_hops:
+            continue
+        accepting = nfa.accept in states
+        for child in data.successors_raw(node):
+            if accepting:
+                results.add(child)
+            next_states = nfa.step(states, data.label(child))
+            if not next_states:
+                continue
+            visited = seen.setdefault(child, set())
+            if next_states in visited:
+                continue
+            visited.add(next_states)
+            frontier.append((child, next_states, depth + 1))
+    return results
+
+
+def regex_predecessors(
+    data: DiGraph,
+    target: Node,
+    nfa: LabelNfa,
+    max_hops: Optional[int] = None,
+) -> Set[Node]:
+    """Nodes ``s`` with a regex-matching directed path s → target.
+
+    Implemented as :func:`regex_successors` on the reversed word: the
+    intermediate labels read from ``s`` to ``target`` must match, so we
+    walk predecessors while running the NFA of the *reversed* language —
+    obtained by reversing all consuming and epsilon transitions and
+    swapping start/accept.
+    """
+    reversed_nfa = LabelNfa()
+    # Allocate matching states (two already exist; add the rest).
+    while len(reversed_nfa.transitions) < len(nfa.transitions):
+        reversed_nfa._new_state()
+    reversed_nfa.start = nfa.accept
+    reversed_nfa.accept = nfa.start
+    for state, edges in enumerate(nfa.transitions):
+        for label, nxt in edges:
+            reversed_nfa.add_edge(nxt, label, state)
+    for state, targets in enumerate(nfa.epsilon):
+        for nxt in targets:
+            reversed_nfa.add_epsilon(nxt, state)
+
+    start_states = reversed_nfa.epsilon_closure({reversed_nfa.start})
+    results: Set[Node] = set()
+    seen: Dict[Node, Set[FrozenSet[int]]] = {target: {start_states}}
+    frontier: List[Tuple[Node, FrozenSet[int], int]] = [
+        (target, start_states, 0)
+    ]
+    while frontier:
+        node, states, depth = frontier.pop()
+        if max_hops is not None and depth >= max_hops:
+            continue
+        accepting = reversed_nfa.accept in states
+        for parent in data.predecessors_raw(node):
+            if accepting:
+                results.add(parent)
+            next_states = reversed_nfa.step(states, data.label(parent))
+            if not next_states:
+                continue
+            visited = seen.setdefault(parent, set())
+            if next_states in visited:
+                continue
+            visited.add(next_states)
+            frontier.append((parent, next_states, depth + 1))
+    return results

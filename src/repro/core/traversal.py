@@ -1,0 +1,215 @@
+"""Traversal primitives: BFS, undirected distances, diameter.
+
+The locality condition of strong simulation is defined over *undirected*
+shortest-path distance (Section 2.1: "the distance from u to v ... is the
+length of the shortest undirected path"), so the central primitive here is
+an undirected breadth-first search over a directed graph, treating each
+edge as bidirectional for reachability purposes while the graph itself
+stays directed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.digraph import DiGraph, Node
+from repro.exceptions import GraphError, NodeNotFound
+
+
+def bfs_layers_undirected(
+    graph: DiGraph,
+    source: Node,
+    radius: Optional[int] = None,
+) -> Iterator[Tuple[int, List[Node]]]:
+    """Yield ``(distance, nodes)`` layers of an undirected BFS from ``source``.
+
+    ``radius`` bounds the exploration: layers beyond it are not generated.
+    Layer 0 is ``[source]`` itself.
+    """
+    if source not in graph:
+        raise NodeNotFound(source)
+    seen: Set[Node] = {source}
+    frontier: List[Node] = [source]
+    distance = 0
+    while frontier:
+        yield (distance, frontier)
+        if radius is not None and distance >= radius:
+            return
+        next_frontier: List[Node] = []
+        for node in frontier:
+            for neighbor in graph.successors_raw(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    next_frontier.append(neighbor)
+            for neighbor in graph.predecessors_raw(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+        distance += 1
+
+
+def undirected_distances(
+    graph: DiGraph,
+    source: Node,
+    radius: Optional[int] = None,
+) -> Dict[Node, int]:
+    """Map each node within ``radius`` undirected hops of ``source`` to its distance."""
+    distances: Dict[Node, int] = {}
+    for distance, layer in bfs_layers_undirected(graph, source, radius):
+        for node in layer:
+            distances[node] = distance
+    return distances
+
+
+def bfs_directed(graph: DiGraph, source: Node) -> Dict[Node, int]:
+    """Directed BFS distances (following edge direction only)."""
+    if source not in graph:
+        raise NodeNotFound(source)
+    distances: Dict[Node, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for child in graph.successors_raw(node):
+            if child not in distances:
+                distances[child] = distances[node] + 1
+                queue.append(child)
+    return distances
+
+
+def reachable_from(graph: DiGraph, source: Node) -> Set[Node]:
+    """Nodes reachable from ``source`` via directed paths (including itself)."""
+    return set(bfs_directed(graph, source))
+
+
+def eccentricity_undirected(graph: DiGraph, source: Node) -> int:
+    """Greatest undirected distance from ``source`` to any reachable node.
+
+    Raises :class:`GraphError` if some node of the graph is not reachable
+    from ``source`` through undirected paths (the graph is disconnected),
+    because eccentricity — and hence diameter — is defined on connected
+    graphs only (Section 2.1).
+    """
+    distances = undirected_distances(graph, source)
+    if len(distances) != graph.num_nodes:
+        raise GraphError("eccentricity is undefined on a disconnected graph")
+    return max(distances.values(), default=0)
+
+
+def diameter_undirected(graph: DiGraph) -> int:
+    """The diameter ``d_G``: the longest shortest undirected distance.
+
+    Computed exactly by running one BFS per node, which is the textbook
+    O(|V| (|V| + |E|)) method.  Pattern graphs are small, so exactness is
+    affordable; never call this on a large data graph (the matching
+    algorithms only ever need the diameter of the *pattern*).
+    """
+    if graph.num_nodes == 0:
+        raise GraphError("diameter is undefined on an empty graph")
+    best = 0
+    for node in graph.nodes():
+        best = max(best, eccentricity_undirected(graph, node))
+    return best
+
+
+def is_connected_undirected(graph: DiGraph) -> bool:
+    """True iff every pair of nodes is joined by an undirected path."""
+    if graph.num_nodes == 0:
+        return True
+    first = next(iter(graph.nodes()))
+    return len(undirected_distances(graph, first)) == graph.num_nodes
+
+
+def shortest_undirected_path(
+    graph: DiGraph,
+    source: Node,
+    target: Node,
+) -> Optional[List[Node]]:
+    """One shortest undirected path from ``source`` to ``target``, or ``None``.
+
+    Used by tests and by the ball-certificate utilities; matching itself
+    only needs distances.
+    """
+    if source not in graph:
+        raise NodeNotFound(source)
+    if target not in graph:
+        raise NodeNotFound(target)
+    if source == target:
+        return [source]
+    parents: Dict[Node, Node] = {}
+    seen: Set[Node] = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.successors_raw(node) | graph.predecessors_raw(node):
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            parents[neighbor] = node
+            if neighbor == target:
+                path = [target]
+                while path[-1] != source:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            queue.append(neighbor)
+    return None
+
+
+def has_directed_cycle(graph: DiGraph) -> bool:
+    """True iff the graph contains a directed cycle (including self-loops).
+
+    Iterative three-color DFS; used by the topology-preservation checks of
+    Section 3 (Proposition 2).
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[Node, int] = {node: WHITE for node in graph.nodes()}
+    for root in graph.nodes():
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[Node, Iterator[Node]]] = [(root, iter(graph.successors_raw(root)))]
+        color[root] = GRAY
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if color[child] == GRAY:
+                    return True
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    stack.append((child, iter(graph.successors_raw(child))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return False
+
+
+def has_undirected_cycle(graph: DiGraph) -> bool:
+    """True iff the graph contains an undirected cycle.
+
+    A directed graph, viewed as an undirected multigraph, has a cycle iff
+    either (a) some pair of nodes is joined by edges in both directions
+    (a 2-cycle), (b) it has a self-loop, or (c) the simple undirected graph
+    on its edges has more edges than a forest allows within some connected
+    component.  Used for the Theorem 3 checks.
+    """
+    simple_edges: Set[frozenset] = set()
+    for source, target in graph.edges():
+        if source == target:
+            return True
+        key = frozenset((source, target))
+        if key in simple_edges:
+            return True  # both directions present: undirected 2-cycle
+        simple_edges.add(key)
+    # Forest check: |E_simple| <= |V| - (#components)
+    seen: Set[Node] = set()
+    components = 0
+    for node in graph.nodes():
+        if node in seen:
+            continue
+        components += 1
+        seen.update(undirected_distances(graph, node))
+    return len(simple_edges) > graph.num_nodes - components

@@ -1,0 +1,33 @@
+"""Dataset generators: synthetic, surrogates, and the paper's figures."""
+
+from repro.datasets.amazon import amazon_label_alphabet, generate_amazon
+from repro.datasets.patterns import (
+    generate_pattern,
+    pattern_suite_for_data,
+    sample_pattern_from_data,
+)
+from repro.datasets.synthetic import (
+    DEFAULT_ALPHA,
+    DEFAULT_NUM_LABELS,
+    edge_count_for,
+    generate_graph,
+    label_alphabet,
+)
+from repro.datasets.youtube import generate_youtube, youtube_label_alphabet
+from repro.datasets import paper_figures
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "DEFAULT_NUM_LABELS",
+    "amazon_label_alphabet",
+    "edge_count_for",
+    "generate_amazon",
+    "generate_graph",
+    "generate_pattern",
+    "generate_youtube",
+    "label_alphabet",
+    "paper_figures",
+    "pattern_suite_for_data",
+    "sample_pattern_from_data",
+    "youtube_label_alphabet",
+]

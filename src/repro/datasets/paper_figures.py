@@ -1,0 +1,410 @@
+"""The paper's running examples as executable fixtures.
+
+Every pattern/data graph pair the paper reasons about is reconstructed
+here so the test suite can assert the *exact* claims made in the text:
+
+* Figure 1 — the headhunter example (``Q1``/``G1``): simulation matches
+  all four biologists, strong simulation only ``Bio4``;
+* Figure 2 — the book (``Q2``/``G2``), mutual-recommendation
+  (``Q3``/``G3``) and citation (``Q4``/``G4``) examples;
+* Figure 6(a) — the minimization example ``Q5`` (Example 4);
+* Figure 6(b) — the dual-filtering example ``Q6``/``G6`` (Example 5);
+* Figure 6(c) — the connectivity-pruning example ``Q7``/``G7``
+  (Example 6);
+* Figures 7(a)/(b) — the real-life patterns ``QA`` (Amazon) and ``QY``
+  (YouTube).
+
+Where the original figures are only partially specified by the text
+(exact edges of ``G6``/``G7`` are in unrenderable figure art), the
+reconstruction preserves every property the text asserts; the docstrings
+note the reconstruction choices.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.digraph import DiGraph
+from repro.core.pattern import Pattern
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — the headhunter example
+# ----------------------------------------------------------------------
+def pattern_q1() -> Pattern:
+    """``Q1``: the biologist-search pattern of Fig. 1 (diameter 3).
+
+    Bio must be recommended by an HR, an SE and a DM; the SE is
+    recommended by an HR; an AI recommends the DM and is recommended by a
+    DM (the AI/DM directed 2-cycle).
+    """
+    return Pattern.build(
+        {"HR": "HR", "SE": "SE", "Bio": "Bio", "DM": "DM", "AI": "AI"},
+        [
+            ("HR", "Bio"),
+            ("SE", "Bio"),
+            ("DM", "Bio"),
+            ("HR", "SE"),
+            ("AI", "DM"),
+            ("DM", "AI"),
+        ],
+    )
+
+
+def data_g1(cycle_length: int = 3) -> DiGraph:
+    """``G1``: the expertise-recommendation network of Fig. 1.
+
+    Three connected components:
+
+    1. a tree rooted at ``HR1``: ``HR1 → SE1``, ``HR1 → Bio1``,
+       ``SE1 → Bio2`` (Bio1 recommended by HR only, Bio2 by SE only);
+    2. the long AI/DM directed cycle ``AI_1 → DM_1 → AI_2 → … → AI_1``
+       with each ``DM_i`` also recommending ``Bio3``
+       (``cycle_length`` controls ``k``, the number of AI/DM pairs);
+    3. the component of ``Bio4`` — the only strong-simulation match:
+       ``HR2 → SE2``, ``HR2 → Bio4``, ``SE2 → Bio4``,
+       ``DM'_1 → Bio4``, ``DM'_2 → Bio4``, and the directed 4-cycle
+       ``AI'_1 → DM'_1 → AI'_2 → DM'_2 → AI'_1``.  The 4-cycle (rather
+       than two 2-cycles) matters: the paper states that *no* directed
+       cycle of ``G1`` is isomorphic to the 2-cycle ``DM, AI, DM`` of
+       ``Q1``, yet dual simulation still holds on the component (every
+       AI' has a DM' parent and child, and vice versa).
+    """
+    graph = DiGraph()
+    # Component 1: the HR1 tree.
+    graph.add_node("HR1", "HR")
+    graph.add_node("SE1", "SE")
+    graph.add_node("Bio1", "Bio")
+    graph.add_node("Bio2", "Bio")
+    graph.add_edge("HR1", "SE1")
+    graph.add_edge("HR1", "Bio1")
+    graph.add_edge("SE1", "Bio2")
+
+    # Component 2: long alternating AI/DM cycle plus Bio3.
+    graph.add_node("Bio3", "Bio")
+    for i in range(1, cycle_length + 1):
+        graph.add_node(f"AI{i}", "AI")
+        graph.add_node(f"DM{i}", "DM")
+    for i in range(1, cycle_length + 1):
+        graph.add_edge(f"AI{i}", f"DM{i}")
+        nxt = 1 if i == cycle_length else i + 1
+        graph.add_edge(f"DM{i}", f"AI{nxt}")
+        graph.add_edge(f"DM{i}", "Bio3")
+
+    # Component 3: the good candidate Bio4.
+    graph.add_node("HR2", "HR")
+    graph.add_node("SE2", "SE")
+    graph.add_node("Bio4", "Bio")
+    graph.add_node("DM'1", "DM")
+    graph.add_node("DM'2", "DM")
+    graph.add_node("AI'1", "AI")
+    graph.add_node("AI'2", "AI")
+    graph.add_edge("HR2", "SE2")
+    graph.add_edge("HR2", "Bio4")
+    graph.add_edge("SE2", "Bio4")
+    graph.add_edge("DM'1", "Bio4")
+    graph.add_edge("DM'2", "Bio4")
+    graph.add_edge("AI'1", "DM'1")
+    graph.add_edge("DM'1", "AI'2")
+    graph.add_edge("AI'2", "DM'2")
+    graph.add_edge("DM'2", "AI'1")
+    return graph
+
+
+def g1_good_component_nodes() -> frozenset:
+    """Node set of the connected component of ``Bio4`` in ``G1``."""
+    return frozenset({"HR2", "SE2", "Bio4", "DM'1", "DM'2", "AI'1", "AI'2"})
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — Q2/G2, Q3/G3, Q4/G4
+# ----------------------------------------------------------------------
+def pattern_q2() -> Pattern:
+    """``Q2``: a book recommended by both students (ST) and teachers (TE)."""
+    return Pattern.build(
+        {"ST": "ST", "TE": "TE", "B": "book"},
+        [("ST", "B"), ("TE", "B")],
+    )
+
+
+def data_g2() -> DiGraph:
+    """``G2``: ``book1`` recommended by a student only; ``book2`` by both.
+
+    Reconstruction: one student recommending both books, two teachers
+    recommending ``book2`` — so VF2 finds two matched subgraphs
+    (``G2,1``/``G2,2``, one per teacher) while strong simulation returns a
+    single match graph containing only ``book2``.
+    """
+    return DiGraph.from_parts(
+        {
+            "ST1": "ST",
+            "TE1": "TE",
+            "TE2": "TE",
+            "book1": "book",
+            "book2": "book",
+        },
+        [
+            ("ST1", "book1"),
+            ("ST1", "book2"),
+            ("TE1", "book2"),
+            ("TE2", "book2"),
+        ],
+    )
+
+
+def pattern_q3() -> Pattern:
+    """``Q3``: two people (both labeled P) recommending each other."""
+    return Pattern.build(
+        {"P": "P", "P'": "P"},
+        [("P", "P'"), ("P'", "P")],
+    )
+
+
+def data_g3() -> DiGraph:
+    """``G3``: mutual pairs ``P1 ⇄ P2`` and ``P2 ⇄ P3``; ``P4`` dangling.
+
+    ``P4`` recommends ``P1`` and is recommended by ``P3`` — enough to
+    survive (dual) simulation on the whole graph, but in the radius-1 ball
+    around ``P4`` no 2-cycle exists, so strong simulation excludes it
+    (the locality argument of Example 2(5)).
+    """
+    return DiGraph.from_parts(
+        {"P1": "P", "P2": "P", "P3": "P", "P4": "P"},
+        [
+            ("P1", "P2"),
+            ("P2", "P1"),
+            ("P2", "P3"),
+            ("P3", "P2"),
+            ("P4", "P1"),
+            ("P3", "P4"),
+        ],
+    )
+
+
+def pattern_q4() -> Pattern:
+    """``Q4``: a db paper citing an SN paper and a graph-theory paper."""
+    return Pattern.build(
+        {"db": "db", "SN": "SN", "graph": "graph"},
+        [("db", "SN"), ("db", "graph")],
+    )
+
+
+def data_g4() -> DiGraph:
+    """``G4``: ``SN1``/``SN2`` properly cited; ``SN3``/``SN4`` excessive.
+
+    ``db1``/``db2`` cite their SN papers and *both* graph papers, giving
+    VF2 the four matched subgraphs ``G4,i,j``; ``db3`` cites ``SN3`` but no
+    graph paper; ``SN4`` is cited by ``db4`` which cites nothing else.
+    Simulation still matches all four SN papers (an SN node has no
+    outgoing pattern constraints); duality eliminates ``SN3``/``SN4``.
+    """
+    return DiGraph.from_parts(
+        {
+            "db1": "db",
+            "db2": "db",
+            "db3": "db",
+            "db4": "db",
+            "SN1": "SN",
+            "SN2": "SN",
+            "SN3": "SN",
+            "SN4": "SN",
+            "graph1": "graph",
+            "graph2": "graph",
+        },
+        [
+            ("db1", "SN1"),
+            ("db2", "SN2"),
+            ("db1", "graph1"),
+            ("db1", "graph2"),
+            ("db2", "graph1"),
+            ("db2", "graph2"),
+            ("db3", "SN3"),
+            ("db4", "SN4"),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6(a) — query minimization (Example 4)
+# ----------------------------------------------------------------------
+def pattern_q5() -> Pattern:
+    """``Q5``: the minimization example with duplicated B/C/D branches.
+
+    Two structurally identical branches ``R → B_i → C_i → D_i`` plus an
+    ``R → A`` edge; ``minQ`` collapses the branches, yielding the 5-node
+    quotient of Example 4 (classes {R}, {A}, {B1,B2}, {C1,C2}, {D1,D2}).
+    """
+    return Pattern.build(
+        {
+            "R": "R",
+            "A": "A",
+            "B1": "B",
+            "B2": "B",
+            "C1": "C",
+            "C2": "C",
+            "D1": "D",
+            "D2": "D",
+        },
+        [
+            ("R", "A"),
+            ("R", "B1"),
+            ("R", "B2"),
+            ("B1", "C1"),
+            ("B2", "C2"),
+            ("C1", "D1"),
+            ("C2", "D2"),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6(b) — dual-simulation filtering (Example 5)
+# ----------------------------------------------------------------------
+def pattern_q6() -> Pattern:
+    """``Q6``: a three-node chain ``A → B → C`` (reconstruction).
+
+    The published figure is partially unreadable; the chain preserves the
+    phenomenon of Example 5: the global dual-simulation relation excludes
+    ``A1``/``B1``, so dualFilter does real work only in the balls around
+    the excluded region.
+    """
+    return Pattern.build(
+        {"A": "A", "B": "B", "C": "C"},
+        [("A", "B"), ("B", "C")],
+    )
+
+
+def data_g6() -> DiGraph:
+    """``G6``: ``A1 → B1`` dangling; ``A2 → B2 → C0`` and ``A3 → B3 → C0``.
+
+    Global dual simulation keeps ``{A2, A3, B2, B3, C0}`` and drops
+    ``A1``/``B1`` (no C below them) — mirroring Example 5 where
+    ``sim(A) = {A2, A3}``, ``sim(B) = {B2, B3}``, ``sim(C) = {C}``.
+    The components are connected through ``C0`` so ball projections stay
+    non-trivial.
+    """
+    return DiGraph.from_parts(
+        {
+            "A1": "A",
+            "B1": "B",
+            "A2": "A",
+            "B2": "B",
+            "A3": "A",
+            "B3": "B",
+            "C0": "C",
+        },
+        [
+            ("A1", "B1"),
+            ("A2", "B2"),
+            ("B2", "C0"),
+            ("A3", "B3"),
+            ("B3", "C0"),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6(c) — connectivity pruning (Example 6)
+# ----------------------------------------------------------------------
+def pattern_q7() -> Pattern:
+    """``Q7``: an alternating A/B chain with diameter exceeding ``G7``'s.
+
+    Six nodes ``A→B→A→B→A→B`` (diameter 5), so with ``d_Q7 > d_G7`` every
+    ball equals ``G7`` itself, as in Example 6.
+    """
+    return Pattern.build(
+        {
+            "a1": "A",
+            "b1": "B",
+            "a2": "A",
+            "b2": "B",
+            "a3": "A",
+            "b3": "B",
+        },
+        [
+            ("a1", "b1"),
+            ("b1", "a2"),
+            ("a2", "b2"),
+            ("b2", "a3"),
+            ("a3", "b3"),
+        ],
+    )
+
+
+def data_g7() -> DiGraph:
+    """``G7``: two A/B pockets joined by a foreign-labeled bridge.
+
+    ``A1 → B1`` and ``A2 → B2`` are connected only through ``X`` (label
+    ``C``, absent from ``Q7``), so the candidate-induced subgraph has two
+    components ``SC1 = {A1, B1}`` and ``SC2 = {A2, B2}`` — the setting of
+    Example 6 where pruning removes the component not containing the ball
+    center.  Diameter 4 < d_Q7 = 5, so every ball is all of ``G7``.
+    """
+    return DiGraph.from_parts(
+        {"A1": "A", "B1": "B", "X": "C", "A2": "A", "B2": "B"},
+        [
+            ("A1", "B1"),
+            ("B1", "X"),
+            ("X", "B2"),
+            ("A2", "B2"),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 7(a)/(b) — the real-life case-study patterns
+# ----------------------------------------------------------------------
+def pattern_qa() -> Pattern:
+    """``QA``: the Amazon case-study pattern of Fig. 7(a).
+
+    A "Parenting & Families" book co-purchased with "Children's Books",
+    "Home & Garden" and — mutually — "Health, Mind & Body" books.
+    """
+    return Pattern.build(
+        {
+            "PF": "Parenting&Families",
+            "CB": "Children'sBooks",
+            "HG": "Home&Garden",
+            "HMB": "Health,Mind&Body",
+        },
+        [
+            ("PF", "CB"),
+            ("PF", "HG"),
+            ("PF", "HMB"),
+            ("HMB", "PF"),
+        ],
+    )
+
+
+def pattern_qy() -> Pattern:
+    """``QY``: the YouTube case-study pattern of Fig. 7(b).
+
+    An "Entertainment" video related to "Film&Animation" and "Music"
+    videos, with a "Sports" video related to the same two.
+    """
+    return Pattern.build(
+        {
+            "E": "Entertainment",
+            "F": "Film&Animation",
+            "M": "Music",
+            "S": "Sports",
+        },
+        [
+            ("E", "F"),
+            ("E", "M"),
+            ("S", "F"),
+            ("S", "M"),
+        ],
+    )
+
+
+def all_fixture_pairs() -> Tuple[Tuple[str, Pattern, DiGraph], ...]:
+    """All (name, pattern, data) fixture pairs with concrete data graphs."""
+    return (
+        ("fig1", pattern_q1(), data_g1()),
+        ("fig2_books", pattern_q2(), data_g2()),
+        ("fig2_people", pattern_q3(), data_g3()),
+        ("fig2_papers", pattern_q4(), data_g4()),
+        ("fig6b", pattern_q6(), data_g6()),
+        ("fig6c", pattern_q7(), data_g7()),
+    )

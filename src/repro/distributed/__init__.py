@@ -1,0 +1,33 @@
+"""Distributed strong simulation (Section 4.3) over a simulated cluster."""
+
+from repro.distributed.coordinator import (
+    Cluster,
+    DistributedRunReport,
+    crossing_ball_bound,
+    distributed_match,
+)
+from repro.distributed.fragment import Fragment, fragment_graph
+from repro.distributed.network import Message, MessageBus
+from repro.distributed.partition import (
+    bfs_partition,
+    cut_edges,
+    greedy_edge_cut_partition,
+    hash_partition,
+)
+from repro.distributed.worker import SiteWorker
+
+__all__ = [
+    "Cluster",
+    "DistributedRunReport",
+    "Fragment",
+    "Message",
+    "MessageBus",
+    "SiteWorker",
+    "bfs_partition",
+    "crossing_ball_bound",
+    "cut_edges",
+    "distributed_match",
+    "fragment_graph",
+    "greedy_edge_cut_partition",
+    "hash_partition",
+]

@@ -1,0 +1,153 @@
+"""Site workers: per-fragment ball construction and matching.
+
+Each worker owns a :class:`~repro.distributed.fragment.Fragment` and can
+evaluate the per-ball part of algorithm ``Match`` for every ball centered
+at one of its own nodes.  When a ball's BFS crosses the fragment boundary,
+the worker *fetches* the remote node records (label + adjacency) from the
+owning site through the message bus — the accounted data shipment.  A
+per-worker cache ensures each remote record is shipped at most once per
+query, so the total shipment is bounded by the union of the
+boundary-crossing balls, which is the Section 4.3 bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.ball import Ball
+from repro.core.digraph import DiGraph, Label, Node
+from repro.core.dualsim import dual_simulation
+from repro.core.pattern import Pattern
+from repro.core.result import PerfectSubgraph
+from repro.core.strong import extract_max_perfect_subgraph
+from repro.distributed.fragment import Fragment
+from repro.distributed.network import MessageBus
+from repro.exceptions import DistributedError
+
+NodeRecord = Tuple[Label, Set[Node], Set[Node]]  # label, successors, predecessors
+
+
+class SiteWorker:
+    """One site of the simulated cluster."""
+
+    def __init__(self, fragment: Fragment, bus: MessageBus) -> None:
+        self.fragment = fragment
+        self.bus = bus
+        self._peers: Dict[int, "SiteWorker"] = {}
+        self._remote_cache: Dict[Node, NodeRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Cluster wiring
+    # ------------------------------------------------------------------
+    def connect(self, peers: Dict[int, "SiteWorker"]) -> None:
+        """Register the other sites (done once by the coordinator)."""
+        self._peers = peers
+
+    def serve_node(self, node: Node) -> NodeRecord:
+        """Answer a fetch for an owned node: label plus full adjacency."""
+        if not self.fragment.owns(node):
+            raise DistributedError(
+                f"site {self.fragment.site_id} does not own {node!r}"
+            )
+        return (
+            self.fragment.labels[node],
+            set(self.fragment.succ[node]),
+            set(self.fragment.pred[node]),
+        )
+
+    # ------------------------------------------------------------------
+    # Remote access with accounting
+    # ------------------------------------------------------------------
+    def _record_for(self, node: Node) -> NodeRecord:
+        """The record of any node, fetching (and charging) if remote."""
+        if self.fragment.owns(node):
+            return (
+                self.fragment.labels[node],
+                self.fragment.succ[node],
+                self.fragment.pred[node],
+            )
+        cached = self._remote_cache.get(node)
+        if cached is not None:
+            return cached
+        owner = self.fragment.remote_owner.get(node)
+        if owner is None:
+            # A node two hops outside the fragment: route by asking the
+            # peer that owns it, discovered through the global directory
+            # the coordinator supplies (peers dict keyed by site).
+            owner = self._locate_owner(node)
+        record = self._peers[owner].serve_node(node)
+        # One unit for the node record + one per incident edge shipped.
+        units = 1 + len(record[1]) + len(record[2])
+        self.bus.send(owner, self.fragment.site_id, "fetch", units)
+        self._remote_cache[node] = record
+        return record
+
+    def _locate_owner(self, node: Node) -> int:
+        """Find the owner of a node not adjacent to this fragment."""
+        for site, peer in self._peers.items():
+            if peer.fragment.owns(node):
+                return site
+        raise DistributedError(f"no site owns node {node!r}")
+
+    def clear_cache(self) -> None:
+        """Drop fetched remote records (coordinator calls between queries)."""
+        self._remote_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Distributed ball construction + matching
+    # ------------------------------------------------------------------
+    def build_ball(self, center: Node, radius: int) -> Ball:
+        """Undirected BFS to ``radius`` across fragment boundaries.
+
+        Identical node/edge content to the centralized
+        :func:`repro.core.ball.extract_ball`; remote hops are fetched and
+        accounted.
+        """
+        distances: Dict[Node, int] = {center: 0}
+        frontier: List[Node] = [center]
+        depth = 0
+        while frontier and depth < radius:
+            next_frontier: List[Node] = []
+            for node in frontier:
+                _, successors, predecessors = self._record_for(node)
+                for neighbor in successors | predecessors:
+                    if neighbor not in distances:
+                        distances[neighbor] = depth + 1
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+            depth += 1
+
+        subgraph = DiGraph()
+        node_set = set(distances)
+        for node in node_set:
+            label, _, _ = self._record_for(node)
+            subgraph.add_node(node, label)
+        for node in node_set:
+            _, successors, _ = self._record_for(node)
+            for target in successors:
+                if target in node_set:
+                    subgraph.add_edge(node, target)
+        return Ball(subgraph, center, radius, distances)
+
+    def match_local(
+        self,
+        pattern: Pattern,
+        radius: Optional[int] = None,
+    ) -> List[PerfectSubgraph]:
+        """Run per-ball strong simulation for every owned center.
+
+        Returns the site's partial result Θ_i (possibly containing
+        subgraphs that other sites also discover; the coordinator dedups).
+        """
+        if radius is None:
+            radius = pattern.diameter
+        partial: List[PerfectSubgraph] = []
+        for center in self.fragment.labels:
+            ball = self.build_ball(center, radius)
+            relation = dual_simulation(pattern, ball.graph)
+            if relation.is_empty():
+                continue
+            subgraph = extract_max_perfect_subgraph(pattern, ball, relation)
+            if subgraph is not None:
+                partial.append(subgraph)
+        return partial

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses mirror the major
+subsystems: graph construction, pattern validation, matching, and the
+distributed runtime.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph construction or mutation requests."""
+
+
+class NodeNotFound(GraphError):
+    """Raised when an operation references a node that is not in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFound(GraphError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, source: object, target: object) -> None:
+        super().__init__(f"edge ({source!r}, {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class DuplicateNode(GraphError):
+    """Raised when adding a node whose identifier already exists."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} already exists")
+        self.node = node
+
+
+class PatternError(ReproError):
+    """Raised when a pattern graph violates the paper's assumptions.
+
+    The paper assumes, without loss of generality, that pattern graphs are
+    connected (Section 2.1).  Disconnected or empty patterns raise this
+    error at construction time so matching code never needs to re-check.
+    """
+
+
+class MatchingError(ReproError):
+    """Raised for invalid matching requests (e.g. malformed relations)."""
+
+
+class DistributedError(ReproError):
+    """Raised by the distributed runtime (bad partitions, routing errors)."""
+
+
+class DatasetError(ReproError):
+    """Raised by dataset generators for invalid parameter combinations."""

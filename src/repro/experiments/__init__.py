@@ -1,0 +1,57 @@
+"""Experiment harnesses reproducing the paper's Section 5 evaluation."""
+
+from repro.experiments.metrics import (
+    AlgorithmOutcome,
+    aggregate_closeness,
+    closeness,
+    outcome_from_match_result,
+    outcome_from_relation,
+    size_histogram,
+)
+from repro.experiments.performance import (
+    PERF_ALGORITHMS,
+    TimingRun,
+    TimingSweep,
+    sweep_timing,
+    time_algorithms,
+)
+from repro.experiments.quality import (
+    ALGORITHMS,
+    QualityRun,
+    QualitySweep,
+    run_quality,
+    sweep_data_sizes,
+    sweep_pattern_sizes,
+)
+from repro.experiments.tables import (
+    render_closeness_figure,
+    render_subgraph_count_figure,
+    render_table,
+    render_table3,
+    render_timing_figure,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmOutcome",
+    "PERF_ALGORITHMS",
+    "QualityRun",
+    "QualitySweep",
+    "TimingRun",
+    "TimingSweep",
+    "aggregate_closeness",
+    "closeness",
+    "outcome_from_match_result",
+    "outcome_from_relation",
+    "render_closeness_figure",
+    "render_subgraph_count_figure",
+    "render_table",
+    "render_table3",
+    "render_timing_figure",
+    "run_quality",
+    "size_histogram",
+    "sweep_data_sizes",
+    "sweep_pattern_sizes",
+    "sweep_timing",
+    "time_algorithms",
+]

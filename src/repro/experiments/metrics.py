@@ -1,0 +1,122 @@
+"""Quality metrics of Exp-1: closeness, match counts, match sizes.
+
+Section 5 defines::
+
+    closeness = #matches_subIso / #matches_found
+
+where both quantities are *total numbers of nodes* in the matches found by
+VF2 and by the algorithm under evaluation.  Since every VF2 match is also
+found by Match and Sim (Proposition 1), closeness is the fraction of an
+algorithm's matched nodes that exact isomorphism confirms; VF2 itself
+always scores 1.  We measure node sets as unions (a node matched twice is
+one node), which keeps the ratio in [0, 1] for the simulation family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.digraph import Node
+from repro.core.matchrel import MatchRelation
+from repro.core.result import MatchResult
+
+
+@dataclass(frozen=True)
+class AlgorithmOutcome:
+    """Normalized per-algorithm quantities entering the Exp-1 metrics.
+
+    Attributes
+    ----------
+    name:
+        Display name (``VF2``, ``Match``, ``Sim``, ``TALE``, ``MCS``).
+    matched_nodes:
+        Union of data nodes the algorithm reports as matched.
+    num_matched_subgraphs:
+        Number of distinct matched subgraphs the algorithm reports
+        (``None`` for Sim, which returns a single relation — the paper
+        excludes it from the subgraph-count plots).
+    subgraph_sizes:
+        Node count of each matched subgraph (for Table 3).
+    """
+
+    name: str
+    matched_nodes: frozenset
+    num_matched_subgraphs: Optional[int]
+    subgraph_sizes: Tuple[int, ...]
+
+
+def outcome_from_match_result(result: MatchResult, name: str = "Match") -> AlgorithmOutcome:
+    """Exp-1 quantities of a strong-simulation result."""
+    return AlgorithmOutcome(
+        name=name,
+        matched_nodes=frozenset(result.matched_data_nodes()),
+        num_matched_subgraphs=len(result),
+        subgraph_sizes=tuple(sg.num_nodes for sg in result),
+    )
+
+
+def outcome_from_relation(relation: MatchRelation, name: str = "Sim") -> AlgorithmOutcome:
+    """Exp-1 quantities of a plain/dual simulation relation.
+
+    The match relation is a single object; the paper reports it as "at
+    most one matched subgraph" and measures its size as the number of
+    matched data nodes.
+    """
+    nodes = frozenset(relation.data_nodes())
+    return AlgorithmOutcome(
+        name=name,
+        matched_nodes=nodes,
+        num_matched_subgraphs=None,
+        subgraph_sizes=(len(nodes),) if nodes else (),
+    )
+
+
+def closeness(reference_nodes: Set[Node], outcome: AlgorithmOutcome) -> float:
+    """``closeness = |nodes(VF2)| / |nodes(algorithm)|`` (1.0 when both empty).
+
+    ``reference_nodes`` is the union of nodes over the VF2 embeddings.
+    An algorithm that found nothing while VF2 found nothing is perfectly
+    close; one that found nothing while VF2 found something scores 0.
+    """
+    found = len(outcome.matched_nodes)
+    reference = len(reference_nodes)
+    if found == 0:
+        return 1.0 if reference == 0 else 0.0
+    return min(1.0, reference / found)
+
+
+def size_histogram(
+    sizes: Tuple[int, ...],
+    bin_width: int = 10,
+    num_bins: int = 5,
+) -> Dict[str, int]:
+    """Table 3 bins: [0,9], [10,19], ..., and a final ``>= upper`` bin."""
+    bins: Dict[str, int] = {}
+    for index in range(num_bins):
+        low, high = index * bin_width, (index + 1) * bin_width - 1
+        bins[f"[{low}, {high}]"] = 0
+    upper = num_bins * bin_width
+    bins[f">= {upper}"] = 0
+    for size in sizes:
+        if size >= upper:
+            bins[f">= {upper}"] += 1
+        else:
+            index = size // bin_width
+            low, high = index * bin_width, (index + 1) * bin_width - 1
+            bins[f"[{low}, {high}]"] += 1
+    return bins
+
+
+def aggregate_closeness(
+    reference_nodes_per_run: List[Set[Node]],
+    outcomes_per_run: List[AlgorithmOutcome],
+) -> float:
+    """Mean closeness over several (pattern, data) runs of one algorithm."""
+    if not outcomes_per_run:
+        return 0.0
+    total = sum(
+        closeness(reference, outcome)
+        for reference, outcome in zip(reference_nodes_per_run, outcomes_per_run)
+    )
+    return total / len(outcomes_per_run)

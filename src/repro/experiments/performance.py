@@ -1,0 +1,142 @@
+"""Exp-2 harness — running time of the centralized algorithms (Figure 8).
+
+Times ``Sim`` (graph simulation), ``Match`` (unoptimized strong
+simulation), ``Match+`` (all optimizations) and — on small inputs only —
+``VF2``, along the four axes the paper sweeps: pattern size ``|Vq|``,
+pattern density ``αq``, data size ``|V|`` and data density ``α``.
+
+The absolute numbers are pure-Python and smaller-scale than the paper's;
+EXPERIMENTS.md records the *shape* comparisons the paper makes: VF2 is
+orders of magnitude slower and blows up with size; Match+ runs at roughly
+2/3 of Match; Sim is fastest; everything but VF2 scales smoothly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.vf2 import vf2
+from repro.core.digraph import DiGraph
+from repro.core.matchplus import match_plus
+from repro.core.pattern import Pattern
+from repro.core.simulation import graph_simulation
+from repro.core.strong import match
+from repro.utils.timer import timed
+
+PERF_ALGORITHMS = ("Sim", "Match", "Match+", "VF2")
+
+
+@dataclass
+class TimingRun:
+    """Wall-clock seconds per algorithm for one (pattern, data) pair.
+
+    ``None`` marks an algorithm that was skipped (e.g. VF2 on large data,
+    exactly as the paper skips it in Figures 8(c)/(d)/(g)/(h)).
+    """
+
+    pattern_size: int
+    data_size: int
+    seconds: Dict[str, Optional[float]]
+
+
+def time_algorithms(
+    pattern: Pattern,
+    data: DiGraph,
+    include_vf2: bool = False,
+    vf2_max_states: int = 2_000_000,
+    vf2_max_matches: int = 20_000,
+) -> TimingRun:
+    """Time Sim / Match / Match+ (and optionally VF2) on one pair."""
+    seconds: Dict[str, Optional[float]] = {}
+    _, seconds["Sim"] = timed(lambda: graph_simulation(pattern, data))
+    _, seconds["Match"] = timed(lambda: match(pattern, data))
+    _, seconds["Match+"] = timed(lambda: match_plus(pattern, data))
+    if include_vf2:
+        _, seconds["VF2"] = timed(
+            lambda: vf2(
+                pattern,
+                data,
+                max_matches=vf2_max_matches,
+                max_states=vf2_max_states,
+            )
+        )
+    else:
+        seconds["VF2"] = None
+    return TimingRun(pattern.num_nodes, data.num_nodes, seconds)
+
+
+@dataclass
+class TimingSweep:
+    """A series of timing runs along one swept axis."""
+
+    axis_name: str
+    axis_values: List[float] = field(default_factory=list)
+    runs: List[TimingRun] = field(default_factory=list)
+
+    def add(self, axis_value: float, run: TimingRun) -> None:
+        """Append one sweep point."""
+        self.axis_values.append(axis_value)
+        self.runs.append(run)
+
+    def series(self) -> Dict[str, List[Optional[float]]]:
+        """Per-algorithm seconds along the axis (the Fig. 8 series)."""
+        return {
+            name: [run.seconds.get(name) for run in self.runs]
+            for name in PERF_ALGORITHMS
+        }
+
+    def speedup_match_plus(self) -> List[float]:
+        """Per-point ``time(Match+) / time(Match)`` — the paper reports
+        a consistent ≈ 2/3 ratio (a ≥ 33% reduction)."""
+        ratios: List[float] = []
+        for run in self.runs:
+            match_time = run.seconds.get("Match")
+            plus_time = run.seconds.get("Match+")
+            if match_time and plus_time and match_time > 0:
+                ratios.append(plus_time / match_time)
+        return ratios
+
+
+def sweep_timing(
+    axis_name: str,
+    axis_values: Sequence[float],
+    pair_for_value: Callable[[float, int], Optional[tuple]],
+    include_vf2: bool = False,
+    repeats: int = 1,
+    **time_kwargs,
+) -> TimingSweep:
+    """Generic Exp-2 sweep.
+
+    ``pair_for_value(value, repeat_index)`` returns ``(pattern, data)``
+    for one sweep point (or ``None`` to skip it).  With ``repeats > 1``
+    each point is timed several times and the mean is recorded, matching
+    the paper's "each test was repeated over 5 times" protocol.
+    """
+    sweep = TimingSweep(axis_name=axis_name)
+    for value in axis_values:
+        accumulated: Dict[str, List[float]] = {}
+        pattern_size = data_size = 0
+        produced = False
+        for repeat in range(repeats):
+            pair = pair_for_value(value, repeat)
+            if pair is None:
+                continue
+            pattern, data = pair
+            run = time_algorithms(
+                pattern, data, include_vf2=include_vf2, **time_kwargs
+            )
+            produced = True
+            pattern_size, data_size = run.pattern_size, run.data_size
+            for name, sec in run.seconds.items():
+                if sec is not None:
+                    accumulated.setdefault(name, []).append(sec)
+        if not produced:
+            continue
+        averaged: Dict[str, Optional[float]] = {
+            name: (sum(vals) / len(vals)) for name, vals in accumulated.items()
+        }
+        for name in PERF_ALGORITHMS:
+            averaged.setdefault(name, None)
+        sweep.add(value, TimingRun(pattern_size, data_size, averaged))
+    return sweep

@@ -1,0 +1,212 @@
+"""Exp-1 harness — match quality (Figures 7(c)–(n), Table 3).
+
+For each (pattern, data) pair the harness runs the five algorithms the
+paper compares — VF2, Match (strong simulation), Sim (graph simulation),
+TALE and MCS — and normalizes their outputs into
+:class:`~repro.experiments.metrics.AlgorithmOutcome` records, from which
+the closeness series, matched-subgraph counts and size histograms of the
+paper's plots are computed.
+
+VF2's exponential enumeration is capped by a state budget (the paper
+likewise could only run VF2 on its smallest configurations); a run whose
+budget trips is still usable — closeness then *under*-counts the
+reference, which the harness records in the run metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.mcs import McsParameters, mcs_match
+from repro.baselines.tale import TaleParameters, tale
+from repro.baselines.vf2 import vf2
+from repro.core.digraph import DiGraph
+from repro.core.matchplus import match_plus
+from repro.core.pattern import Pattern
+from repro.core.simulation import graph_simulation
+from repro.datasets.patterns import sample_pattern_from_data
+from repro.experiments.metrics import (
+    AlgorithmOutcome,
+    closeness,
+    outcome_from_match_result,
+    outcome_from_relation,
+)
+
+ALGORITHMS = ("VF2", "Match", "MCS", "TALE", "Sim")
+
+
+@dataclass
+class QualityRun:
+    """Everything Exp-1 measures for one (pattern, data) pair."""
+
+    pattern_size: int
+    data_size: int
+    outcomes: Dict[str, AlgorithmOutcome]
+    reference_nodes: frozenset
+    vf2_exhausted: bool
+
+    def closeness_of(self, name: str) -> float:
+        """Closeness of one algorithm in this run."""
+        return closeness(set(self.reference_nodes), self.outcomes[name])
+
+    def subgraph_count_of(self, name: str) -> Optional[int]:
+        """Matched-subgraph count of one algorithm (None for Sim)."""
+        return self.outcomes[name].num_matched_subgraphs
+
+
+def run_quality(
+    pattern: Pattern,
+    data: DiGraph,
+    vf2_max_states: int = 2_000_000,
+    vf2_max_matches: int = 20_000,
+    tale_params: Optional[TaleParameters] = None,
+    mcs_params: Optional[McsParameters] = None,
+) -> QualityRun:
+    """Run all five algorithms on one (pattern, data) pair."""
+    vf2_result = vf2(
+        pattern, data, max_matches=vf2_max_matches, max_states=vf2_max_states
+    )
+    reference_nodes = frozenset(vf2_result.matched_nodes())
+    # Hitting the embedding cap truncates the reference node set exactly
+    # like a state-budget trip does; both make closeness unreliable.
+    reference_truncated = (
+        vf2_result.exhausted
+        or len(vf2_result.embeddings) >= vf2_max_matches
+    )
+
+    outcomes: Dict[str, AlgorithmOutcome] = {}
+    outcomes["VF2"] = AlgorithmOutcome(
+        name="VF2",
+        matched_nodes=reference_nodes,
+        num_matched_subgraphs=vf2_result.num_matched_subgraphs,
+        subgraph_sizes=tuple(
+            len(nodes) for nodes, _ in vf2_result.subgraph_signatures
+        ),
+    )
+    outcomes["Match"] = outcome_from_match_result(match_plus(pattern, data))
+    outcomes["Sim"] = outcome_from_relation(graph_simulation(pattern, data))
+
+    tale_result = tale(pattern, data, tale_params)
+    outcomes["TALE"] = AlgorithmOutcome(
+        name="TALE",
+        matched_nodes=frozenset(tale_result.matched_nodes()),
+        num_matched_subgraphs=tale_result.num_matched_subgraphs,
+        subgraph_sizes=tuple(
+            len(sig) for sig in tale_result.subgraph_signatures
+        ),
+    )
+    mcs_result = mcs_match(pattern, data, mcs_params)
+    outcomes["MCS"] = AlgorithmOutcome(
+        name="MCS",
+        matched_nodes=frozenset(mcs_result.matched_nodes()),
+        num_matched_subgraphs=mcs_result.num_matched_subgraphs,
+        subgraph_sizes=tuple(
+            len(nodes) for nodes, _ in mcs_result.accepted
+        ),
+    )
+    return QualityRun(
+        pattern_size=pattern.num_nodes,
+        data_size=data.num_nodes,
+        outcomes=outcomes,
+        reference_nodes=reference_nodes,
+        vf2_exhausted=reference_truncated,
+    )
+
+
+@dataclass
+class QualitySweep:
+    """A series of quality runs along one swept axis (|Vq| or |V|)."""
+
+    axis_name: str
+    axis_values: List[int] = field(default_factory=list)
+    runs: List[QualityRun] = field(default_factory=list)
+
+    def add(self, axis_value: int, run: QualityRun) -> None:
+        """Append one sweep point."""
+        self.axis_values.append(axis_value)
+        self.runs.append(run)
+
+    def closeness_series(self) -> Dict[str, List[float]]:
+        """Per-algorithm closeness along the axis (Fig. 7(c)–(h) series)."""
+        return {
+            name: [run.closeness_of(name) for run in self.runs]
+            for name in ALGORITHMS
+        }
+
+    def subgraph_count_series(self) -> Dict[str, List[Optional[int]]]:
+        """Per-algorithm matched-subgraph counts (Fig. 7(i)–(n) series)."""
+        return {
+            name: [run.subgraph_count_of(name) for run in self.runs]
+            for name in ALGORITHMS
+            if name != "Sim"  # the paper omits Sim here (single relation)
+        }
+
+    def mean_closeness(self, reliable_only: bool = False) -> Dict[str, float]:
+        """Average closeness per algorithm over the sweep.
+
+        With ``reliable_only`` the average skips runs whose VF2 search
+        exhausted its budget: there the reference node set undercounts,
+        so closeness is biased low for every algorithm and the paper's
+        comparisons are not meaningful at those points.
+        """
+        runs = [
+            run
+            for run in self.runs
+            if not (reliable_only and run.vf2_exhausted)
+        ]
+        return {
+            name: (
+                sum(run.closeness_of(name) for run in runs) / len(runs)
+                if runs
+                else 0.0
+            )
+            for name in ALGORITHMS
+        }
+
+    def reliable_run_count(self) -> int:
+        """Number of runs whose VF2 reference completed within budget."""
+        return sum(1 for run in self.runs if not run.vf2_exhausted)
+
+
+def sweep_pattern_sizes(
+    data: DiGraph,
+    sizes: Sequence[int],
+    seed: int = 0,
+    **run_kwargs,
+) -> QualitySweep:
+    """Vary ``|Vq|`` with fixed data (Fig. 7(c)–(e) / 7(i)–(k) workload).
+
+    Patterns are sampled from the data graph (see
+    :func:`repro.datasets.patterns.sample_pattern_from_data`) so the VF2
+    reference is never vacuously empty.
+    """
+    sweep = QualitySweep(axis_name="|Vq|")
+    for index, size in enumerate(sizes):
+        pattern = sample_pattern_from_data(data, size, seed=seed + index)
+        if pattern is None:
+            continue
+        sweep.add(size, run_quality(pattern, data, **run_kwargs))
+    return sweep
+
+
+def sweep_data_sizes(
+    data_for_size,
+    sizes: Sequence[int],
+    pattern_size: int = 10,
+    seed: int = 0,
+    **run_kwargs,
+) -> QualitySweep:
+    """Vary ``|V|`` with fixed ``|Vq|`` (Fig. 7(f)–(h) / 7(l)–(n) workload).
+
+    ``data_for_size`` is a callable ``size -> DiGraph`` (a dataset
+    generator partially applied with its own parameters).
+    """
+    sweep = QualitySweep(axis_name="|V|")
+    for index, size in enumerate(sizes):
+        data = data_for_size(size)
+        pattern = sample_pattern_from_data(data, pattern_size, seed=seed + index)
+        if pattern is None:
+            continue
+        sweep.add(size, run_quality(pattern, data, **run_kwargs))
+    return sweep

@@ -1,0 +1,170 @@
+"""Named experiment registry — regenerate any paper table/figure on demand.
+
+Used by the ``python -m repro reproduce`` CLI subcommand (and available
+programmatically).  Each entry renders the corresponding table/figure at
+a caller-chosen scale; the benchmark suite under ``benchmarks/`` remains
+the canonical, asserted reproduction — this registry is the interactive
+view of the same harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.datasets import generate_amazon, generate_graph, generate_youtube
+from repro.datasets.patterns import sample_pattern_from_data
+from repro.experiments.performance import sweep_timing
+from repro.experiments.quality import sweep_data_sizes, sweep_pattern_sizes
+from repro.experiments.tables import (
+    render_closeness_figure,
+    render_subgraph_count_figure,
+    render_table,
+    render_table3,
+    render_timing_figure,
+)
+
+Renderer = Callable[[int], str]
+
+
+def _datasets(scale: int):
+    return {
+        "Amazon": generate_amazon(scale, num_labels=20, seed=11),
+        "YouTube": generate_youtube(max(200, scale // 2), num_labels=15, seed=13),
+        "Synthetic": generate_graph(scale * 2, alpha=1.2, num_labels=20, seed=17),
+    }
+
+
+def _vq_values(scale: int) -> List[int]:
+    return [2, 4, 6, 8, 10] if scale >= 500 else [2, 4, 6]
+
+
+def fig7_closeness_vq(scale: int) -> str:
+    """Figures 7(c)-(e): closeness vs |Vq|."""
+    blocks = []
+    for name, data in _datasets(scale).items():
+        sweep = sweep_pattern_sizes(data, _vq_values(scale), seed=101)
+        blocks.append(
+            render_closeness_figure(f"closeness vs |Vq| ({name})", sweep)
+        )
+    return "\n\n".join(blocks)
+
+
+def fig7_closeness_v(scale: int) -> str:
+    """Figures 7(f)-(h): closeness vs |V| at |Vq| = 10."""
+    sizes = [scale // 4, scale // 2, scale]
+    blocks = []
+    for name, generator in (
+        ("Amazon", lambda n: generate_amazon(n, num_labels=20, seed=11)),
+        ("YouTube", lambda n: generate_youtube(n, num_labels=15, seed=13)),
+        ("Synthetic", lambda n: generate_graph(n, alpha=1.2, num_labels=20, seed=17)),
+    ):
+        sweep = sweep_data_sizes(generator, sizes, pattern_size=10, seed=201)
+        blocks.append(
+            render_closeness_figure(f"closeness vs |V| ({name})", sweep)
+        )
+    return "\n\n".join(blocks)
+
+
+def fig7_subgraphs_vq(scale: int) -> str:
+    """Figures 7(i)-(k): matched-subgraph counts vs |Vq|."""
+    blocks = []
+    for name, data in _datasets(scale).items():
+        sweep = sweep_pattern_sizes(data, _vq_values(scale), seed=101)
+        blocks.append(
+            render_subgraph_count_figure(
+                f"# matched subgraphs vs |Vq| ({name})", sweep
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def table3(scale: int) -> str:
+    """Table 3: matched-subgraph size histogram."""
+    from repro.core.matchplus import match_plus
+
+    sizes_by_dataset: Dict[str, tuple] = {}
+    for name, data in _datasets(scale).items():
+        pattern = sample_pattern_from_data(data, 10, seed=301)
+        if pattern is None:
+            sizes_by_dataset[name] = ()
+            continue
+        result = match_plus(pattern, data)
+        sizes_by_dataset[name] = tuple(sg.num_nodes for sg in result)
+    return render_table3("Table 3: sizes of matched subgraphs", sizes_by_dataset)
+
+
+def fig8_time_vq(scale: int) -> str:
+    """Figure 8(a)-(c): time vs |Vq| (VF2 included at this small scale)."""
+    data = generate_graph(scale * 2, alpha=1.2, num_labels=20, seed=19)
+
+    def pair_for(vq, repeat):
+        pattern = sample_pattern_from_data(data, int(vq), seed=401 + repeat)
+        return (pattern, data) if pattern else None
+
+    sweep = sweep_timing(
+        "|Vq|", _vq_values(scale), pair_for, include_vf2=True,
+        vf2_max_states=200_000,
+    )
+    return render_timing_figure("time (s) vs |Vq| (synthetic)", sweep)
+
+
+def fig8_time_v(scale: int) -> str:
+    """Figure 8(e)-(g): time vs |V|."""
+    def pair_for(n, repeat):
+        data = generate_graph(int(n), alpha=1.2, num_labels=20, seed=29)
+        pattern = sample_pattern_from_data(data, 8, seed=441 + repeat)
+        return (pattern, data) if pattern else None
+
+    sizes = [scale // 2, scale, scale * 2]
+    sweep = sweep_timing("|V|", sizes, pair_for, include_vf2=False)
+    return render_timing_figure("time (s) vs |V| (synthetic)", sweep)
+
+
+def distributed(scale: int) -> str:
+    """Section 4.3: shipped units vs site count."""
+    from repro.distributed import (
+        bfs_partition,
+        crossing_ball_bound,
+        distributed_match,
+        hash_partition,
+    )
+
+    data = generate_graph(scale, alpha=1.15, num_labels=20, seed=37)
+    pattern = sample_pattern_from_data(data, 6, seed=501)
+    if pattern is None:
+        return "could not sample a pattern at this scale"
+    site_counts = [2, 4]
+    rows = {"hash": [], "bfs": [], "bound(bfs)": []}
+    for k in site_counts:
+        for name, partitioner in (("hash", hash_partition), ("bfs", bfs_partition)):
+            assignment = partitioner(data, k)
+            report = distributed_match(pattern, data, assignment, k)
+            rows[name].append(report.data_shipment_units)
+            if name == "bfs":
+                rows["bound(bfs)"].append(
+                    crossing_ball_bound(data, assignment, pattern.diameter)
+                )
+    return render_table(
+        "distributed: shipped data units vs #sites", "#sites", site_counts, rows
+    )
+
+
+EXPERIMENTS: Dict[str, Renderer] = {
+    "fig7-closeness-vq": fig7_closeness_vq,
+    "fig7-closeness-v": fig7_closeness_v,
+    "fig7-subgraphs-vq": fig7_subgraphs_vq,
+    "table3": table3,
+    "fig8-time-vq": fig8_time_vq,
+    "fig8-time-v": fig8_time_v,
+    "distributed": distributed,
+}
+
+
+def run_experiment(name: str, scale: int = 600) -> str:
+    """Render one named experiment; raises KeyError for unknown names."""
+    try:
+        renderer = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+    return renderer(scale)

@@ -1,0 +1,101 @@
+"""Plain-text renderers for the paper's tables and figure series.
+
+Every benchmark prints its output through these helpers so that the rows
+and series look like the paper's: one row per sweep point, one column per
+algorithm, with the same units (closeness ratios, subgraph counts,
+seconds, size-bin counts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.metrics import size_histogram
+from repro.experiments.performance import TimingSweep
+from repro.experiments.quality import QualitySweep
+
+
+def _format_cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    axis_name: str,
+    axis_values: Sequence,
+    columns: Dict[str, Sequence],
+) -> str:
+    """A fixed-width table: axis column plus one column per series."""
+    names = list(columns)
+    header = [axis_name] + names
+    rows: List[List[str]] = []
+    for index, axis_value in enumerate(axis_values):
+        row = [_format_cell(axis_value)]
+        for name in names:
+            series = columns[name]
+            row.append(_format_cell(series[index] if index < len(series) else None))
+        rows.append(row)
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows)) if rows else len(header[col])
+        for col in range(len(header))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_closeness_figure(title: str, sweep: QualitySweep) -> str:
+    """Render one of Figures 7(c)–(h): closeness vs the swept axis."""
+    return render_table(
+        title,
+        sweep.axis_name,
+        sweep.axis_values,
+        {name: values for name, values in sweep.closeness_series().items()},
+    )
+
+
+def render_subgraph_count_figure(title: str, sweep: QualitySweep) -> str:
+    """Render one of Figures 7(i)–(n): matched-subgraph counts."""
+    return render_table(
+        title,
+        sweep.axis_name,
+        sweep.axis_values,
+        {name: values for name, values in sweep.subgraph_count_series().items()},
+    )
+
+
+def render_timing_figure(title: str, sweep: TimingSweep) -> str:
+    """Render one of Figures 8(a)–(h): seconds vs the swept axis."""
+    return render_table(
+        title,
+        sweep.axis_name,
+        sweep.axis_values,
+        {name: values for name, values in sweep.series().items()},
+    )
+
+
+def render_table3(
+    title: str,
+    sizes_by_dataset: Dict[str, Sequence[int]],
+    bin_width: int = 10,
+    num_bins: int = 5,
+) -> str:
+    """Render Table 3: matched-subgraph size histogram per dataset."""
+    datasets = list(sizes_by_dataset)
+    histograms = {
+        name: size_histogram(tuple(sizes), bin_width, num_bins)
+        for name, sizes in sizes_by_dataset.items()
+    }
+    bins = list(next(iter(histograms.values()))) if histograms else []
+    columns: Dict[str, List[int]] = {
+        name: [histograms[name][bin_label] for bin_label in bins]
+        for name in datasets
+    }
+    return render_table(title, "#nodes", bins, columns)

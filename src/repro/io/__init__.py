@@ -1,0 +1,26 @@
+"""Graph and result (de)serialization: edge lists and JSON."""
+
+from repro.io.edgelist import read_edgelist, write_edgelist
+from repro.io.jsonio import (
+    graph_from_dict,
+    graph_to_dict,
+    match_result_to_dict,
+    pattern_from_dict,
+    pattern_to_dict,
+    read_graph_json,
+    write_graph_json,
+    write_match_result_json,
+)
+
+__all__ = [
+    "graph_from_dict",
+    "graph_to_dict",
+    "match_result_to_dict",
+    "pattern_from_dict",
+    "pattern_to_dict",
+    "read_edgelist",
+    "read_graph_json",
+    "write_edgelist",
+    "write_graph_json",
+    "write_match_result_json",
+]

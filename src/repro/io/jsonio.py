@@ -1,0 +1,116 @@
+"""JSON (de)serialization for graphs, patterns and match results.
+
+A stable interchange format for examples and downstream tooling:
+
+.. code-block:: json
+
+    {
+      "nodes": [{"id": "HR1", "label": "HR"}, ...],
+      "edges": [["HR1", "Bio1"], ...]
+    }
+
+Node ids and labels must be JSON-representable (strings/numbers); the
+library's hashable-anything node model is wider than JSON, so
+:func:`graph_to_json` validates rather than silently coercing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.digraph import DiGraph
+from repro.core.pattern import Pattern
+from repro.core.result import MatchResult
+from repro.exceptions import GraphError
+
+PathLike = Union[str, Path]
+
+_JSONABLE = (str, int, float, bool)
+
+
+def _check_jsonable(value: Any, role: str) -> None:
+    if not isinstance(value, _JSONABLE):
+        raise GraphError(
+            f"{role} {value!r} is not JSON-representable; "
+            "use string or numeric identifiers for serialization"
+        )
+
+
+def graph_to_dict(graph: DiGraph) -> Dict[str, Any]:
+    """The JSON-ready dictionary form of a graph."""
+    for node in graph.nodes():
+        _check_jsonable(node, "node id")
+        _check_jsonable(graph.label(node), "label")
+    return {
+        "nodes": [
+            {"id": node, "label": graph.label(node)} for node in graph.nodes()
+        ],
+        "edges": [[source, target] for source, target in graph.edges()],
+    }
+
+
+def graph_from_dict(payload: Dict[str, Any]) -> DiGraph:
+    """Rebuild a graph from its dictionary form."""
+    graph = DiGraph()
+    for entry in payload.get("nodes", []):
+        graph.add_node(entry["id"], entry["label"])
+    for source, target in payload.get("edges", []):
+        graph.add_edge(source, target)
+    return graph
+
+
+def write_graph_json(graph: DiGraph, path: PathLike) -> None:
+    """Serialize a graph to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(graph_to_dict(graph), handle, indent=2, sort_keys=True)
+
+
+def read_graph_json(path: PathLike) -> DiGraph:
+    """Deserialize a graph from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return graph_from_dict(json.load(handle))
+
+
+def pattern_to_dict(pattern: Pattern) -> Dict[str, Any]:
+    """The dictionary form of a pattern (its graph plus the diameter)."""
+    payload = graph_to_dict(pattern.graph)
+    payload["diameter"] = pattern.diameter
+    return payload
+
+
+def pattern_from_dict(payload: Dict[str, Any]) -> Pattern:
+    """Rebuild a pattern; the diameter is re-derived (and cross-checked)."""
+    pattern = Pattern(graph_from_dict(payload))
+    stored = payload.get("diameter")
+    if stored is not None and stored != pattern.diameter:
+        raise GraphError(
+            f"stored diameter {stored} disagrees with computed "
+            f"{pattern.diameter}"
+        )
+    return pattern
+
+
+def match_result_to_dict(result: MatchResult) -> Dict[str, Any]:
+    """Serialize a match result: one entry per perfect subgraph."""
+    return {
+        "num_subgraphs": len(result),
+        "subgraphs": [
+            {
+                "center": subgraph.center,
+                "graph": graph_to_dict(subgraph.graph),
+                "relation": {
+                    str(u): sorted(subgraph.relation.matches_of(u), key=repr)
+                    for u in subgraph.relation.pattern_nodes()
+                },
+            }
+            for subgraph in result
+        ],
+    }
+
+
+def write_match_result_json(result: MatchResult, path: PathLike) -> None:
+    """Serialize a match result to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(match_result_to_dict(result), handle, indent=2, sort_keys=True)

@@ -1,0 +1,6 @@
+"""Shared utilities: seeded RNG streams and timers."""
+
+from repro.utils.rng import rng_from_seed, spawn_streams
+from repro.utils.timer import Timer, timed
+
+__all__ = ["Timer", "rng_from_seed", "spawn_streams", "timed"]

@@ -1,0 +1,121 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.digraph import DiGraph
+from repro.core.pattern import Pattern
+from repro.datasets import paper_figures
+from repro.datasets.synthetic import generate_graph
+
+
+# ----------------------------------------------------------------------
+# Paper-figure fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def q1() -> Pattern:
+    return paper_figures.pattern_q1()
+
+
+@pytest.fixture
+def g1() -> DiGraph:
+    return paper_figures.data_g1()
+
+
+@pytest.fixture
+def small_synthetic() -> DiGraph:
+    """A tiny synthetic data graph (fast for exhaustive checks)."""
+    return generate_graph(60, alpha=1.15, num_labels=6, seed=7)
+
+
+@pytest.fixture
+def medium_synthetic() -> DiGraph:
+    """A mid-sized synthetic data graph for integration tests."""
+    return generate_graph(300, alpha=1.15, num_labels=12, seed=11)
+
+
+# ----------------------------------------------------------------------
+# Random graph/pattern builders (deterministic, seed-driven)
+# ----------------------------------------------------------------------
+def random_digraph(
+    seed: int,
+    max_nodes: int = 12,
+    num_labels: int = 3,
+    edge_prob: float = 0.25,
+) -> DiGraph:
+    """A small random labeled digraph derived from ``seed``."""
+    rng = random.Random(seed)
+    n = rng.randint(1, max_nodes)
+    labels = [f"l{i}" for i in range(num_labels)]
+    graph = DiGraph()
+    for node in range(n):
+        graph.add_node(node, rng.choice(labels))
+    for source in range(n):
+        for target in range(n):
+            if source != target and rng.random() < edge_prob:
+                graph.add_edge(source, target)
+    return graph
+
+
+def random_connected_pattern(
+    seed: int,
+    max_nodes: int = 5,
+    num_labels: int = 3,
+    extra_edge_prob: float = 0.3,
+) -> Pattern:
+    """A small random connected pattern derived from ``seed``."""
+    rng = random.Random(seed)
+    n = rng.randint(1, max_nodes)
+    labels = [f"l{i}" for i in range(num_labels)]
+    graph = DiGraph()
+    for node in range(n):
+        graph.add_node(node, rng.choice(labels))
+    for node in range(1, n):
+        anchor = rng.randrange(node)
+        if rng.random() < 0.5:
+            graph.add_edge(anchor, node)
+        else:
+            graph.add_edge(node, anchor)
+    for source in range(n):
+        for target in range(n):
+            if source != target and rng.random() < extra_edge_prob:
+                graph.add_edge(source, target)
+    return Pattern(graph)
+
+
+def pattern_from_subgraph(data: DiGraph, seed: int, size: int) -> Optional[Pattern]:
+    """A pattern sampled as a connected induced subgraph of ``data``."""
+    from repro.datasets.patterns import sample_pattern_from_data
+
+    return sample_pattern_from_data(data, size, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies (seed-based, so shrinking works on one integer)
+# ----------------------------------------------------------------------
+graph_seeds = st.integers(min_value=0, max_value=10_000)
+pattern_seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def graph_and_pattern(draw) -> Tuple[DiGraph, Pattern]:
+    """A random (data graph, connected pattern) pair."""
+    graph = random_digraph(draw(graph_seeds))
+    pattern = random_connected_pattern(draw(pattern_seeds))
+    return graph, pattern
+
+
+@st.composite
+def graph_with_sampled_pattern(draw) -> Tuple[DiGraph, Pattern]:
+    """A random data graph plus a pattern sampled from it (match exists)."""
+    graph = random_digraph(draw(graph_seeds), max_nodes=14, edge_prob=0.3)
+    size = draw(st.integers(min_value=1, max_value=min(4, graph.num_nodes)))
+    pattern = pattern_from_subgraph(graph, draw(pattern_seeds), size)
+    if pattern is None:
+        pattern = random_connected_pattern(draw(pattern_seeds), max_nodes=3)
+    return graph, pattern

@@ -1,0 +1,98 @@
+"""Unit tests for ball extraction (Section 2.2 semantics)."""
+
+import pytest
+
+from repro.core.ball import Ball, ball_node_sets, extract_ball, extract_ball_restricted, iter_balls
+from repro.core.digraph import DiGraph
+from repro.exceptions import GraphError
+
+
+def chain(n: int) -> DiGraph:
+    g = DiGraph()
+    for i in range(n):
+        g.add_node(i, "x")
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestExtractBall:
+    def test_radius_bounds_membership(self):
+        g = chain(10)
+        ball = extract_ball(g, 5, 2)
+        assert set(ball.graph.nodes()) == {3, 4, 5, 6, 7}
+
+    def test_ball_keeps_all_internal_edges(self):
+        # The ball is the *induced* subgraph: every G-edge among ball
+        # nodes must be present, including edges between two border nodes.
+        g = chain(5)
+        g.add_edge(0, 4)  # chord between the two future border nodes
+        ball = extract_ball(g, 2, 2)
+        assert ball.graph.has_edge(0, 4)
+
+    def test_ball_is_undirected_distance(self):
+        g = chain(4)  # edges point 0->1->2->3
+        ball = extract_ball(g, 3, 1)
+        assert set(ball.graph.nodes()) == {2, 3}
+
+    def test_border_nodes(self):
+        g = chain(10)
+        ball = extract_ball(g, 5, 2)
+        assert ball.border_nodes == frozenset({3, 7})
+
+    def test_radius_zero(self):
+        g = chain(3)
+        ball = extract_ball(g, 1, 0)
+        assert set(ball.graph.nodes()) == {1}
+        assert ball.border_nodes == frozenset({1})
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(GraphError):
+            extract_ball(chain(2), 0, -1)
+
+    def test_contains_and_len(self):
+        ball = extract_ball(chain(5), 2, 1)
+        assert 2 in ball
+        assert 0 not in ball
+        assert len(ball) == 3
+
+    def test_ball_larger_than_graph(self):
+        g = chain(3)
+        ball = extract_ball(g, 0, 99)
+        assert set(ball.graph.nodes()) == {0, 1, 2}
+        assert ball.border_nodes == frozenset()
+
+
+class TestRestrictedBall:
+    def test_restriction_drops_nodes_but_keeps_distances_over_g(self):
+        g = chain(5)
+        # Node 2 is disallowed, but distances are measured over full G, so
+        # nodes 3, 4 still enter the radius-3 ball around 1 via node 2.
+        ball = extract_ball_restricted(g, 1, 3, allowed={0, 1, 3, 4})
+        assert set(ball.graph.nodes()) == {0, 1, 3, 4}
+        # Edge 2->3 is gone with node 2; no edges between 1 and 3 remain.
+        assert not ball.graph.has_edge(1, 3)
+
+    def test_center_must_be_allowed(self):
+        with pytest.raises(GraphError):
+            extract_ball_restricted(chain(3), 1, 1, allowed={0, 2})
+
+
+class TestBulkHelpers:
+    def test_iter_balls_default_centers(self):
+        g = chain(3)
+        balls = list(iter_balls(g, 1))
+        assert len(balls) == 3
+        assert {b.center for b in balls} == {0, 1, 2}
+
+    def test_iter_balls_restricted_centers(self):
+        g = chain(3)
+        balls = list(iter_balls(g, 1, centers=[1]))
+        assert len(balls) == 1
+        assert balls[0].center == 1
+
+    def test_ball_node_sets(self):
+        g = chain(4)
+        sets = ball_node_sets(g, 1)
+        assert sets[0] == {0, 1}
+        assert sets[1] == {0, 1, 2}

@@ -1,0 +1,92 @@
+"""Tests for bisimulation and the Section 3.2 tractability boundary."""
+
+from repro.core.bisim import (
+    are_bisimilar,
+    maximum_bisimulation,
+    subgraph_bisimulation_exists,
+)
+from repro.core.digraph import DiGraph
+from repro.core.pattern import Pattern
+
+
+def two_cycle(labels=("X", "X")) -> DiGraph:
+    g = DiGraph()
+    g.add_node("a", labels[0])
+    g.add_node("b", labels[1])
+    g.add_edge("a", "b")
+    g.add_edge("b", "a")
+    return g
+
+
+class TestMaximumBisimulation:
+    def test_identical_graphs_fully_bisimilar(self):
+        g = two_cycle()
+        rel = maximum_bisimulation(g, g)
+        assert ("a", "a") in rel
+        assert ("a", "b") in rel  # same label, same behavior
+
+    def test_label_mismatch_blocks(self):
+        g1 = two_cycle(("X", "X"))
+        g2 = two_cycle(("X", "Y"))
+        rel = maximum_bisimulation(g1, g2)
+        assert ("a", "b") not in rel
+
+    def test_behavior_mismatch_blocks(self):
+        # A node with a child vs a node without: not bisimilar.
+        g1 = DiGraph.from_parts({"p": "X", "c": "Y"}, [("p", "c")])
+        g2 = DiGraph.from_parts({"p": "X"}, [])
+        rel = maximum_bisimulation(g1, g2)
+        assert ("p", "p") not in rel
+
+    def test_cycle_lengths_bisimilar(self):
+        """A 2-cycle and a 4-cycle of the same label are bisimilar — this
+        is exactly why bisimulation still fails to bound cycles, while
+        being stronger than simulation."""
+        c2 = two_cycle()
+        c4 = DiGraph()
+        for i in range(4):
+            c4.add_node(i, "X")
+        for i in range(4):
+            c4.add_edge(i, (i + 1) % 4)
+        pattern = Pattern(c2)
+        assert are_bisimilar(pattern, c4)
+
+
+class TestAreBisimilar:
+    def test_requires_totality_both_sides(self):
+        pattern = Pattern.build({"a": "X"}, [])
+        data = DiGraph.from_parts({"x": "X", "y": "Y"}, [])
+        # y is never covered: not bisimilar as whole graphs.
+        assert not are_bisimilar(pattern, data)
+
+    def test_simple_positive(self):
+        pattern = Pattern.build({"a": "X"}, [])
+        data = DiGraph.from_parts({"x": "X"}, [])
+        assert are_bisimilar(pattern, data)
+
+
+class TestSubgraphBisimulation:
+    def test_finds_embedded_witness(self):
+        pattern = Pattern(two_cycle())
+        data = DiGraph.from_parts(
+            {"a": "X", "b": "X", "noise": "Z"},
+            [("a", "b"), ("b", "a"), ("noise", "a")],
+        )
+        witness = subgraph_bisimulation_exists(pattern, data)
+        assert witness == frozenset({"a", "b"})
+
+    def test_returns_none_without_witness(self):
+        pattern = Pattern(two_cycle())
+        data = DiGraph.from_parts({"a": "X", "b": "X"}, [("a", "b")])
+        assert subgraph_bisimulation_exists(pattern, data) is None
+
+    def test_label_pruning_keeps_search_small(self):
+        pattern = Pattern(two_cycle())
+        data = DiGraph.from_parts(
+            {"a": "X", "b": "X", **{f"z{i}": "Z" for i in range(10)}},
+            [("a", "b"), ("b", "a")],
+        )
+        # 10 foreign-labeled nodes must not blow the enumeration up.
+        assert subgraph_bisimulation_exists(pattern, data) == frozenset(
+            {"a", "b"}
+        )

@@ -1,0 +1,99 @@
+"""Unit tests for bounded simulation (the Fan et al. 2010 extension)."""
+
+import pytest
+
+from repro.core.bounded import (
+    BoundedPattern,
+    bounded_simulation,
+    matches_via_bounded_simulation,
+)
+from repro.core.digraph import DiGraph
+from repro.core.pattern import Pattern
+from repro.core.simulation import graph_simulation
+from repro.exceptions import PatternError
+
+
+def chain_data(n: int) -> DiGraph:
+    g = DiGraph()
+    g.add_node(0, "A")
+    for i in range(1, n):
+        g.add_node(i, "M")
+        g.add_edge(i - 1, i)
+    g.relabel_node(n - 1, "B")
+    return g
+
+
+class TestBoundedPattern:
+    def test_default_bound_is_one(self):
+        p = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        bp = BoundedPattern(p)
+        assert bp.bound(("a", "b")) == 1
+
+    def test_bound_for_non_edge_rejected(self):
+        p = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        with pytest.raises(PatternError):
+            BoundedPattern(p, {("b", "a"): 2})
+
+    def test_non_positive_bound_rejected(self):
+        p = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        with pytest.raises(PatternError):
+            BoundedPattern(p, {("a", "b"): 0})
+
+
+class TestBoundedSimulation:
+    def test_bound_one_equals_simulation(self):
+        p = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        data = chain_data(2)
+        bounded = bounded_simulation(BoundedPattern(p), data)
+        plain = graph_simulation(p, data)
+        assert bounded == plain
+
+    def test_hop_bound_respected(self):
+        p = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        data = chain_data(4)  # A -> M -> M -> B: distance 3
+        assert not matches_via_bounded_simulation(
+            BoundedPattern(p, {("a", "b"): 2}), data
+        )
+        assert matches_via_bounded_simulation(
+            BoundedPattern(p, {("a", "b"): 3}), data
+        )
+
+    def test_unbounded_reachability(self):
+        p = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        data = chain_data(9)
+        assert matches_via_bounded_simulation(
+            BoundedPattern(p, {("a", "b"): None}), data
+        )
+
+    def test_direction_matters(self):
+        p = Pattern.build({"b": "B", "a": "A"}, [("b", "a")])
+        data = chain_data(3)  # edges point A -> ... -> B only
+        assert not matches_via_bounded_simulation(
+            BoundedPattern(p, {("b", "a"): None}), data
+        )
+
+    def test_cycle_self_reachability(self):
+        p = Pattern.build({"x": "X", "y": "X"}, [("x", "y"), ("y", "x")])
+        data = DiGraph.from_parts(
+            {0: "X", 1: "X", 2: "X"},
+            [(0, 1), (1, 2), (2, 0)],
+        )
+        bp = BoundedPattern(p, {("x", "y"): 2, ("y", "x"): 2})
+        rel = bounded_simulation(bp, data)
+        assert rel.matches_of("x") == frozenset({0, 1, 2})
+
+    def test_failure_collapses(self):
+        p = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        data = DiGraph.from_parts({0: "A"}, [])
+        rel = bounded_simulation(BoundedPattern(p, {("a", "b"): 5}), data)
+        assert rel.is_empty()
+
+    def test_strong_simulation_matches_subset_of_bounded(self):
+        """Containment chain: strong matches are bounded(1) matches."""
+        from repro.core.strong import match
+        from repro.datasets.paper_figures import data_g1, pattern_q1
+
+        pattern, data = pattern_q1(), data_g1()
+        bounded = bounded_simulation(BoundedPattern(pattern), data)
+        strong_nodes = match(pattern, data).matched_data_nodes()
+        assert strong_nodes <= bounded.data_nodes()

@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.pattern import Pattern
+from repro.io.jsonio import pattern_to_dict, write_graph_json
+from repro.datasets.paper_figures import data_g2, pattern_q2
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g2.json"
+    write_graph_json(data_g2(), path)
+    return str(path)
+
+
+@pytest.fixture
+def pattern_file(tmp_path):
+    path = tmp_path / "q2.json"
+    path.write_text(json.dumps(pattern_to_dict(pattern_q2())))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_match_defaults(self):
+        args = build_parser().parse_args(
+            ["match", "--data", "d", "--pattern", "p"]
+        )
+        assert args.algorithm == "strong-plus"
+        assert args.format == "json"
+
+
+class TestMatchCommand:
+    def test_strong_match(self, graph_file, pattern_file, capsys):
+        code = main(["match", "--data", graph_file, "--pattern", pattern_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "perfect subgraph" in out
+        assert "book2" in out
+
+    def test_plain_strong_algorithm(self, graph_file, pattern_file, capsys):
+        code = main([
+            "match", "--data", graph_file, "--pattern", pattern_file,
+            "--algorithm", "strong",
+        ])
+        assert code == 0
+        assert "book2" in capsys.readouterr().out
+
+    def test_sim_algorithm(self, graph_file, pattern_file, capsys):
+        code = main([
+            "match", "--data", graph_file, "--pattern", pattern_file,
+            "--algorithm", "sim",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "book1" in out  # simulation keeps the bad book
+
+    def test_dual_algorithm(self, graph_file, pattern_file, capsys):
+        code = main([
+            "match", "--data", graph_file, "--pattern", pattern_file,
+            "--algorithm", "dual",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "book2" in out
+        assert "book1" not in out
+
+    def test_no_match_exit_code(self, tmp_path, graph_file, capsys):
+        pattern = Pattern.build({"z": "ZZZ"}, [])
+        path = tmp_path / "never.json"
+        path.write_text(json.dumps(pattern_to_dict(pattern)))
+        code = main(["match", "--data", graph_file, "--pattern", str(path)])
+        assert code == 1
+        assert "no match" in capsys.readouterr().out
+
+    def test_top_k_and_out(self, tmp_path, graph_file, pattern_file, capsys):
+        out_path = tmp_path / "result.json"
+        code = main([
+            "match", "--data", graph_file, "--pattern", pattern_file,
+            "--top", "1", "--out", str(out_path),
+        ])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["num_subgraphs"] >= 1
+
+
+class TestGenerateAndInfo:
+    def test_generate_synthetic_json(self, tmp_path, capsys):
+        out = tmp_path / "syn.json"
+        code = main([
+            "generate", "--kind", "synthetic", "--nodes", "30",
+            "--labels", "4", "--out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["nodes"]) == 30
+
+    def test_generate_amazon_edgelist(self, tmp_path, capsys):
+        out = tmp_path / "amz.txt"
+        code = main([
+            "generate", "--kind", "amazon", "--nodes", "50",
+            "--format", "edgelist", "--out", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+
+    def test_info(self, graph_file, capsys):
+        code = main(["info", "--data", graph_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nodes:  5" in out
+        assert "connected components" in out
+
+    def test_info_edgelist_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        main([
+            "generate", "--kind", "youtube", "--nodes", "40",
+            "--format", "edgelist", "--out", str(out),
+        ])
+        capsys.readouterr()
+        code = main(["info", "--data", str(out), "--format", "edgelist"])
+        assert code == 0
+        assert "nodes:  40" in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""Unit tests for connected components and SCCs, cross-checked vs networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.core.components import (
+    component_containing,
+    component_containing_restricted,
+    condensation,
+    connected_components,
+    strongly_connected_components,
+)
+from repro.core.digraph import DiGraph
+from repro.exceptions import NodeNotFound
+from tests.conftest import graph_seeds, random_digraph
+
+
+def to_networkx(graph: DiGraph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    for node in graph.nodes():
+        nxg.add_node(node)
+    nxg.add_edges_from(graph.edges())
+    return nxg
+
+
+def two_islands() -> DiGraph:
+    g = DiGraph()
+    for n in ("a", "b", "c", "x", "y"):
+        g.add_node(n, "L")
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("x", "y")
+    return g
+
+
+class TestConnectedComponents:
+    def test_two_islands(self):
+        comps = connected_components(two_islands())
+        assert sorted(sorted(c) for c in comps) == [["a", "b", "c"], ["x", "y"]]
+
+    def test_component_containing(self):
+        g = two_islands()
+        assert component_containing(g, "b") == {"a", "b", "c"}
+        assert component_containing(g, "y") == {"x", "y"}
+
+    def test_component_containing_missing_node(self):
+        with pytest.raises(NodeNotFound):
+            component_containing(two_islands(), "zzz")
+
+    def test_restricted_component(self):
+        g = two_islands()
+        # Forbidding "b" disconnects a from c.
+        assert component_containing_restricted(g, "a", {"a", "c"}) == {"a"}
+        assert component_containing_restricted(
+            g, "a", {"a", "b", "c"}
+        ) == {"a", "b", "c"}
+
+    def test_restricted_component_center_not_allowed(self):
+        g = two_islands()
+        assert component_containing_restricted(g, "a", {"b", "c"}) == set()
+
+    @given(graph_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx_weak_components(self, seed):
+        g = random_digraph(seed)
+        ours = sorted(sorted(map(repr, c)) for c in connected_components(g))
+        theirs = sorted(
+            sorted(map(repr, c))
+            for c in nx.weakly_connected_components(to_networkx(g))
+        )
+        assert ours == theirs
+
+
+class TestStronglyConnectedComponents:
+    def test_simple_cycle_is_one_scc(self):
+        g = DiGraph()
+        for i in range(3):
+            g.add_node(i, "L")
+        for i in range(3):
+            g.add_edge(i, (i + 1) % 3)
+        sccs = strongly_connected_components(g)
+        assert len(sccs) == 1
+        assert sccs[0] == {0, 1, 2}
+
+    def test_dag_has_singleton_sccs(self):
+        g = DiGraph()
+        for i in range(4):
+            g.add_node(i, "L")
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert sorted(map(tuple, strongly_connected_components(g))) == [
+            (0,), (1,), (2,), (3,)
+        ]
+
+    @given(graph_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_networkx_sccs(self, seed):
+        g = random_digraph(seed)
+        ours = sorted(
+            sorted(map(repr, c)) for c in strongly_connected_components(g)
+        )
+        theirs = sorted(
+            sorted(map(repr, c))
+            for c in nx.strongly_connected_components(to_networkx(g))
+        )
+        assert ours == theirs
+
+    def test_condensation_is_acyclic(self):
+        g = DiGraph()
+        for i in range(5):
+            g.add_node(i, "L")
+        # Two 2-cycles joined by an edge.
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        g.add_edge(2, 3)
+        g.add_edge(3, 2)
+        g.add_edge(1, 2)
+        g.add_edge(4, 0)
+        dag, membership = condensation(g)
+        from repro.core.traversal import has_directed_cycle
+
+        assert not has_directed_cycle(dag)
+        assert membership[0] == membership[1]
+        assert membership[2] == membership[3]
+        assert membership[0] != membership[2]

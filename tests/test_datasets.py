@@ -1,0 +1,141 @@
+"""Tests for the dataset generators."""
+
+import pytest
+
+from repro.core.traversal import is_connected_undirected
+from repro.datasets import (
+    amazon_label_alphabet,
+    edge_count_for,
+    generate_amazon,
+    generate_graph,
+    generate_pattern,
+    generate_youtube,
+    label_alphabet,
+    pattern_suite_for_data,
+    sample_pattern_from_data,
+    youtube_label_alphabet,
+)
+from repro.datasets.amazon import CASE_STUDY_CATEGORIES as AMAZON_CATEGORIES
+from repro.datasets.youtube import CASE_STUDY_CATEGORIES as YOUTUBE_CATEGORIES
+from repro.exceptions import DatasetError
+
+
+class TestSynthetic:
+    def test_node_and_edge_counts(self):
+        g = generate_graph(100, alpha=1.2, num_labels=10, seed=0)
+        assert g.num_nodes == 100
+        assert g.num_edges == edge_count_for(100, 1.2)
+
+    def test_edge_count_formula(self):
+        assert edge_count_for(100, 1.2) == round(100 ** 1.2)
+        assert edge_count_for(1, 1.5) == 0
+        # Clamped to the simple-digraph maximum.
+        assert edge_count_for(3, 3.0) == 6
+
+    def test_determinism(self):
+        a = generate_graph(50, seed=7)
+        b = generate_graph(50, seed=7)
+        assert a.same_as(b)
+
+    def test_different_seeds_differ(self):
+        a = generate_graph(50, seed=7)
+        b = generate_graph(50, seed=8)
+        assert not a.same_as(b)
+
+    def test_labels_from_alphabet(self):
+        g = generate_graph(50, num_labels=5, seed=1)
+        assert g.label_set() <= frozenset(label_alphabet(5))
+
+    def test_no_self_loops(self):
+        g = generate_graph(40, alpha=1.3, num_labels=5, seed=3)
+        assert all(s != t for s, t in g.edges())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            generate_graph(0)
+        with pytest.raises(DatasetError):
+            generate_graph(10, alpha=0.5)
+        with pytest.raises(DatasetError):
+            generate_graph(10, num_labels=0)
+
+
+class TestPatternGenerators:
+    def test_generated_pattern_connected_and_sized(self):
+        p = generate_pattern(8, alpha=1.2, labels=["a", "b", "c"], seed=0)
+        assert p.num_nodes == 8
+        assert is_connected_undirected(p.graph)
+
+    def test_generated_pattern_requires_labels(self):
+        with pytest.raises(DatasetError):
+            generate_pattern(5, labels=[])
+
+    def test_sampled_pattern_has_iso_match(self):
+        from repro.baselines.vf2 import has_subgraph_isomorphism
+
+        data = generate_graph(80, alpha=1.2, num_labels=5, seed=2)
+        pattern = sample_pattern_from_data(data, 5, seed=1)
+        assert pattern is not None
+        assert has_subgraph_isomorphism(pattern, data)
+
+    def test_sampled_pattern_too_large_returns_none(self):
+        data = generate_graph(5, alpha=1.0, num_labels=2, seed=0)
+        assert sample_pattern_from_data(data, 50, seed=0) is None
+
+    def test_pattern_suite(self):
+        data = generate_graph(100, alpha=1.2, num_labels=5, seed=4)
+        suite = pattern_suite_for_data(data, [2, 4, 6], seed=0)
+        assert len(suite) == 3
+        assert [p.num_nodes for p in suite] == [2, 4, 6]
+
+    def test_sampled_pattern_node_ids_fresh(self):
+        data = generate_graph(30, alpha=1.1, num_labels=3, seed=5)
+        pattern = sample_pattern_from_data(data, 4, seed=0)
+        assert pattern is not None
+        assert all(str(u).startswith("q") for u in pattern.nodes())
+
+
+class TestSurrogates:
+    def test_amazon_density_regime(self):
+        g = generate_amazon(500, seed=0)
+        avg_out = g.num_edges / g.num_nodes
+        assert 2.0 <= avg_out <= 5.0  # the co-purchase regime
+
+    def test_youtube_denser_than_amazon(self):
+        amazon = generate_amazon(500, seed=0)
+        youtube = generate_youtube(500, seed=0)
+        assert (
+            youtube.num_edges / youtube.num_nodes
+            > amazon.num_edges / amazon.num_nodes
+        )
+
+    def test_case_study_labels_present(self):
+        amazon = generate_amazon(2000, seed=1)
+        youtube = generate_youtube(2000, seed=1)
+        assert set(AMAZON_CATEGORIES) <= set(amazon.label_set())
+        assert set(YOUTUBE_CATEGORIES) <= set(youtube.label_set())
+
+    def test_determinism(self):
+        assert generate_amazon(200, seed=3).same_as(generate_amazon(200, seed=3))
+        assert generate_youtube(200, seed=3).same_as(generate_youtube(200, seed=3))
+
+    def test_degree_skew(self):
+        """Preferential attachment must produce a heavy tail: the top
+        node's degree far exceeds the average."""
+        g = generate_amazon(1000, seed=2)
+        degrees = sorted((g.degree(n) for n in g.nodes()), reverse=True)
+        average = sum(degrees) / len(degrees)
+        assert degrees[0] > 4 * average
+
+    def test_alphabet_helpers(self):
+        assert len(amazon_label_alphabet(10)) == 10
+        assert len(youtube_label_alphabet(8)) == 8
+        with pytest.raises(DatasetError):
+            amazon_label_alphabet(2)
+        with pytest.raises(DatasetError):
+            youtube_label_alphabet(1)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(DatasetError):
+            generate_amazon(0)
+        with pytest.raises(DatasetError):
+            generate_youtube(-5)

@@ -1,0 +1,211 @@
+"""Unit tests for the DiGraph data model."""
+
+import pytest
+
+from repro.core.digraph import DiGraph
+from repro.exceptions import (
+    DuplicateNode,
+    EdgeNotFound,
+    GraphError,
+    NodeNotFound,
+)
+
+
+def build_triangle() -> DiGraph:
+    g = DiGraph()
+    g.add_node("a", "A")
+    g.add_node("b", "B")
+    g.add_node("c", "C")
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "a")
+    return g
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = DiGraph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.size == 0
+        assert list(g.nodes()) == []
+        assert list(g.edges()) == []
+
+    def test_add_node_and_label(self):
+        g = DiGraph()
+        g.add_node(1, "X")
+        assert 1 in g
+        assert g.label(1) == "X"
+        assert g.nodes_with_label("X") == frozenset({1})
+
+    def test_duplicate_node_rejected(self):
+        g = DiGraph()
+        g.add_node(1, "X")
+        with pytest.raises(DuplicateNode):
+            g.add_node(1, "Y")
+
+    def test_add_edge_requires_endpoints(self):
+        g = DiGraph()
+        g.add_node(1, "X")
+        with pytest.raises(NodeNotFound):
+            g.add_edge(1, 2)
+        with pytest.raises(NodeNotFound):
+            g.add_edge(2, 1)
+
+    def test_edges_are_a_set(self):
+        g = DiGraph()
+        g.add_node(1, "X")
+        g.add_node(2, "X")
+        g.add_edge(1, 2)
+        g.add_edge(1, 2)
+        assert g.num_edges == 1
+
+    def test_self_loop_allowed(self):
+        g = DiGraph()
+        g.add_node(1, "X")
+        g.add_edge(1, 1)
+        assert g.has_edge(1, 1)
+        assert g.degree(1) == 2
+
+    def test_from_parts(self):
+        g = DiGraph.from_parts({"x": "A", "y": "B"}, [("x", "y")])
+        assert g.num_nodes == 2
+        assert g.has_edge("x", "y")
+        assert not g.has_edge("y", "x")
+
+    def test_from_edge_label_pairs(self):
+        g = DiGraph.from_edge_label_pairs([("x", "A"), ("y", "B")], [("x", "y")])
+        assert g.label("y") == "B"
+        assert g.num_edges == 1
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = build_triangle()
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.num_edges == 2
+
+    def test_remove_missing_edge_raises(self):
+        g = build_triangle()
+        with pytest.raises(EdgeNotFound):
+            g.remove_edge("a", "c")
+
+    def test_remove_node_removes_incident_edges(self):
+        g = build_triangle()
+        g.remove_node("b")
+        assert "b" not in g
+        assert g.num_edges == 1  # only c -> a remains
+        assert g.nodes_with_label("B") == frozenset()
+
+    def test_remove_missing_node_raises(self):
+        g = build_triangle()
+        with pytest.raises(NodeNotFound):
+            g.remove_node("zzz")
+
+    def test_relabel_node_updates_index(self):
+        g = build_triangle()
+        g.relabel_node("a", "Z")
+        assert g.label("a") == "Z"
+        assert g.nodes_with_label("A") == frozenset()
+        assert g.nodes_with_label("Z") == frozenset({"a"})
+
+    def test_relabel_to_same_label_is_noop(self):
+        g = build_triangle()
+        g.relabel_node("a", "A")
+        assert g.nodes_with_label("A") == frozenset({"a"})
+
+
+class TestInspection:
+    def test_successors_predecessors(self):
+        g = build_triangle()
+        assert g.successors("a") == frozenset({"b"})
+        assert g.predecessors("a") == frozenset({"c"})
+        assert g.neighbors("a") == frozenset({"b", "c"})
+
+    def test_degrees(self):
+        g = build_triangle()
+        assert g.out_degree("a") == 1
+        assert g.in_degree("a") == 1
+        assert g.degree("a") == 2
+
+    def test_missing_node_queries_raise(self):
+        g = build_triangle()
+        with pytest.raises(NodeNotFound):
+            g.successors("zzz")
+        with pytest.raises(NodeNotFound):
+            g.predecessors("zzz")
+        with pytest.raises(NodeNotFound):
+            g.label("zzz")
+        with pytest.raises(NodeNotFound):
+            g.out_degree("zzz")
+
+    def test_label_set(self):
+        g = build_triangle()
+        assert g.label_set() == frozenset({"A", "B", "C"})
+
+    def test_size_measure(self):
+        g = build_triangle()
+        assert g.size == 6  # 3 nodes + 3 edges
+
+    def test_degree_histogram(self):
+        g = build_triangle()
+        assert g.degree_histogram() == {2: 3}
+
+    def test_iteration_and_len(self):
+        g = build_triangle()
+        assert len(g) == 3
+        assert set(iter(g)) == {"a", "b", "c"}
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph(self):
+        g = build_triangle()
+        sub = g.subgraph({"a", "b"})
+        assert sub.num_nodes == 2
+        assert sub.has_edge("a", "b")
+        assert not sub.has_edge("b", "a")
+
+    def test_explicit_edge_subgraph(self):
+        g = build_triangle()
+        sub = g.subgraph({"a", "b", "c"}, edges=[("a", "b")])
+        assert sub.num_edges == 1
+
+    def test_subgraph_rejects_foreign_edges(self):
+        g = build_triangle()
+        with pytest.raises(EdgeNotFound):
+            g.subgraph({"a", "b", "c"}, edges=[("a", "c")])
+        with pytest.raises(GraphError):
+            g.subgraph({"a"}, edges=[("a", "b")])
+
+    def test_copy_is_independent(self):
+        g = build_triangle()
+        clone = g.copy()
+        clone.remove_node("a")
+        assert "a" in g
+        assert g.num_edges == 3
+
+    def test_reverse(self):
+        g = build_triangle()
+        rev = g.reverse()
+        assert rev.has_edge("b", "a")
+        assert not rev.has_edge("a", "b")
+        assert rev.num_edges == g.num_edges
+
+    def test_same_as(self):
+        g = build_triangle()
+        assert g.same_as(g.copy())
+        other = g.copy()
+        other.remove_edge("a", "b")
+        assert not g.same_as(other)
+
+    def test_node_edge_signature_distinguishes_edges(self):
+        g = build_triangle()
+        other = g.copy()
+        other.remove_edge("a", "b")
+        assert g.node_edge_signature() != other.node_edge_signature()
+
+    def test_repr_mentions_counts(self):
+        g = build_triangle()
+        assert "|V|=3" in repr(g)
+        assert "|E|=3" in repr(g)

@@ -1,0 +1,34 @@
+"""Run the doctests embedded in the library's docstrings.
+
+The public-facing docstrings carry executable examples (module
+quickstarts, class usage snippets); this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.digraph
+import repro.core.incremental
+import repro.core.minimize
+import repro.core.pattern
+import repro.core.regex
+import repro.utils.timer
+
+MODULES = [
+    repro,
+    repro.core.digraph,
+    repro.core.incremental,
+    repro.core.minimize,
+    repro.core.pattern,
+    repro.core.regex,
+    repro.utils.timer,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

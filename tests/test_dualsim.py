@@ -1,0 +1,135 @@
+"""Unit + property tests for dual simulation (Section 2.2, Lemma 1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.digraph import DiGraph
+from repro.core.dualsim import (
+    dual_simulation,
+    dual_simulation_naive,
+    is_dual_simulation_relation,
+    matches_via_dual_simulation,
+)
+from repro.core.matchrel import MatchRelation
+from repro.core.pattern import Pattern
+from repro.core.simulation import graph_simulation
+from tests.conftest import graph_and_pattern
+
+
+def parent_pair():
+    """Pattern requiring B to have an A parent."""
+    pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+    data = DiGraph.from_parts(
+        {"a1": "A", "b1": "B", "b2": "B", "x": "X"},
+        [("a1", "b1"), ("x", "b2")],
+    )
+    return pattern, data
+
+
+class TestDuality:
+    def test_parent_condition_prunes(self):
+        pattern, data = parent_pair()
+        rel = dual_simulation(pattern, data)
+        # b2's only parent is labeled X: fails the duality condition.
+        assert rel.matches_of("b") == frozenset({"b1"})
+
+    def test_simulation_keeps_what_duality_drops(self):
+        pattern, data = parent_pair()
+        sim = graph_simulation(pattern, data)
+        assert sim.matches_of("b") == frozenset({"b1", "b2"})
+
+    def test_collapse_on_failure(self):
+        pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        data = DiGraph.from_parts({"b1": "B"}, [])
+        rel = dual_simulation(pattern, data)
+        assert rel.is_empty()
+        assert not matches_via_dual_simulation(pattern, data)
+
+    def test_two_cycle_needs_two_cycle_or_longer(self):
+        pattern = Pattern.build({"a": "X", "b": "X"}, [("a", "b"), ("b", "a")])
+        cycle4 = DiGraph.from_parts(
+            {i: "X" for i in range(4)},
+            [(i, (i + 1) % 4) for i in range(4)],
+        )
+        rel = dual_simulation(pattern, cycle4)
+        # Every node of a directed 4-cycle has an X parent and X child.
+        assert rel.matches_of("a") == frozenset(range(4))
+        chain = DiGraph.from_parts({0: "X", 1: "X"}, [(0, 1)])
+        assert dual_simulation(pattern, chain).is_empty()
+
+    def test_fig1_dual_relation(self):
+        from repro.datasets.paper_figures import data_g1, pattern_q1
+
+        rel = dual_simulation(pattern_q1(), data_g1())
+        assert rel.matches_of("Bio") == frozenset({"Bio4"})
+        assert rel.matches_of("HR") == frozenset({"HR2"})
+        assert rel.matches_of("SE") == frozenset({"SE2"})
+        assert rel.matches_of("DM") == frozenset({"DM'1", "DM'2"})
+        assert rel.matches_of("AI") == frozenset({"AI'1", "AI'2"})
+
+
+class TestLemma1Uniqueness:
+    @given(graph_and_pattern())
+    @settings(max_examples=60, deadline=None)
+    def test_naive_and_worklist_agree(self, pair):
+        """Both fixpoints compute the same relation — the unique maximum
+        (Lemma 1): any two maximum relations would have to contain each
+        other."""
+        data, pattern = pair
+        assert dual_simulation(pattern, data) == dual_simulation_naive(
+            pattern, data
+        )
+
+    @given(graph_and_pattern())
+    @settings(max_examples=60, deadline=None)
+    def test_result_is_valid_or_empty(self, pair):
+        data, pattern = pair
+        rel = dual_simulation(pattern, data)
+        if rel.is_total():
+            assert is_dual_simulation_relation(pattern, data, rel)
+        else:
+            assert rel.is_empty()
+
+    @given(graph_and_pattern())
+    @settings(max_examples=60, deadline=None)
+    def test_contained_in_simulation(self, pair):
+        """Proposition 1(3): dual simulation refines simulation, so the
+        maximum dual relation is contained in the maximum simulation."""
+        data, pattern = pair
+        dual = dual_simulation(pattern, data)
+        sim = graph_simulation(pattern, data)
+        if dual.is_total():
+            assert sim.contains_relation(dual)
+
+    @given(graph_and_pattern())
+    @settings(max_examples=30, deadline=None)
+    def test_maximality(self, pair):
+        data, pattern = pair
+        rel = dual_simulation(pattern, data)
+        if not rel.is_total():
+            return
+        for u in pattern.nodes():
+            current = rel.matches_of_raw(u)
+            for v in data.nodes_with_label(pattern.label(u)):
+                if v in current:
+                    continue
+                extended = rel.copy()
+                extended.matches_of_raw(u).add(v)
+                assert not is_dual_simulation_relation(pattern, data, extended)
+
+
+class TestSeededRefinement:
+    def test_seeds_superset_converges_to_maximum(self):
+        pattern, data = parent_pair()
+        from repro.core.simulation import initial_candidates
+
+        seeds = initial_candidates(pattern, data)
+        rel = dual_simulation(pattern, data, seeds=seeds)
+        assert rel == dual_simulation(pattern, data)
+
+    def test_checker_rejects_non_dual(self):
+        pattern, data = parent_pair()
+        bogus = MatchRelation.from_pairs(
+            pattern, [("a", "a1"), ("b", "b1"), ("b", "b2")]
+        )
+        assert not is_dual_simulation_relation(pattern, data, bogus)

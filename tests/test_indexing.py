@@ -1,0 +1,124 @@
+"""Tests for the neighborhood-label index and indexed matching."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.digraph import DiGraph
+from repro.core.indexing import IndexedMatcher, NeighborhoodLabelIndex
+from repro.core.pattern import Pattern
+from repro.core.strong import match
+from repro.core.matchplus import match_plus
+from repro.exceptions import MatchingError
+from tests.conftest import graph_with_sampled_pattern
+
+
+def chain(labels):
+    g = DiGraph()
+    for i, label in enumerate(labels):
+        g.add_node(i, label)
+    for i in range(len(labels) - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestNeighborhoodLabelIndex:
+    def test_level_zero_is_own_label(self):
+        g = chain("ABC")
+        index = NeighborhoodLabelIndex(g, 2)
+        assert index.labels_within(0, 0) == frozenset("A")
+
+    def test_levels_accumulate(self):
+        g = chain("ABC")
+        index = NeighborhoodLabelIndex(g, 2)
+        assert index.labels_within(0, 1) == frozenset("AB")
+        assert index.labels_within(0, 2) == frozenset("ABC")
+        assert index.labels_within(1, 1) == frozenset("ABC")
+
+    def test_undirected_semantics(self):
+        g = chain("ABC")  # edges point 0 -> 1 -> 2
+        index = NeighborhoodLabelIndex(g, 2)
+        # Node 2 sees label A at distance 2 against edge direction.
+        assert "A" in index.labels_within(2, 2)
+
+    def test_radius_clamped(self):
+        g = chain("AB")
+        index = NeighborhoodLabelIndex(g, 1)
+        assert index.labels_within(0, 99) == index.labels_within(0, 1)
+
+    def test_invalid_arguments(self):
+        g = chain("AB")
+        with pytest.raises(MatchingError):
+            NeighborhoodLabelIndex(g, -1)
+        index = NeighborhoodLabelIndex(g, 1)
+        with pytest.raises(MatchingError):
+            index.labels_within("zzz", 1)
+        with pytest.raises(MatchingError):
+            index.labels_within(0, -1)
+
+    def test_candidate_centers_sound(self):
+        g = chain("ABCAB")
+        index = NeighborhoodLabelIndex(g, 3)
+        pattern = Pattern.build({"x": "A", "y": "B"}, [("x", "y")])
+        centers = index.candidate_centers(pattern)
+        # Every actual ball center of a perfect subgraph must survive.
+        for subgraph in match(pattern, g):
+            assert subgraph.center in centers
+
+    def test_candidate_centers_filters(self):
+        # Label C nodes can never host the A/B pattern as centers.
+        g = chain("ABC")
+        index = NeighborhoodLabelIndex(g, 2)
+        pattern = Pattern.build({"x": "A", "y": "B"}, [("x", "y")])
+        centers = index.candidate_centers(pattern)
+        assert 2 not in centers
+
+    def test_radius_exceeding_cap_rejected(self):
+        g = chain("ABCD")
+        index = NeighborhoodLabelIndex(g, 1)
+        pattern = Pattern.build(
+            {"w": "A", "x": "B", "y": "C", "z": "D"},
+            [("w", "x"), ("x", "y"), ("y", "z")],
+        )
+        with pytest.raises(MatchingError):
+            index.candidate_centers(pattern)
+
+    def test_pruning_ratio(self):
+        g = chain("ABZZZZZZ")
+        index = NeighborhoodLabelIndex(g, 2)
+        pattern = Pattern.build({"x": "A", "y": "B"}, [("x", "y")])
+        assert index.pruning_ratio(pattern) >= 0.5
+
+
+class TestIndexedMatcher:
+    @given(graph_with_sampled_pattern())
+    @settings(max_examples=30, deadline=None)
+    def test_indexed_match_equals_plain(self, pair):
+        data, pattern = pair
+        matcher = IndexedMatcher(data, max_radius=6)
+        if pattern.diameter > 6:
+            return
+        plain = {sg.signature() for sg in match(pattern, data)}
+        indexed = {sg.signature() for sg in matcher.match(pattern)}
+        assert plain == indexed
+
+    def test_indexed_match_plus_equals_plain(self):
+        g = chain("ABCAB")
+        matcher = IndexedMatcher(g, max_radius=4)
+        pattern = Pattern.build({"x": "A", "y": "B"}, [("x", "y")])
+        plain = {sg.signature() for sg in match_plus(pattern, g)}
+        indexed = {sg.signature() for sg in matcher.match_plus(pattern)}
+        assert plain == indexed
+
+    def test_index_reused_across_queries(self):
+        g = chain("ABCAB")
+        matcher = IndexedMatcher(g, max_radius=4)
+        p1 = Pattern.build({"x": "A", "y": "B"}, [("x", "y")])
+        p2 = Pattern.build({"x": "B", "y": "C"}, [("x", "y")])
+        assert len(matcher.match(p1)) >= 1
+        assert len(matcher.match(p2)) >= 1
+
+    def test_no_centers_short_circuit(self):
+        g = chain("AB")
+        matcher = IndexedMatcher(g, max_radius=2)
+        pattern = Pattern.build({"x": "Z", "y": "Z"}, [("x", "y")])
+        assert len(matcher.match_plus(pattern)) == 0

@@ -1,0 +1,113 @@
+"""Tests for edge-list and JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.core.digraph import DiGraph
+from repro.core.pattern import Pattern
+from repro.core.strong import match
+from repro.exceptions import GraphError
+from repro.io import (
+    graph_from_dict,
+    graph_to_dict,
+    match_result_to_dict,
+    pattern_from_dict,
+    pattern_to_dict,
+    read_edgelist,
+    read_graph_json,
+    write_edgelist,
+    write_graph_json,
+    write_match_result_json,
+)
+
+
+@pytest.fixture
+def sample_graph() -> DiGraph:
+    return DiGraph.from_parts(
+        {"a": "HR", "b": "Bio", "c": "SE"},
+        [("a", "b"), ("c", "b"), ("a", "c")],
+    )
+
+
+class TestEdgelist:
+    def test_roundtrip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edgelist(sample_graph, path)
+        loaded = read_edgelist(path)
+        assert loaded.same_as(sample_graph)
+
+    def test_plain_snap_file(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("# comment\n1\t2\n2\t3\n")
+        loaded = read_edgelist(path, default_label="product")
+        assert loaded.num_nodes == 3
+        assert loaded.label("1") == "product"
+        assert loaded.has_edge("1", "2")
+
+    def test_whitespace_separated_edges(self, tmp_path):
+        path = tmp_path / "ws.txt"
+        path.write_text("1 2\n")
+        loaded = read_edgelist(path)
+        assert loaded.has_edge("1", "2")
+
+    def test_malformed_edge_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\t2\t3\n")
+        with pytest.raises(GraphError):
+            read_edgelist(path)
+
+    def test_malformed_label_rejected(self, tmp_path):
+        path = tmp_path / "bad2.txt"
+        path.write_text("#L onlyone\n")
+        with pytest.raises(GraphError):
+            read_edgelist(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.txt"
+        path.write_text("\n1\t2\n\n")
+        assert read_edgelist(path).num_edges == 1
+
+
+class TestJson:
+    def test_graph_roundtrip(self, sample_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        write_graph_json(sample_graph, path)
+        loaded = read_graph_json(path)
+        assert loaded.same_as(sample_graph)
+
+    def test_dict_roundtrip(self, sample_graph):
+        assert graph_from_dict(graph_to_dict(sample_graph)).same_as(sample_graph)
+
+    def test_unjsonable_node_rejected(self):
+        g = DiGraph()
+        g.add_node(("tuple", "id"), "L")
+        with pytest.raises(GraphError):
+            graph_to_dict(g)
+
+    def test_pattern_roundtrip(self):
+        pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        payload = pattern_to_dict(pattern)
+        assert payload["diameter"] == 1
+        loaded = pattern_from_dict(payload)
+        assert loaded.diameter == 1
+
+    def test_pattern_diameter_mismatch_detected(self):
+        pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        payload = pattern_to_dict(pattern)
+        payload["diameter"] = 99
+        with pytest.raises(GraphError):
+            pattern_from_dict(payload)
+
+    def test_match_result_serialization(self, tmp_path):
+        from repro.datasets.paper_figures import data_g2, pattern_q2
+
+        result = match(pattern_q2(), data_g2())
+        payload = match_result_to_dict(result)
+        assert payload["num_subgraphs"] == len(result)
+        path = tmp_path / "result.json"
+        write_match_result_json(result, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["num_subgraphs"] == len(result)
+        first = loaded["subgraphs"][0]
+        assert "book2" in {n["id"] for n in first["graph"]["nodes"]}

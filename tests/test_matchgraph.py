@@ -1,0 +1,88 @@
+"""Unit tests for match-graph construction (Section 2.2 semantics)."""
+
+from repro.core.digraph import DiGraph
+from repro.core.matchgraph import (
+    build_match_graph,
+    match_graph_edge_set,
+    relation_restricted_to_component,
+)
+from repro.core.matchrel import MatchRelation
+from repro.core.pattern import Pattern
+
+
+def setup_pair():
+    pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+    data = DiGraph.from_parts(
+        {"a1": "A", "a2": "A", "b1": "B", "b2": "B"},
+        [("a1", "b1"), ("a2", "b2"), ("b1", "a2"), ("a1", "a2")],
+    )
+    relation = MatchRelation.from_pairs(
+        pattern, [("a", "a1"), ("a", "a2"), ("b", "b1"), ("b", "b2")]
+    )
+    return pattern, data, relation
+
+
+class TestBuildMatchGraph:
+    def test_keeps_only_witnessing_edges(self):
+        pattern, data, relation = setup_pair()
+        mg = build_match_graph(pattern, data, relation)
+        # a1->b1 and a2->b2 witness the pattern edge (a, b).
+        assert mg.has_edge("a1", "b1")
+        assert mg.has_edge("a2", "b2")
+        # b1->a2 and a1->a2 do not witness any pattern edge: dropped.
+        assert not mg.has_edge("b1", "a2")
+        assert not mg.has_edge("a1", "a2")
+
+    def test_nodes_are_exactly_matched_nodes(self):
+        pattern, data, relation = setup_pair()
+        mg = build_match_graph(pattern, data, relation)
+        assert set(mg.nodes()) == {"a1", "a2", "b1", "b2"}
+
+    def test_empty_relation_gives_empty_graph(self):
+        pattern, data, _ = setup_pair()
+        mg = build_match_graph(pattern, data, MatchRelation.empty(pattern))
+        assert mg.num_nodes == 0
+        assert mg.num_edges == 0
+
+    def test_edge_set_agrees_with_graph(self):
+        pattern, data, relation = setup_pair()
+        mg = build_match_graph(pattern, data, relation)
+        assert set(mg.edges()) == match_graph_edge_set(pattern, data, relation)
+
+    def test_scan_direction_symmetry(self):
+        # Force both scan branches (sources smaller vs targets smaller).
+        pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        data = DiGraph.from_parts(
+            {"a1": "A", "b1": "B", "b2": "B", "b3": "B"},
+            [("a1", "b1"), ("a1", "b2"), ("a1", "b3")],
+        )
+        rel_small_source = MatchRelation.from_pairs(
+            pattern, [("a", "a1"), ("b", "b1"), ("b", "b2"), ("b", "b3")]
+        )
+        mg = build_match_graph(pattern, data, rel_small_source)
+        assert mg.num_edges == 3
+        rel_small_target = MatchRelation.from_pairs(
+            pattern, [("a", "a1"), ("b", "b1")]
+        )
+        mg2 = build_match_graph(pattern, data, rel_small_target)
+        assert set(mg2.edges()) == {("a1", "b1")}
+
+
+class TestComponentRestriction:
+    def test_restriction_projects_relation(self):
+        pattern, data, relation = setup_pair()
+        restricted = relation_restricted_to_component(relation, {"a1", "b1"})
+        assert restricted.matches_of("a") == frozenset({"a1"})
+        assert restricted.matches_of("b") == frozenset({"b1"})
+
+    def test_paper_example_cycle_excluded(self):
+        """Fig. 1: the long AI/DM cycle must not enter the match graph of
+        the dual-simulation relation (those nodes are not matched)."""
+        from repro.core.dualsim import dual_simulation
+        from repro.datasets.paper_figures import data_g1, pattern_q1
+
+        pattern, data = pattern_q1(), data_g1(cycle_length=4)
+        relation = dual_simulation(pattern, data)
+        mg = build_match_graph(pattern, data, relation)
+        assert "AI1" not in mg
+        assert "DM1" not in mg

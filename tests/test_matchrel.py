@@ -1,0 +1,96 @@
+"""Unit tests for MatchRelation."""
+
+import pytest
+
+from repro.core.matchrel import MatchRelation
+from repro.core.pattern import Pattern
+from repro.exceptions import MatchingError
+
+
+@pytest.fixture
+def pattern() -> Pattern:
+    return Pattern.build({"u": "A", "w": "B"}, [("u", "w")])
+
+
+class TestConstruction:
+    def test_empty(self, pattern):
+        rel = MatchRelation.empty(pattern)
+        assert rel.is_empty()
+        assert not rel.is_total()
+        assert len(rel) == 0
+
+    def test_from_pairs(self, pattern):
+        rel = MatchRelation.from_pairs(pattern, [("u", 1), ("u", 2), ("w", 3)])
+        assert rel.matches_of("u") == frozenset({1, 2})
+        assert rel.matches_of("w") == frozenset({3})
+        assert rel.is_total()
+        assert len(rel) == 3
+
+    def test_from_pairs_unknown_pattern_node(self, pattern):
+        with pytest.raises(MatchingError):
+            MatchRelation.from_pairs(pattern, [("zzz", 1)])
+
+    def test_matches_of_unknown_node(self, pattern):
+        rel = MatchRelation.empty(pattern)
+        with pytest.raises(MatchingError):
+            rel.matches_of("zzz")
+
+
+class TestViews:
+    def test_pairs_and_pair_set(self, pattern):
+        rel = MatchRelation.from_pairs(pattern, [("u", 1), ("w", 2)])
+        assert set(rel.pairs()) == {("u", 1), ("w", 2)}
+        assert rel.pair_set() == frozenset({("u", 1), ("w", 2)})
+
+    def test_data_nodes(self, pattern):
+        rel = MatchRelation.from_pairs(pattern, [("u", 1), ("w", 1), ("w", 2)])
+        assert rel.data_nodes() == {1, 2}
+
+    def test_contains(self, pattern):
+        rel = MatchRelation.from_pairs(pattern, [("u", 1)])
+        assert ("u", 1) in rel
+        assert ("u", 2) not in rel
+        assert ("w", 1) not in rel
+
+    def test_equality(self, pattern):
+        a = MatchRelation.from_pairs(pattern, [("u", 1), ("w", 2)])
+        b = MatchRelation.from_pairs(pattern, [("w", 2), ("u", 1)])
+        assert a == b
+        c = MatchRelation.from_pairs(pattern, [("u", 1)])
+        assert a != c
+
+    def test_unhashable(self, pattern):
+        rel = MatchRelation.empty(pattern)
+        with pytest.raises(TypeError):
+            hash(rel)
+
+
+class TestOperations:
+    def test_restriction(self, pattern):
+        rel = MatchRelation.from_pairs(pattern, [("u", 1), ("u", 2), ("w", 3)])
+        restricted = rel.restricted_to({1, 3})
+        assert restricted.matches_of("u") == frozenset({1})
+        assert restricted.matches_of("w") == frozenset({3})
+
+    def test_copy_is_deep(self, pattern):
+        rel = MatchRelation.from_pairs(pattern, [("u", 1)])
+        clone = rel.copy()
+        clone.matches_of_raw("u").add(99)
+        assert 99 not in rel.matches_of("u")
+
+    def test_contains_relation(self, pattern):
+        big = MatchRelation.from_pairs(pattern, [("u", 1), ("u", 2), ("w", 3)])
+        small = MatchRelation.from_pairs(pattern, [("u", 1), ("w", 3)])
+        assert big.contains_relation(small)
+        assert not small.contains_relation(big)
+
+    def test_clear(self, pattern):
+        rel = MatchRelation.from_pairs(pattern, [("u", 1), ("w", 2)])
+        rel.clear()
+        assert rel.is_empty()
+
+    def test_to_sim_dict_is_fresh(self, pattern):
+        rel = MatchRelation.from_pairs(pattern, [("u", 1)])
+        sim = rel.to_sim_dict()
+        sim["u"].add(99)
+        assert 99 not in rel.matches_of("u")

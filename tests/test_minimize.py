@@ -1,0 +1,139 @@
+"""Unit + property tests for query minimization (minQ, Theorem 6)."""
+
+from hypothesis import given, settings
+
+from repro.core.digraph import DiGraph
+from repro.core.minimize import (
+    dual_equivalence_classes,
+    minimize_pattern,
+    patterns_dual_equivalent,
+)
+from repro.core.pattern import Pattern
+from repro.core.strong import match
+from repro.core.dualsim import dual_simulation
+from tests.conftest import graph_seeds, pattern_seeds, random_connected_pattern, random_digraph
+
+
+class TestEquivalenceClasses:
+    def test_identity_pattern_has_singleton_classes(self):
+        p = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        classes = dual_equivalence_classes(p)
+        assert sorted(sorted(c) for c in classes) == [["a"], ["b"]]
+
+    def test_twin_branches_collapse(self):
+        p = Pattern.build(
+            {"r": "R", "x": "B", "y": "B"},
+            [("r", "x"), ("r", "y")],
+        )
+        classes = dual_equivalence_classes(p)
+        assert sorted(sorted(c) for c in classes) == [["r"], ["x", "y"]]
+
+    def test_label_twins_with_different_structure_stay_apart(self):
+        # x has a child, y does not: not dual-equivalent despite labels.
+        p = Pattern.build(
+            {"r": "R", "x": "B", "y": "B", "z": "C"},
+            [("r", "x"), ("r", "y"), ("x", "z")],
+        )
+        classes = dual_equivalence_classes(p)
+        assert {frozenset(c) for c in classes} == {
+            frozenset({"r"}), frozenset({"x"}), frozenset({"y"}), frozenset({"z"})
+        }
+
+
+class TestMinimizePattern:
+    def test_q5_example(self):
+        from repro.datasets.paper_figures import pattern_q5
+
+        minimized = minimize_pattern(pattern_q5())
+        assert minimized.pattern.num_nodes == 5
+        assert minimized.pattern.num_edges == 4
+        assert minimized.radius == pattern_q5().diameter
+
+    def test_radius_is_original_diameter(self):
+        p = Pattern.build(
+            {"r": "R", "x": "B", "y": "B"},
+            [("r", "x"), ("r", "y")],
+        )
+        minimized = minimize_pattern(p)
+        assert minimized.radius == p.diameter == 2
+        # The quotient itself has diameter 1; the radius must not shrink.
+        assert minimized.pattern.diameter == 1
+
+    def test_already_minimal_is_isomorphic_identity(self):
+        p = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        minimized = minimize_pattern(p)
+        assert minimized.pattern.num_nodes == 2
+        assert minimized.pattern.num_edges == 1
+
+    def test_expand_match_roundtrip(self):
+        from repro.datasets.paper_figures import pattern_q5
+
+        minimized = minimize_pattern(pattern_q5())
+        all_members = set()
+        for class_id in range(len(minimized.classes)):
+            all_members |= set(minimized.expand_match(class_id))
+        assert all_members == set(pattern_q5().nodes())
+
+    def test_self_loop_quotient(self):
+        # A 2-cycle of equal labels collapses to one node with a self-loop.
+        p = Pattern.build({"a": "X", "b": "X"}, [("a", "b"), ("b", "a")])
+        minimized = minimize_pattern(p)
+        assert minimized.pattern.num_nodes == 1
+        quotient_node = next(iter(minimized.pattern.nodes()))
+        assert minimized.pattern.graph.has_edge(quotient_node, quotient_node)
+
+
+class TestTheorem6Equivalence:
+    @given(pattern_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_minimized_never_larger(self, seed):
+        pattern = random_connected_pattern(seed)
+        minimized = minimize_pattern(pattern)
+        assert minimized.pattern.size <= pattern.size
+
+    @given(pattern_seeds, graph_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_same_dual_match_graph_on_any_data(self, pseed, gseed):
+        """Lemma 2(1): Q and Qm have the same match graph via dual
+        simulation on any data graph — hence the same matched node set."""
+        pattern = random_connected_pattern(pseed)
+        data = random_digraph(gseed)
+        minimized = minimize_pattern(pattern)
+        original = dual_simulation(pattern, data)
+        quotient = dual_simulation(minimized.pattern, data)
+        assert original.data_nodes() == quotient.data_nodes()
+
+    @given(pattern_seeds, graph_seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_same_strong_simulation_results(self, pseed, gseed):
+        """Lemma 3: with the original diameter as radius, Q and Qm give
+        the same strong-simulation output on any data graph."""
+        pattern = random_connected_pattern(pseed, max_nodes=4)
+        data = random_digraph(gseed, max_nodes=10)
+        minimized = minimize_pattern(pattern)
+        original = {
+            sg.signature() for sg in match(pattern, data)
+        }
+        quotient = {
+            sg.signature()
+            for sg in match(
+                minimized.pattern, data, radius=minimized.radius
+            )
+        }
+        assert original == quotient
+
+    @given(pattern_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_minimized_is_dual_equivalent_to_original(self, seed):
+        pattern = random_connected_pattern(seed)
+        minimized = minimize_pattern(pattern)
+        assert patterns_dual_equivalent(pattern, minimized.pattern)
+
+    @given(pattern_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_minimization_is_idempotent(self, seed):
+        pattern = random_connected_pattern(seed)
+        once = minimize_pattern(pattern)
+        twice = minimize_pattern(once.pattern)
+        assert twice.pattern.num_nodes == once.pattern.num_nodes
+        assert twice.pattern.num_edges == once.pattern.num_edges

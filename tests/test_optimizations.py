@@ -1,0 +1,160 @@
+"""Tests for dualFilter, connectivity pruning and Match+ composition.
+
+The load-bearing invariant: every optimized configuration returns exactly
+the plain ``Match`` output (the paper's optimizations are pure speedups).
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.ball import extract_ball
+from repro.core.dualfilter import dual_filter
+from repro.core.dualsim import dual_simulation
+from repro.core.matchplus import MatchPlusOptions, match_plus
+from repro.core.pattern import Pattern
+from repro.core.pruning import (
+    candidate_component_of_center,
+    prune_candidates_by_connectivity,
+)
+from repro.core.strong import match
+from repro.core.digraph import DiGraph
+from tests.conftest import graph_with_sampled_pattern, random_digraph, random_connected_pattern
+
+
+class TestDualFilter:
+    def test_matches_per_ball_dual_simulation(self):
+        """dualFilter's refinement of the projected global relation must
+        equal running DualSim from scratch on the ball."""
+        from repro.core.strong import extract_max_perfect_subgraph
+
+        data = random_digraph(42, max_nodes=14, edge_prob=0.3)
+        pattern = random_connected_pattern(7, max_nodes=3)
+        global_rel = dual_simulation(pattern, data)
+        if global_rel.is_empty():
+            pytest.skip("no global match for this seed")
+        for center in sorted(global_rel.data_nodes(), key=repr):
+            ball = extract_ball(data, center, pattern.diameter)
+            filtered = dual_filter(pattern, global_rel, ball)
+            direct_rel = dual_simulation(pattern, ball.graph)
+            direct = (
+                extract_max_perfect_subgraph(pattern, ball, direct_rel)
+                if not direct_rel.is_empty()
+                else None
+            )
+            if direct is None:
+                assert filtered is None
+            else:
+                assert filtered is not None
+                assert filtered.signature() == direct.signature()
+
+    def test_none_when_projection_empty(self):
+        pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        data = DiGraph.from_parts(
+            {"a1": "A", "b1": "B", "x": "A"},
+            [("a1", "b1")],
+        )
+        global_rel = dual_simulation(pattern, data)
+        # Ball around the isolated "x" has no B candidate at all.
+        ball = extract_ball(data, "x", pattern.diameter)
+        assert dual_filter(pattern, global_rel, ball) is None
+
+    def test_extra_removals_propagate(self):
+        pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        data = DiGraph.from_parts(
+            {"a1": "A", "b1": "B"},
+            [("a1", "b1")],
+        )
+        global_rel = dual_simulation(pattern, data)
+        ball = extract_ball(data, "a1", pattern.diameter)
+        # Forcibly remove the only match of b: the cascade must empty a too.
+        assert (
+            dual_filter(
+                pattern, global_rel, ball, extra_removals={("b", "b1")}
+            )
+            is None
+        )
+
+
+class TestPruning:
+    def test_prunes_disconnected_candidates(self):
+        from repro.datasets.paper_figures import data_g7, pattern_q7
+
+        q7, g7 = pattern_q7(), data_g7()
+        ball = extract_ball(g7, "A1", q7.diameter)
+        seeds = {
+            u: set(ball.graph.nodes_with_label(q7.label(u)))
+            for u in q7.nodes()
+        }
+        union = set().union(*seeds.values())
+        component = candidate_component_of_center(ball, union)
+        assert component == {"A1", "B1"}
+
+    def test_returns_none_when_center_not_candidate(self):
+        pattern = Pattern.build({"a": "A"}, [])
+        data = DiGraph.from_parts({"x": "B", "a1": "A"}, [("x", "a1")])
+        ball = extract_ball(data, "x", 1)
+        seeds = {"a": {"a1"}}
+        assert prune_candidates_by_connectivity(pattern, ball, seeds) is None
+
+    def test_empty_union_component(self):
+        data = DiGraph.from_parts({"x": "B"}, [])
+        ball = extract_ball(data, "x", 1)
+        assert candidate_component_of_center(ball, set()) == set()
+
+
+class TestMatchPlusEquivalence:
+    ALL_OPTION_COMBOS = [
+        MatchPlusOptions(
+            use_minimization=mi,
+            use_dual_filter=df,
+            use_pruning=pr,
+            restrict_centers_by_label=rc,
+        )
+        for mi, df, pr, rc in itertools.product([False, True], repeat=4)
+    ]
+
+    @pytest.mark.parametrize(
+        "options",
+        ALL_OPTION_COMBOS,
+        ids=[
+            f"min={o.use_minimization}-filter={o.use_dual_filter}"
+            f"-prune={o.use_pruning}-centers={o.restrict_centers_by_label}"
+            for o in ALL_OPTION_COMBOS
+        ],
+    )
+    def test_every_option_combo_matches_plain_match(self, options):
+        data = random_digraph(99, max_nodes=16, edge_prob=0.28)
+        pattern = random_connected_pattern(5, max_nodes=4)
+        plain = {sg.signature() for sg in match(pattern, data)}
+        optimized = {
+            sg.signature() for sg in match_plus(pattern, data, options)
+        }
+        assert plain == optimized
+
+    @given(graph_with_sampled_pattern())
+    @settings(max_examples=40, deadline=None)
+    def test_default_match_plus_equals_match(self, pair):
+        data, pattern = pair
+        plain = {sg.signature() for sg in match(pattern, data)}
+        optimized = {sg.signature() for sg in match_plus(pattern, data)}
+        assert plain == optimized
+
+    def test_match_plus_on_paper_g1(self):
+        from repro.datasets.paper_figures import data_g1, pattern_q1
+
+        pattern, data = pattern_q1(), data_g1(cycle_length=5)
+        plain = {sg.signature() for sg in match(pattern, data)}
+        optimized = {sg.signature() for sg in match_plus(pattern, data)}
+        assert plain == optimized
+        result = match_plus(pattern, data)
+        # The minimized pattern's class node for Bio still maps to Bio4.
+        assert any(
+            "Bio4" in sg.graph.nodes_with_label("Bio") for sg in result
+        )
+
+    def test_empty_global_relation_short_circuits(self):
+        pattern = Pattern.build({"a": "ZZZ"}, [])
+        data = DiGraph.from_parts({"x": "A"}, [])
+        assert len(match_plus(pattern, data)) == 0

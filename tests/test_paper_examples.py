@@ -1,0 +1,202 @@
+"""End-to-end assertions of the paper's worked examples (Figures 1, 2, 6).
+
+Each test quotes the claim it checks; together these pin the library to
+the published semantics.
+"""
+
+import pytest
+
+from repro.baselines.vf2 import has_subgraph_isomorphism, vf2
+from repro.core.dualsim import dual_simulation, matches_via_dual_simulation
+from repro.core.matchplus import match_plus
+from repro.core.simulation import graph_simulation, matches_via_simulation
+from repro.core.strong import match
+from repro.datasets import paper_figures as fig
+
+
+class TestFigure1:
+    """Example 1/2/3: the headhunter network."""
+
+    def test_no_subgraph_isomorphism(self, q1, g1):
+        """'No subgraph of G1 is isomorphic to Q1.'"""
+        assert not has_subgraph_isomorphism(q1, g1)
+
+    def test_simulation_matches_all_biologists(self, q1, g1):
+        """'When graph simulation ... all four biologists in G1 are
+        matches for Bio.'"""
+        rel = graph_simulation(q1, g1)
+        assert rel.matches_of("Bio") == frozenset(
+            {"Bio1", "Bio2", "Bio3", "Bio4"}
+        )
+
+    def test_simulation_match_maps(self, q1, g1):
+        """Example 2(2): the simulation relation maps every pattern node
+        onto the full corresponding label class of G1."""
+        rel = graph_simulation(q1, g1)
+        assert rel.matches_of("HR") == frozenset({"HR1", "HR2"})
+        assert rel.matches_of("SE") == frozenset({"SE1", "SE2"})
+        assert {m for m in rel.matches_of("DM")} >= {"DM'1", "DM'2", "DM1"}
+        assert {m for m in rel.matches_of("AI")} >= {"AI'1", "AI'2", "AI1"}
+
+    def test_strong_simulation_finds_only_bio4(self, q1, g1):
+        """'Matching Q1 on G1 via strong simulation finds Bio4 as the
+        only match for Bio.'"""
+        result = match(q1, g1)
+        assert result.all_matches_of("Bio") == {"Bio4"}
+
+    def test_union_of_matches_is_good_component(self, q1, g1):
+        """Example 2(3): the match is inside the connected component Gc
+        containing Bio4, and the largest perfect subgraph is exactly Gc."""
+        result = match(q1, g1)
+        assert result.matched_data_nodes() == set(
+            fig.g1_good_component_nodes()
+        )
+        biggest = max(result, key=lambda sg: sg.num_nodes)
+        assert set(biggest.graph.nodes()) == set(fig.g1_good_component_nodes())
+
+    def test_long_cycle_excluded(self, q1):
+        """'The cycle AI1, DM1, ..., AIk, DMk, AI1 in G1 is not part of
+        the match.'"""
+        g1 = fig.data_g1(cycle_length=6)
+        result = match(q1, g1)
+        matched = result.matched_data_nodes()
+        assert not any(node.startswith("AI1") for node in matched)
+        assert "DM1" not in matched
+
+    def test_ball_around_bio4_is_good_component(self, q1, g1):
+        """Example 2(3b): 'the ball with center Bio4 and radius 3 (the
+        diameter of Q1) is exactly Gc.'"""
+        from repro.core.ball import extract_ball
+
+        ball = extract_ball(g1, "Bio4", q1.diameter)
+        assert set(ball.graph.nodes()) == set(fig.g1_good_component_nodes())
+
+
+class TestFigure2Books:
+    """Example 2(4): pattern Q2 on data G2."""
+
+    def test_simulation_returns_both_books(self):
+        rel = graph_simulation(fig.pattern_q2(), fig.data_g2())
+        assert rel.matches_of("B") == frozenset({"book1", "book2"})
+
+    def test_strong_simulation_returns_book2_only(self):
+        result = match(fig.pattern_q2(), fig.data_g2())
+        assert result.all_matches_of("B") == {"book2"}
+
+    def test_strong_returns_single_match_graph(self):
+        """'book2 is the only match by the duality, in a single match
+        graph.'"""
+        result = match(fig.pattern_q2(), fig.data_g2())
+        assert len(result) == 1
+
+    def test_vf2_returns_two_match_graphs(self):
+        """'subgraph isomorphism ... returns two match graphs.'"""
+        assert vf2(fig.pattern_q2(), fig.data_g2()).num_matched_subgraphs == 2
+
+
+class TestFigure2People:
+    """Example 2(5): mutual recommendation Q3 on G3."""
+
+    def test_simulation_and_dual_match_everyone(self):
+        q3, g3 = fig.pattern_q3(), fig.data_g3()
+        assert graph_simulation(q3, g3).matches_of("P") == frozenset(
+            {"P1", "P2", "P3", "P4"}
+        )
+        assert dual_simulation(q3, g3).matches_of("P") == frozenset(
+            {"P1", "P2", "P3", "P4"}
+        )
+
+    def test_strong_simulation_excludes_p4(self):
+        """'When strong simulation is adopted, P1, P2 and P3 are the only
+        matches by the locality.'"""
+        result = match(fig.pattern_q3(), fig.data_g3())
+        assert result.matched_data_nodes() == {"P1", "P2", "P3"}
+
+
+class TestFigure2Papers:
+    """Example 2(6): citation pattern Q4 on G4."""
+
+    def test_simulation_matches_all_sn(self):
+        rel = graph_simulation(fig.pattern_q4(), fig.data_g4())
+        assert rel.matches_of("SN") == frozenset({"SN1", "SN2", "SN3", "SN4"})
+
+    def test_strong_matches_sn1_sn2_only(self):
+        result = match(fig.pattern_q4(), fig.data_g4())
+        assert result.all_matches_of("SN") == {"SN1", "SN2"}
+
+    def test_vf2_returns_four_match_graphs(self):
+        """'returned in four match graphs (G4,i,j for i, j ∈ [1, 2]).'"""
+        assert vf2(fig.pattern_q4(), fig.data_g4()).num_matched_subgraphs == 4
+
+    def test_maximal_subgraph_is_the_union(self):
+        """'returned in a single match graph (union of G4,i,j)': the
+        largest perfect subgraph is the union of all four isomorphism
+        match graphs."""
+        result = match(fig.pattern_q4(), fig.data_g4())
+        biggest = max(result, key=lambda sg: sg.num_nodes)
+        assert set(biggest.graph.nodes()) == {
+            "db1", "db2", "SN1", "SN2", "graph1", "graph2"
+        }
+
+
+class TestFigure6:
+    """Examples 4, 5, 6: the optimization figures."""
+
+    def test_q5_minimization(self):
+        """Example 4: Q5's 8 nodes collapse to 5 equivalence classes."""
+        from repro.core.minimize import minimize_pattern
+
+        minimized = minimize_pattern(fig.pattern_q5())
+        assert minimized.pattern.num_nodes == 5
+        class_sets = sorted(sorted(c) for c in minimized.classes)
+        assert class_sets == [
+            ["A"], ["B1", "B2"], ["C1", "C2"], ["D1", "D2"], ["R"]
+        ]
+
+    def test_q6_global_dual_relation(self):
+        """Example 5: S_G6 keeps {A2, A3}, {B2, B3}, {C}."""
+        rel = dual_simulation(fig.pattern_q6(), fig.data_g6())
+        assert rel.matches_of("A") == frozenset({"A2", "A3"})
+        assert rel.matches_of("B") == frozenset({"B2", "B3"})
+        assert rel.matches_of("C") == frozenset({"C0"})
+
+    def test_q7_g7_ball_is_whole_graph(self):
+        """Example 6: d_Q7 > d_G7, so every ball is G7 itself."""
+        from repro.core.ball import extract_ball
+        from repro.core.traversal import diameter_undirected
+
+        q7, g7 = fig.pattern_q7(), fig.data_g7()
+        assert q7.diameter == 5
+        assert diameter_undirected(g7) == 4
+        ball = extract_ball(g7, "A1", q7.diameter)
+        assert set(ball.graph.nodes()) == set(g7.nodes())
+
+    def test_q7_pruning_splits_candidates(self):
+        """Example 6: candidate nodes form two components SC1/SC2; only
+        the center's survives pruning."""
+        from repro.core.ball import extract_ball
+        from repro.core.pruning import prune_candidates_by_connectivity
+
+        q7, g7 = fig.pattern_q7(), fig.data_g7()
+        ball = extract_ball(g7, "A1", q7.diameter)
+        seeds = {
+            u: set(ball.graph.nodes_with_label(q7.label(u)))
+            for u in q7.nodes()
+        }
+        pruned = prune_candidates_by_connectivity(q7, ball, seeds)
+        assert pruned is not None
+        surviving = set()
+        for candidates in pruned.values():
+            surviving |= candidates
+        assert surviving == {"A1", "B1"}  # SC2 = {A2, B2} pruned
+
+
+class TestAllFixtures:
+    @pytest.mark.parametrize(
+        "name,pattern,data",
+        [pytest.param(*triple, id=triple[0]) for triple in fig.all_fixture_pairs()],
+    )
+    def test_match_plus_equals_match_on_fixtures(self, name, pattern, data):
+        plain = {sg.signature() for sg in match(pattern, data)}
+        plus = {sg.signature() for sg in match_plus(pattern, data)}
+        assert plain == plus

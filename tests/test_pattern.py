@@ -1,0 +1,52 @@
+"""Unit tests for Pattern validation and cached diameter."""
+
+import pytest
+
+from repro.core.digraph import DiGraph
+from repro.core.pattern import Pattern
+from repro.exceptions import PatternError
+
+
+class TestValidation:
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(DiGraph())
+
+    def test_disconnected_pattern_rejected(self):
+        g = DiGraph()
+        g.add_node(1, "A")
+        g.add_node(2, "B")
+        with pytest.raises(PatternError):
+            Pattern(g)
+
+    def test_single_node_pattern_ok(self):
+        p = Pattern.build({1: "A"}, [])
+        assert p.diameter == 0
+        assert p.num_nodes == 1
+        assert p.num_edges == 0
+
+    def test_undirected_connectivity_suffices(self):
+        # 1 -> 2 <- 3 is weakly but not strongly connected: still valid.
+        p = Pattern.build({1: "A", 2: "B", 3: "C"}, [(1, 2), (3, 2)])
+        assert p.diameter == 2
+
+
+class TestAccessors:
+    def test_delegation(self):
+        p = Pattern.build({1: "A", 2: "B"}, [(1, 2)])
+        assert p.label(1) == "A"
+        assert p.label_set() == frozenset({"A", "B"})
+        assert p.successors(1) == frozenset({2})
+        assert p.predecessors(2) == frozenset({1})
+        assert list(p.edges()) == [(1, 2)]
+        assert len(p) == 2
+        assert p.size == 3
+
+    def test_diameter_of_paper_q1(self):
+        from repro.datasets.paper_figures import pattern_q1
+
+        assert pattern_q1().diameter == 3  # stated in Example 3
+
+    def test_repr(self):
+        p = Pattern.build({1: "A", 2: "B"}, [(1, 2)])
+        assert "d_Q=1" in repr(p)

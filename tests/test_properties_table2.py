@@ -1,0 +1,193 @@
+"""Table 2: topology preservation and bounded matches, as property tests.
+
+Each column of Table 2 becomes a check, run over random (graph, pattern)
+pairs and over the paper's fixtures:
+
+===============  ====  ====  ======  ====
+criterion        ≺     ≺_D   ≺_LD    ⋞
+===============  ====  ====  ======  ====
+children         ✓     ✓     ✓       ✓
+parents          ×     ✓     ✓       ✓
+connectivity     ×     ✓     ✓       ✓
+directed cycles  ✓     ✓     ✓       ✓
+undirected cyc.  ×     ✓     ✓       ✓
+locality         ×     ×     ✓       ✓
+bounded matches  ×     ×     ✓       ×
+===============  ====  ====  ======  ====
+"""
+
+from hypothesis import given, settings
+
+from repro.baselines.vf2 import enumerate_embeddings
+from repro.core.digraph import DiGraph
+from repro.core.dualsim import dual_simulation
+from repro.core.matchgraph import build_match_graph
+from repro.core.pattern import Pattern
+from repro.core.simulation import graph_simulation
+from repro.core.strong import match
+from repro.core.traversal import (
+    has_directed_cycle,
+    has_undirected_cycle,
+    is_connected_undirected,
+)
+from repro.core.components import connected_components
+from tests.conftest import graph_with_sampled_pattern
+
+
+class TestProposition1Containment:
+    """⋞ ⊆ ≺_LD ⊆ ≺_D ⊆ ≺ on matched node sets / decision level."""
+
+    @given(graph_with_sampled_pattern())
+    @settings(max_examples=50, deadline=None)
+    def test_containment_chain(self, pair):
+        data, pattern = pair
+        iso = next(enumerate_embeddings(pattern, data, max_matches=1), None)
+        strong = match(pattern, data)
+        dual = dual_simulation(pattern, data)
+        sim = graph_simulation(pattern, data)
+        if iso is not None:
+            assert len(strong) > 0, "iso match must imply strong match"
+        if len(strong) > 0:
+            assert dual.is_total(), "strong match must imply dual match"
+        if dual.is_total():
+            assert sim.is_total(), "dual match must imply simulation"
+
+    @given(graph_with_sampled_pattern())
+    @settings(max_examples=50, deadline=None)
+    def test_node_set_containment(self, pair):
+        data, pattern = pair
+        strong_nodes = match(pattern, data).matched_data_nodes()
+        dual_nodes = dual_simulation(pattern, data).data_nodes()
+        sim_nodes = graph_simulation(pattern, data).data_nodes()
+        assert strong_nodes <= dual_nodes <= sim_nodes
+
+
+class TestChildrenAndParents:
+    @given(graph_with_sampled_pattern())
+    @settings(max_examples=40, deadline=None)
+    def test_simulation_preserves_children(self, pair):
+        """Every child of a matched pattern node is matched by a child of
+        the data node — for every pair in the maximum relation."""
+        data, pattern = pair
+        rel = graph_simulation(pattern, data)
+        for u, v in rel.pairs():
+            for u_child in pattern.successors(u):
+                children = rel.matches_of_raw(u_child)
+                assert any(
+                    w in children for w in data.successors_raw(v)
+                )
+
+    @given(graph_with_sampled_pattern())
+    @settings(max_examples=40, deadline=None)
+    def test_dual_simulation_preserves_parents(self, pair):
+        data, pattern = pair
+        rel = dual_simulation(pattern, data)
+        for u, v in rel.pairs():
+            for u_parent in pattern.predecessors(u):
+                parents = rel.matches_of_raw(u_parent)
+                assert any(
+                    w in parents for w in data.predecessors_raw(v)
+                )
+
+    def test_simulation_does_not_preserve_parents(self):
+        """The Fig. 1 counterexample: Bio1 matches via simulation with a
+        single HR parent although Bio has three pattern parents."""
+        from repro.datasets.paper_figures import data_g1, pattern_q1
+
+        rel = graph_simulation(pattern_q1(), data_g1())
+        assert "Bio1" in rel.matches_of("Bio")  # parents not enforced
+
+
+class TestConnectivity:
+    @given(graph_with_sampled_pattern())
+    @settings(max_examples=40, deadline=None)
+    def test_theorem2_components_are_dual_matches(self, pair):
+        """Theorem 2: each connected component of the dual match graph is
+        itself dual-matched by Q (relation restricted to it is total)."""
+        data, pattern = pair
+        rel = dual_simulation(pattern, data)
+        if not rel.is_total():
+            return
+        mg = build_match_graph(pattern, data, rel)
+        for component in connected_components(mg):
+            restricted = rel.restricted_to(component)
+            assert restricted.is_total()
+            sub = mg.subgraph(component)
+            component_rel = dual_simulation(pattern, sub)
+            assert component_rel.is_total()
+
+    def test_simulation_matches_disconnected_data(self):
+        """Fig. 1: connected Q1 simulates into disconnected G1."""
+        from repro.datasets.paper_figures import data_g1, pattern_q1
+
+        q1, g1 = pattern_q1(), data_g1()
+        assert not is_connected_undirected(g1)
+        rel = graph_simulation(q1, g1)
+        mg = build_match_graph(q1, g1, rel)
+        assert len(connected_components(mg)) > 1
+
+    @given(graph_with_sampled_pattern())
+    @settings(max_examples=40, deadline=None)
+    def test_strong_matches_are_connected(self, pair):
+        data, pattern = pair
+        for subgraph in match(pattern, data):
+            assert is_connected_undirected(subgraph.graph)
+
+
+class TestCycles:
+    @given(graph_with_sampled_pattern())
+    @settings(max_examples=40, deadline=None)
+    def test_proposition2_directed_cycles(self, pair):
+        """If Q has a directed cycle and Q ≺ G, the match graph has one."""
+        data, pattern = pair
+        if not has_directed_cycle(pattern.graph):
+            return
+        rel = graph_simulation(pattern, data)
+        if not rel.is_total():
+            return
+        mg = build_match_graph(pattern, data, rel)
+        assert has_directed_cycle(mg)
+
+    @given(graph_with_sampled_pattern())
+    @settings(max_examples=40, deadline=None)
+    def test_theorem3_undirected_cycles(self, pair):
+        """If Q has an undirected cycle and Q ≺_D G, the dual match graph
+        has one."""
+        data, pattern = pair
+        if not has_undirected_cycle(pattern.graph):
+            return
+        rel = dual_simulation(pattern, data)
+        if not rel.is_total():
+            return
+        mg = build_match_graph(pattern, data, rel)
+        assert has_undirected_cycle(mg)
+
+    def test_simulation_breaks_undirected_cycles(self):
+        """Fig. 1: the undirected HR/SE/Bio cycle of Q1 simulates into
+        the *tree* rooted at HR1 — simulation does not preserve
+        undirected cycles."""
+        from repro.datasets.paper_figures import data_g1, pattern_q1
+
+        q1, g1 = pattern_q1(), data_g1()
+        rel = graph_simulation(q1, g1)
+        # The tree component's nodes are all in the simulation relation.
+        assert {"HR1", "SE1", "Bio1", "Bio2"} <= rel.data_nodes()
+
+
+class TestBoundedMatches:
+    @given(graph_with_sampled_pattern())
+    @settings(max_examples=40, deadline=None)
+    def test_proposition4(self, pair):
+        data, pattern = pair
+        assert len(match(pattern, data)) <= data.num_nodes
+
+    def test_vf2_can_exceed_strong_count(self):
+        """Subgraph isomorphism has no |V| bound on distinct matched
+        subgraphs in general; on Fig. 2's G4 it already returns 4 where
+        strong simulation's largest ball returns the single union."""
+        from repro.baselines.vf2 import vf2
+        from repro.datasets.paper_figures import data_g4, pattern_q4
+
+        iso = vf2(pattern_q4(), data_g4())
+        strong = match(pattern_q4(), data_g4())
+        assert iso.num_matched_subgraphs >= len(strong)

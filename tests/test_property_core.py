@@ -1,0 +1,177 @@
+"""Property-based tests on the core data structures and invariants.
+
+Complements the per-module unit tests with hypothesis-driven checks on
+the structures everything else builds on: graph mutation sequences, ball
+semantics, serialization round-trips, and the simulation-family lattice.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ball import extract_ball
+from repro.core.digraph import DiGraph
+from repro.core.dualsim import dual_simulation
+from repro.core.pattern import Pattern
+from repro.core.simulation import graph_simulation
+from repro.core.traversal import undirected_distances
+from repro.io.edgelist import read_edgelist, write_edgelist
+from repro.io.jsonio import graph_from_dict, graph_to_dict
+from tests.conftest import graph_seeds, random_digraph
+
+
+class TestGraphMutationInvariants:
+    @given(graph_seeds, st.lists(st.integers(0, 400), min_size=1, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_mutation_sequences_keep_counters_consistent(self, seed, ops):
+        """After arbitrary add/remove sequences, num_edges equals the
+        actual adjacency size and the label index is exact."""
+        graph = random_digraph(seed, max_nodes=8)
+        rng = random.Random(seed)
+        nodes = list(graph.nodes())
+        for op in ops:
+            if not nodes:
+                break
+            u = nodes[op % len(nodes)]
+            v = nodes[(op // 7) % len(nodes)]
+            if op % 3 == 0 and u != v:
+                graph.add_edge(u, v)
+            elif op % 3 == 1 and graph.has_edge(u, v):
+                graph.remove_edge(u, v)
+            else:
+                graph.relabel_node(u, f"l{op % 5}")
+        # Counter consistency.
+        assert graph.num_edges == sum(
+            1 for _ in graph.edges()
+        )
+        # succ/pred symmetry.
+        for source, target in graph.edges():
+            assert source in graph.predecessors(target)
+            assert target in graph.successors(source)
+        # Label index exactness.
+        for label in graph.label_set():
+            for node in graph.nodes_with_label(label):
+                assert graph.label(node) == label
+        for node in graph.nodes():
+            assert node in graph.nodes_with_label(graph.label(node))
+
+    @given(graph_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_reverse_is_involution(self, seed):
+        graph = random_digraph(seed)
+        double = graph.reverse().reverse()
+        assert graph.same_as(double)
+
+    @given(graph_seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_subgraph_of_all_nodes_is_identity(self, seed):
+        graph = random_digraph(seed)
+        assert graph.same_as(graph.subgraph(set(graph.nodes())))
+
+
+class TestBallProperties:
+    @given(graph_seeds, st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_ball_contents_match_distances(self, seed, radius):
+        graph = random_digraph(seed)
+        center = next(iter(graph.nodes()))
+        ball = extract_ball(graph, center, radius)
+        distances = undirected_distances(graph, center)
+        expected = {n for n, d in distances.items() if d <= radius}
+        assert set(ball.graph.nodes()) == expected
+
+    @given(graph_seeds, st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_ball_is_induced(self, seed, radius):
+        graph = random_digraph(seed)
+        center = next(iter(graph.nodes()))
+        ball = extract_ball(graph, center, radius)
+        members = set(ball.graph.nodes())
+        for source in members:
+            for target in graph.successors_raw(source):
+                if target in members:
+                    assert ball.graph.has_edge(source, target)
+
+    @given(graph_seeds, st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_balls_grow_monotonically(self, seed, radius):
+        graph = random_digraph(seed)
+        center = next(iter(graph.nodes()))
+        smaller = set(extract_ball(graph, center, radius - 1).graph.nodes())
+        larger = set(extract_ball(graph, center, radius).graph.nodes())
+        assert smaller <= larger
+
+
+class TestSerializationRoundTrips:
+    @given(graph_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_json_dict_roundtrip(self, seed):
+        graph = random_digraph(seed)
+        assert graph_from_dict(graph_to_dict(graph)).same_as(graph)
+
+    @given(graph_seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_edgelist_roundtrip(self, seed):
+        import tempfile
+        from pathlib import Path
+
+        graph = random_digraph(seed)
+        # Edge-list node ids come back as strings: compare canonically.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "g.txt"
+            write_edgelist(graph, path)
+            loaded = read_edgelist(path)
+        assert loaded.num_nodes == graph.num_nodes
+        assert loaded.num_edges == graph.num_edges
+        original_edges = {(str(s), str(t)) for s, t in graph.edges()}
+        assert set(loaded.edges()) == original_edges
+        for node in graph.nodes():
+            assert loaded.label(str(node)) == graph.label(node)
+
+
+class TestSimulationLattice:
+    @given(graph_seeds, graph_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_adding_edges_to_data_grows_simulation(self, seed, extra_seed):
+        """Simulation is monotone in the data graph: adding data edges
+        never removes pairs from the maximum relation."""
+        data = random_digraph(seed, max_nodes=8)
+        pattern_graph = random_digraph(extra_seed, max_nodes=3)
+        try:
+            pattern = Pattern(pattern_graph)
+        except Exception:
+            return
+        before = graph_simulation(pattern, data)
+        rng = random.Random(extra_seed)
+        nodes = list(data.nodes())
+        grown = data.copy()
+        for _ in range(3):
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            if u != v:
+                grown.add_edge(u, v)
+        after = graph_simulation(pattern, grown)
+        if before.is_total():
+            assert after.contains_relation(before)
+
+    @given(graph_seeds, graph_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_dual_monotone_in_data_edges(self, seed, extra_seed):
+        data = random_digraph(seed, max_nodes=8)
+        pattern_graph = random_digraph(extra_seed, max_nodes=3)
+        try:
+            pattern = Pattern(pattern_graph)
+        except Exception:
+            return
+        before = dual_simulation(pattern, data)
+        rng = random.Random(seed + 1)
+        nodes = list(data.nodes())
+        grown = data.copy()
+        for _ in range(3):
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            if u != v:
+                grown.add_edge(u, v)
+        after = dual_simulation(pattern, grown)
+        if before.is_total():
+            assert after.contains_relation(before)

@@ -1,0 +1,109 @@
+"""Tests for match ranking (top-k future-work feature)."""
+
+import pytest
+
+from repro.core.digraph import DiGraph
+from repro.core.pattern import Pattern
+from repro.core.ranking import (
+    RankingWeights,
+    compactness,
+    coverage_density,
+    rank_matches,
+    score_breakdown,
+    score_match,
+    specificity,
+    top_k_matches,
+)
+from repro.core.strong import match
+
+
+def two_quality_matches():
+    """One exact-size match and one bloated match of the same pattern."""
+    pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+    data = DiGraph.from_parts(
+        # tight community: one a -> one b
+        {"a1": "A", "b1": "B",
+         # loose community: two a's, two b's fully connected
+         "a2": "A", "a3": "A", "b2": "B", "b3": "B",
+         # insulation so the two communities are separate balls
+         "x": "X"},
+        [("a1", "b1"),
+         ("a2", "b2"), ("a2", "b3"), ("a3", "b2"), ("a3", "b3"),
+         ("b1", "x"), ("x", "a2")],
+    )
+    return pattern, match(pattern, data)
+
+
+class TestMetrics:
+    def test_compactness(self):
+        pattern, result = two_quality_matches()
+        by_size = sorted(result, key=lambda sg: sg.num_nodes)
+        tight, loose = by_size[0], by_size[-1]
+        assert compactness(pattern, tight) == 1.0
+        assert compactness(pattern, loose) < 1.0
+
+    def test_specificity(self):
+        pattern, result = two_quality_matches()
+        by_size = sorted(result, key=lambda sg: sg.num_nodes)
+        tight, loose = by_size[0], by_size[-1]
+        assert specificity(pattern, tight) == 1.0
+        assert specificity(pattern, loose) < 1.0
+
+    def test_density(self):
+        pattern, result = two_quality_matches()
+        by_size = sorted(result, key=lambda sg: sg.num_nodes)
+        tight, loose = by_size[0], by_size[-1]
+        assert coverage_density(pattern, tight) == 1.0
+        assert coverage_density(pattern, loose) < 1.0
+
+    def test_scores_in_unit_interval(self):
+        pattern, result = two_quality_matches()
+        for subgraph in result:
+            score = score_match(pattern, subgraph)
+            assert 0.0 < score <= 1.0
+
+    def test_breakdown_keys(self):
+        pattern, result = two_quality_matches()
+        breakdown = score_breakdown(pattern, next(iter(result)))
+        assert set(breakdown) == {
+            "compactness", "specificity", "density", "combined"
+        }
+
+
+class TestRanking:
+    def test_tight_match_ranks_first(self):
+        pattern, result = two_quality_matches()
+        ranked = rank_matches(result)
+        assert ranked[0].num_nodes == pattern.num_nodes
+
+    def test_top_k_truncates(self):
+        _, result = two_quality_matches()
+        assert len(top_k_matches(result, 1)) == 1
+        assert len(top_k_matches(result, 100)) == len(result)
+        assert top_k_matches(result, 0) == []
+
+    def test_negative_k_rejected(self):
+        _, result = two_quality_matches()
+        with pytest.raises(ValueError):
+            top_k_matches(result, -1)
+
+    def test_weights_normalization(self):
+        weights = RankingWeights(2.0, 0.0, 0.0).normalized()
+        assert weights.compactness == pytest.approx(1.0)
+        zero = RankingWeights(0, 0, 0).normalized()
+        assert zero.compactness == pytest.approx(1 / 3)
+
+    def test_weight_sensitivity(self):
+        """Putting all weight on one metric equals that metric."""
+        pattern, result = two_quality_matches()
+        subgraph = next(iter(result))
+        only_compact = RankingWeights(1.0, 0.0, 0.0)
+        assert score_match(pattern, subgraph, only_compact) == pytest.approx(
+            compactness(pattern, subgraph)
+        )
+
+    def test_deterministic_order(self):
+        _, result = two_quality_matches()
+        assert [sg.center for sg in rank_matches(result)] == [
+            sg.center for sg in rank_matches(result)
+        ]

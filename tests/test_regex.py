@@ -1,0 +1,134 @@
+"""Tests for the label-regex engine (parser, NFA, graph reachability)."""
+
+import pytest
+
+from repro.core.digraph import DiGraph
+from repro.core.regex import (
+    RegexSyntaxError,
+    compile_regex,
+    regex_predecessors,
+    regex_successors,
+)
+
+
+class TestWordAcceptance:
+    def test_empty_regex_accepts_empty_word(self):
+        nfa = compile_regex("")
+        assert nfa.accepts_word([])
+        assert not nfa.accepts_word(["A"])
+
+    def test_single_label(self):
+        nfa = compile_regex("A")
+        assert nfa.accepts_word(["A"])
+        assert not nfa.accepts_word([])
+        assert not nfa.accepts_word(["B"])
+        assert not nfa.accepts_word(["A", "A"])
+
+    def test_concatenation(self):
+        nfa = compile_regex("A B")
+        assert nfa.accepts_word(["A", "B"])
+        assert not nfa.accepts_word(["B", "A"])
+
+    def test_alternation(self):
+        nfa = compile_regex("A|B")
+        assert nfa.accepts_word(["A"])
+        assert nfa.accepts_word(["B"])
+        assert not nfa.accepts_word(["C"])
+
+    def test_kleene_star(self):
+        nfa = compile_regex("A*")
+        assert nfa.accepts_word([])
+        assert nfa.accepts_word(["A"] * 5)
+        assert not nfa.accepts_word(["A", "B"])
+
+    def test_plus(self):
+        nfa = compile_regex("A+")
+        assert not nfa.accepts_word([])
+        assert nfa.accepts_word(["A", "A"])
+
+    def test_optional(self):
+        nfa = compile_regex("A?")
+        assert nfa.accepts_word([])
+        assert nfa.accepts_word(["A"])
+        assert not nfa.accepts_word(["A", "A"])
+
+    def test_wildcard(self):
+        nfa = compile_regex(". .")
+        assert nfa.accepts_word(["X", "Y"])
+        assert not nfa.accepts_word(["X"])
+
+    def test_grouping(self):
+        nfa = compile_regex("A (B|C)* D")
+        assert nfa.accepts_word(["A", "D"])
+        assert nfa.accepts_word(["A", "B", "C", "B", "D"])
+        assert not nfa.accepts_word(["A", "E", "D"])
+
+    def test_multichar_labels(self):
+        nfa = compile_regex("Film&Animation Music*")
+        assert nfa.accepts_word(["Film&Animation"])
+        assert nfa.accepts_word(["Film&Animation", "Music", "Music"])
+
+    def test_syntax_errors(self):
+        with pytest.raises(RegexSyntaxError):
+            compile_regex("(A")
+        with pytest.raises(RegexSyntaxError):
+            compile_regex("A)")
+        with pytest.raises(RegexSyntaxError):
+            compile_regex("*")
+
+
+class TestGraphReachability:
+    @pytest.fixture
+    def chain(self) -> DiGraph:
+        # a -> m1 -> m2 -> b, with labels A, M, M, B
+        return DiGraph.from_parts(
+            {"a": "A", "m1": "M", "m2": "M", "b": "B"},
+            [("a", "m1"), ("m1", "m2"), ("m2", "b")],
+        )
+
+    def test_empty_regex_is_direct_edge(self, chain):
+        nfa = compile_regex("")
+        assert regex_successors(chain, "a", nfa) == {"m1"}
+
+    def test_star_skips_intermediates(self, chain):
+        nfa = compile_regex("M*")
+        assert regex_successors(chain, "a", nfa) == {"m1", "m2", "b"}
+
+    def test_exact_intermediate_count(self, chain):
+        nfa = compile_regex("M M")
+        assert regex_successors(chain, "a", nfa) == {"b"}
+
+    def test_hop_bound(self, chain):
+        nfa = compile_regex("M*")
+        assert regex_successors(chain, "a", nfa, max_hops=2) == {"m1", "m2"}
+
+    def test_predecessors_mirror_successors(self, chain):
+        nfa = compile_regex("M*")
+        # b is regex-reachable from a, m1, m2.
+        assert regex_predecessors(chain, "b", nfa) == {"a", "m1", "m2"}
+
+    def test_predecessor_word_order(self):
+        # s -> x(X) -> y(Y) -> t : word from s to t is "X Y".
+        g = DiGraph.from_parts(
+            {"s": "S", "x": "X", "y": "Y", "t": "T"},
+            [("s", "x"), ("x", "y"), ("y", "t")],
+        )
+        forward = compile_regex("X Y")
+        assert regex_successors(g, "s", forward) == {"t"}
+        assert regex_predecessors(g, "t", forward) == {"s"}
+        backward = compile_regex("Y X")
+        assert regex_successors(g, "s", backward) == set()
+        assert regex_predecessors(g, "t", backward) == set()
+
+    def test_cycle_termination(self):
+        g = DiGraph.from_parts(
+            {"a": "A", "b": "B"},
+            [("a", "b"), ("b", "a")],
+        )
+        nfa = compile_regex("(A|B)*")
+        # Must terminate despite the cycle and find both nodes.
+        assert regex_successors(g, "a", nfa) == {"a", "b"}
+
+    def test_no_match(self, chain):
+        nfa = compile_regex("Z")
+        assert regex_successors(chain, "a", nfa) == set()

@@ -1,0 +1,43 @@
+"""Tests for the experiment registry and the reproduce CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class TestRegistry:
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("nope")
+
+    def test_all_experiments_have_docstrings(self):
+        for renderer in EXPERIMENTS.values():
+            assert renderer.__doc__
+
+    @pytest.mark.parametrize("name", ["table3", "distributed"])
+    def test_light_experiments_render(self, name):
+        text = run_experiment(name, scale=200)
+        assert text.strip()
+        assert "\n" in text
+
+    def test_quality_experiment_renders_all_datasets(self):
+        text = run_experiment("fig7-closeness-vq", scale=200)
+        for dataset in ("Amazon", "YouTube", "Synthetic"):
+            assert dataset in text
+
+
+class TestReproduceCli:
+    def test_listing(self, capsys):
+        assert main(["reproduce"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "distributed" in out
+
+    def test_unknown_name_exit_code(self, capsys):
+        assert main(["reproduce", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_render_via_cli(self, capsys):
+        assert main(["reproduce", "table3", "--scale", "200"]) == 0
+        assert "Table 3" in capsys.readouterr().out

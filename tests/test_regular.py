@@ -1,0 +1,190 @@
+"""Tests for regular-expression pattern matching (the [18] extension)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.digraph import DiGraph
+from repro.core.dualsim import dual_simulation
+from repro.core.pattern import Pattern
+from repro.core.regular import (
+    RegularPattern,
+    regular_dual_simulation,
+    regular_strong_match,
+)
+from repro.core.strong import match
+from repro.exceptions import PatternError
+from tests.conftest import graph_with_sampled_pattern
+
+
+def hop_pattern():
+    """A -> B via intermediaries labeled M."""
+    return Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+
+
+def hop_data() -> DiGraph:
+    return DiGraph.from_parts(
+        {
+            "a1": "A", "b1": "B",            # direct edge
+            "a2": "A", "m": "M", "b2": "B",  # one M between
+            "a3": "A", "x": "X", "b3": "B",  # wrong intermediary
+        },
+        [
+            ("a1", "b1"),
+            ("a2", "m"), ("m", "b2"),
+            ("a3", "x"), ("x", "b3"),
+        ],
+    )
+
+
+class TestRegularPattern:
+    def test_defaults_to_direct_edges(self):
+        rp = RegularPattern(hop_pattern())
+        assert rp.sources[("a", "b")] == ""
+        assert rp.bounds[("a", "b")] == 1
+
+    def test_constraint_for_non_edge_rejected(self):
+        with pytest.raises(PatternError):
+            RegularPattern(hop_pattern(), {("b", "a"): "M*"})
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(PatternError):
+            RegularPattern(hop_pattern(), bounds={("a", "b"): 0})
+
+    def test_default_radius_scales_with_bounds(self):
+        rp_plain = RegularPattern(hop_pattern())
+        assert rp_plain.default_radius() == hop_pattern().diameter
+        rp_bounded = RegularPattern(
+            hop_pattern(), {("a", "b"): "M*"}, {("a", "b"): 3}
+        )
+        assert rp_bounded.default_radius() == 3 * hop_pattern().diameter
+
+
+class TestRegularDualSimulation:
+    def test_direct_edges_equal_plain_dual(self):
+        pattern, data = hop_pattern(), hop_data()
+        plain = dual_simulation(pattern, data)
+        regular = regular_dual_simulation(RegularPattern(pattern), data)
+        assert plain == regular
+
+    def test_regex_extends_reach(self):
+        pattern, data = hop_pattern(), hop_data()
+        rp = RegularPattern(pattern, {("a", "b"): "M?"})
+        rel = regular_dual_simulation(rp, data)
+        # Direct edge (empty word) and one M hop both qualify; X does not.
+        assert rel.matches_of("a") == frozenset({"a1", "a2"})
+        assert rel.matches_of("b") == frozenset({"b1", "b2"})
+
+    def test_regex_requires_intermediate(self):
+        pattern, data = hop_pattern(), hop_data()
+        rp = RegularPattern(pattern, {("a", "b"): "M"})
+        rel = regular_dual_simulation(rp, data)
+        assert rel.matches_of("a") == frozenset({"a2"})
+
+    def test_wildcard_regex(self):
+        pattern, data = hop_pattern(), hop_data()
+        rp = RegularPattern(pattern, {("a", "b"): ".?"})
+        rel = regular_dual_simulation(rp, data)
+        assert rel.matches_of("a") == frozenset({"a1", "a2", "a3"})
+
+    def test_failure_collapses(self):
+        pattern = hop_pattern()
+        data = DiGraph.from_parts({"a1": "A"}, [])
+        rp = RegularPattern(pattern, {("a", "b"): "M*"})
+        assert regular_dual_simulation(rp, data).is_empty()
+
+    def test_duality_enforced_through_paths(self):
+        # b must have an A regex-parent; b_orphan's only path source is X.
+        pattern = hop_pattern()
+        data = DiGraph.from_parts(
+            {"a1": "A", "m": "M", "b1": "B", "x": "X", "b2": "B"},
+            [("a1", "m"), ("m", "b1"), ("x", "b2")],
+        )
+        rp = RegularPattern(pattern, {("a", "b"): "M*"})
+        rel = regular_dual_simulation(rp, data)
+        assert rel.matches_of("b") == frozenset({"b1"})
+
+    @given(graph_with_sampled_pattern())
+    @settings(max_examples=30, deadline=None)
+    def test_empty_constraints_always_equal_plain_dual(self, pair):
+        data, pattern = pair
+        plain = dual_simulation(pattern, data)
+        regular = regular_dual_simulation(RegularPattern(pattern), data)
+        assert plain == regular
+
+
+class TestHopBoundedPatterns:
+    def test_wildcard_bounds_behave_like_bounded_reachability(self):
+        from repro.core.regular import hop_bounded_pattern
+
+        pattern = hop_pattern()
+        data = DiGraph.from_parts(
+            {"a1": "A", "x1": "X", "x2": "X", "b1": "B"},
+            [("a1", "x1"), ("x1", "x2"), ("x2", "b1")],
+        )
+        two_hops = hop_bounded_pattern(pattern, {("a", "b"): 2})
+        assert regular_dual_simulation(two_hops, data).is_empty()
+        three_hops = hop_bounded_pattern(pattern, {("a", "b"): 3})
+        rel = regular_dual_simulation(three_hops, data)
+        assert rel.matches_of("a") == frozenset({"a1"})
+
+    @given(graph_with_sampled_pattern())
+    @settings(max_examples=20, deadline=None)
+    def test_regular_dual_contained_in_bounded_simulation(self, pair):
+        """Duality only removes pairs: the regex-dual relation with
+        wildcard 2-hop bounds is contained in child-only bounded
+        simulation with the same bounds."""
+        from repro.core.bounded import BoundedPattern, bounded_simulation
+        from repro.core.regular import hop_bounded_pattern
+
+        data, pattern = pair
+        bounds = {edge: 2 for edge in pattern.edges()}
+        regular_rel = regular_dual_simulation(
+            hop_bounded_pattern(pattern, bounds), data
+        )
+        bounded_rel = bounded_simulation(
+            BoundedPattern(pattern, bounds), data
+        )
+        if regular_rel.is_total():
+            assert bounded_rel.contains_relation(regular_rel)
+
+
+class TestRegularStrongMatch:
+    def test_direct_edges_equal_plain_strong(self):
+        pattern, data = hop_pattern(), hop_data()
+        plain = {sg.signature() for sg in match(pattern, data)}
+        regular = {
+            sg.signature()
+            for sg in regular_strong_match(RegularPattern(pattern), data)
+        }
+        assert plain == regular
+
+    @given(graph_with_sampled_pattern())
+    @settings(max_examples=20, deadline=None)
+    def test_plain_equivalence_property(self, pair):
+        data, pattern = pair
+        plain = {sg.signature() for sg in match(pattern, data)}
+        regular = {
+            sg.signature()
+            for sg in regular_strong_match(
+                RegularPattern(pattern), data, radius=pattern.diameter
+            )
+        }
+        assert plain == regular
+
+    def test_path_matches_found_and_localized(self):
+        pattern, data = hop_pattern(), hop_data()
+        rp = RegularPattern(pattern, {("a", "b"): "M?"}, {("a", "b"): 2})
+        result = regular_strong_match(rp, data)
+        matched = result.matched_data_nodes()
+        assert "a2" in matched and "b2" in matched
+        assert "a3" not in matched
+        # Match graphs connect endpoints directly (path interiors are
+        # witnesses, not members).
+        for sg in result:
+            assert "x" not in sg.graph
+
+    def test_locality_radius_restricts(self):
+        # With radius 0 the ball is a single node: no 2-node match fits.
+        pattern, data = hop_pattern(), hop_data()
+        rp = RegularPattern(pattern)
+        assert len(regular_strong_match(rp, data, radius=0)) == 0

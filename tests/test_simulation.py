@@ -1,0 +1,138 @@
+"""Unit + property tests for graph simulation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.digraph import DiGraph
+from repro.core.matchrel import MatchRelation
+from repro.core.pattern import Pattern
+from repro.core.simulation import (
+    graph_simulation,
+    initial_candidates,
+    is_simulation_relation,
+    matches_via_simulation,
+    simulation_fixpoint,
+    simulation_fixpoint_naive,
+)
+from tests.conftest import graph_and_pattern
+
+
+def simple_pair():
+    pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+    data = DiGraph.from_parts(
+        {"a1": "A", "a2": "A", "b1": "B"},
+        [("a1", "b1")],
+    )
+    return pattern, data
+
+
+class TestBasics:
+    def test_initial_candidates_use_labels(self):
+        pattern, data = simple_pair()
+        seeds = initial_candidates(pattern, data)
+        assert seeds["a"] == {"a1", "a2"}
+        assert seeds["b"] == {"b1"}
+
+    def test_child_condition_prunes(self):
+        pattern, data = simple_pair()
+        rel = graph_simulation(pattern, data)
+        # a2 has no B child, so it cannot simulate a.
+        assert rel.matches_of("a") == frozenset({"a1"})
+        assert rel.matches_of("b") == frozenset({"b1"})
+
+    def test_no_parent_condition(self):
+        # Simulation (unlike dual simulation) ignores parents: b1 matches
+        # even if reached from a non-matching parent only.
+        pattern = Pattern.build({"b": "B"}, [])
+        data = DiGraph.from_parts({"x": "X", "b1": "B"}, [("x", "b1")])
+        rel = graph_simulation(pattern, data)
+        assert rel.matches_of("b") == frozenset({"b1"})
+
+    def test_failure_collapses_to_empty(self):
+        pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        data = DiGraph.from_parts({"a1": "A"}, [])
+        rel = graph_simulation(pattern, data)
+        assert rel.is_empty()
+        assert not matches_via_simulation(pattern, data)
+
+    def test_cycle_pattern_on_cycle_data(self):
+        pattern = Pattern.build({"a": "X", "b": "X"}, [("a", "b"), ("b", "a")])
+        data = DiGraph.from_parts(
+            {i: "X" for i in range(4)},
+            [(i, (i + 1) % 4) for i in range(4)],
+        )
+        rel = graph_simulation(pattern, data)
+        # A 2-cycle pattern simulates into any directed cycle.
+        assert rel.matches_of("a") == frozenset(range(4))
+
+    def test_self_loop_pattern(self):
+        pattern = Pattern.build({"a": "X"}, [("a", "a")])
+        data = DiGraph.from_parts({0: "X", 1: "X"}, [(0, 0), (0, 1)])
+        rel = graph_simulation(pattern, data)
+        assert rel.matches_of("a") == frozenset({0})
+
+    def test_single_node_pattern_matches_all_label_nodes(self):
+        pattern = Pattern.build({"a": "X"}, [])
+        data = DiGraph.from_parts({0: "X", 1: "X", 2: "Y"}, [])
+        rel = graph_simulation(pattern, data)
+        assert rel.matches_of("a") == frozenset({0, 1})
+
+
+class TestCheckers:
+    def test_maximum_relation_is_a_simulation(self):
+        pattern, data = simple_pair()
+        rel = graph_simulation(pattern, data)
+        assert is_simulation_relation(pattern, data, rel)
+
+    def test_checker_rejects_bogus_relation(self):
+        pattern, data = simple_pair()
+        bogus = MatchRelation.from_pairs(pattern, [("a", "a2"), ("b", "b1")])
+        assert not is_simulation_relation(pattern, data, bogus)
+
+    def test_checker_rejects_partial_relation(self):
+        pattern, data = simple_pair()
+        partial = MatchRelation.from_pairs(pattern, [("a", "a1")])
+        assert not is_simulation_relation(pattern, data, partial)
+
+    def test_checker_rejects_label_mismatch(self):
+        pattern, data = simple_pair()
+        bad = MatchRelation.from_pairs(pattern, [("a", "b1"), ("b", "b1")])
+        assert not is_simulation_relation(pattern, data, bad)
+
+
+class TestFixpointEquivalence:
+    @given(graph_and_pattern())
+    @settings(max_examples=60, deadline=None)
+    def test_worklist_equals_naive(self, pair):
+        data, pattern = pair
+        worklist = simulation_fixpoint(pattern, data)
+        naive = simulation_fixpoint_naive(pattern, data)
+        assert worklist == naive
+
+    @given(graph_and_pattern())
+    @settings(max_examples=60, deadline=None)
+    def test_result_is_valid_simulation_or_empty(self, pair):
+        data, pattern = pair
+        rel = graph_simulation(pattern, data)
+        if rel.is_total():
+            assert is_simulation_relation(pattern, data, rel)
+        else:
+            assert rel.is_empty()
+
+    @given(graph_and_pattern())
+    @settings(max_examples=40, deadline=None)
+    def test_maximality(self, pair):
+        """No label-compatible pair outside the maximum relation can be
+        added while keeping it a simulation (gfp maximality)."""
+        data, pattern = pair
+        rel = graph_simulation(pattern, data)
+        if not rel.is_total():
+            return
+        for u in pattern.nodes():
+            current = rel.matches_of_raw(u)
+            for v in data.nodes_with_label(pattern.label(u)):
+                if v in current:
+                    continue
+                extended = rel.copy()
+                extended.matches_of_raw(u).add(v)
+                assert not is_simulation_relation(pattern, data, extended)

@@ -1,0 +1,138 @@
+"""Edge-case behaviors of strong simulation and the distributed runtime."""
+
+import pytest
+
+from repro.core.digraph import DiGraph
+from repro.core.matchplus import match_plus
+from repro.core.pattern import Pattern
+from repro.core.strong import match
+from repro.distributed import distributed_match
+from repro.distributed.fragment import fragment_graph
+from repro.distributed.network import MessageBus
+from repro.distributed.worker import SiteWorker
+from repro.exceptions import DistributedError
+
+
+class TestDegeneratePatterns:
+    def test_single_node_pattern(self):
+        """d_Q = 0: every node with the label is its own perfect subgraph."""
+        pattern = Pattern.build({"a": "X"}, [])
+        data = DiGraph.from_parts({"n1": "X", "n2": "X", "n3": "Y"}, [("n1", "n2")])
+        result = match(pattern, data)
+        assert len(result) == 2
+        assert result.matched_data_nodes() == {"n1", "n2"}
+        for subgraph in result:
+            assert subgraph.num_nodes == 1
+            assert subgraph.num_edges == 0
+
+    def test_self_loop_pattern_needs_self_loop_witnesses(self):
+        pattern = Pattern.build({"a": "X"}, [("a", "a")])
+        looped = DiGraph.from_parts({"n": "X"}, [("n", "n")])
+        assert len(match(pattern, looped)) == 1
+        # A 2-cycle also dual-simulates a self-loop pattern: each node
+        # has an X parent and X child (within a radius-0 ball it does
+        # not, so strong simulation rejects it — locality at work).
+        two_cycle = DiGraph.from_parts(
+            {"p": "X", "q": "X"}, [("p", "q"), ("q", "p")]
+        )
+        assert len(match(pattern, two_cycle)) == 0
+
+    def test_pattern_identical_to_data(self):
+        graph = DiGraph.from_parts(
+            {"a": "A", "b": "B", "c": "C"},
+            [("a", "b"), ("b", "c"), ("c", "a")],
+        )
+        pattern = Pattern(graph.copy())
+        result = match(pattern, graph)
+        assert len(result) == 1
+        subgraph = next(iter(result))
+        assert subgraph.graph.same_as(graph)
+
+    def test_pattern_larger_than_data(self):
+        pattern = Pattern.build(
+            {"a": "A", "b": "B", "c": "C"},
+            [("a", "b"), ("b", "c")],
+        )
+        data = DiGraph.from_parts({"x": "A", "y": "B"}, [("x", "y")])
+        assert len(match(pattern, data)) == 0
+
+    def test_empty_data_graph(self):
+        pattern = Pattern.build({"a": "A"}, [])
+        assert len(match(pattern, DiGraph())) == 0
+        assert len(match_plus(pattern, DiGraph())) == 0
+
+    def test_all_same_label(self):
+        """Uniform labels: candidates are everything; structure decides."""
+        pattern = Pattern.build({"a": "X", "b": "X"}, [("a", "b")])
+        data = DiGraph.from_parts(
+            {i: "X" for i in range(4)},
+            [(0, 1), (1, 2), (2, 3)],
+        )
+        result = match(pattern, data)
+        # Interior nodes have both parent and child; the dual relation
+        # keeps the chain; each ball contributes its local component.
+        assert result.matched_data_nodes() == {0, 1, 2, 3}
+
+    def test_duplicate_label_pattern_nodes(self):
+        """Two pattern nodes with the same label can map to one data node."""
+        pattern = Pattern.build(
+            {"p": "P", "q": "P"}, [("p", "q"), ("q", "p")]
+        )
+        data = DiGraph.from_parts({"n": "P"}, [("n", "n")])
+        result = match(pattern, data)
+        assert len(result) == 1
+        subgraph = next(iter(result))
+        assert subgraph.matches_of("p") == frozenset({"n"})
+        assert subgraph.matches_of("q") == frozenset({"n"})
+
+
+class TestDistributedEdgeCases:
+    def test_ball_spanning_three_fragments(self):
+        """A chain split across three sites: ball BFS must hop through a
+        remote node to reach a remote-of-remote node (_locate_owner)."""
+        data = DiGraph.from_parts(
+            {f"n{i}": "X" for i in range(6)},
+            [(f"n{i}", f"n{i+1}") for i in range(5)],
+        )
+        pattern = Pattern.build(
+            {"a": "X", "b": "X", "c": "X"},
+            [("a", "b"), ("b", "c")],
+        )
+        # One node per site round-robin: maximally fragmented.
+        assignment = {f"n{i}": i % 3 for i in range(6)}
+        report = distributed_match(pattern, data, assignment, 3)
+        central = {sg.signature() for sg in match(pattern, data)}
+        assert {sg.signature() for sg in report.result} == central
+        assert report.data_shipment_units > 0
+
+    def test_worker_refuses_to_serve_foreign_nodes(self):
+        data = DiGraph.from_parts({"a": "X", "b": "X"}, [("a", "b")])
+        fragments = fragment_graph(data, {"a": 0, "b": 1}, 2)
+        bus = MessageBus()
+        worker = SiteWorker(fragments[0], bus)
+        with pytest.raises(DistributedError):
+            worker.serve_node("b")
+
+    def test_empty_fragment_site(self):
+        """A site that owns nothing must not break the protocol."""
+        data = DiGraph.from_parts({"a": "X", "b": "X"}, [("a", "b")])
+        pattern = Pattern.build({"p": "X", "q": "X"}, [("p", "q")])
+        assignment = {"a": 0, "b": 0}  # site 1 gets nothing
+        report = distributed_match(pattern, data, assignment, 2)
+        central = {sg.signature() for sg in match(pattern, data)}
+        assert {sg.signature() for sg in report.result} == central
+        assert report.per_site_subgraphs[1] == 0
+
+
+class TestMatchPlusEdgeCases:
+    def test_single_node_pattern_match_plus(self):
+        pattern = Pattern.build({"a": "X"}, [])
+        data = DiGraph.from_parts({"n1": "X", "n2": "Y"}, [("n1", "n2")])
+        plain = {sg.signature() for sg in match(pattern, data)}
+        plus = {sg.signature() for sg in match_plus(pattern, data)}
+        assert plain == plus
+
+    def test_pattern_with_no_matching_labels(self):
+        pattern = Pattern.build({"a": "ZZZ", "b": "ZZZ"}, [("a", "b")])
+        data = DiGraph.from_parts({"n": "X"}, [])
+        assert len(match_plus(pattern, data)) == 0

@@ -1,0 +1,133 @@
+"""Tests for the approximate matchers (TALE and MCS)."""
+
+import pytest
+
+from repro.baselines.mcs import (
+    McsParameters,
+    greedy_mcs_size,
+    grow_candidate_subgraph,
+    mcs_match,
+)
+from repro.baselines.tale import (
+    NeighborhoodIndex,
+    TaleParameters,
+    tale,
+)
+from repro.baselines.vf2 import vf2
+from repro.core.digraph import DiGraph
+from repro.core.pattern import Pattern
+from repro.datasets import generate_amazon
+from repro.datasets.patterns import sample_pattern_from_data
+
+
+def star_data() -> DiGraph:
+    """A hub with three labeled spokes, plus a degraded copy."""
+    return DiGraph.from_parts(
+        {
+            "hub": "H", "s1": "A", "s2": "B", "s3": "C",
+            "hub2": "H", "t1": "A", "t2": "B",
+        },
+        [
+            ("hub", "s1"), ("hub", "s2"), ("hub", "s3"),
+            ("hub2", "t1"), ("hub2", "t2"),
+        ],
+    )
+
+
+def star_pattern() -> Pattern:
+    return Pattern.build(
+        {"h": "H", "a": "A", "b": "B", "c": "C"},
+        [("h", "a"), ("h", "b"), ("h", "c")],
+    )
+
+
+class TestNeighborhoodIndex:
+    def test_unit_contents(self):
+        data = star_data()
+        index = NeighborhoodIndex(data)
+        degree, labels = index.unit("hub")
+        assert degree == 3
+        assert labels == {"A": 1, "B": 1, "C": 1}
+
+    def test_probe_exact(self):
+        data = star_data()
+        index = NeighborhoodIndex(data)
+        hits = index.probe(star_pattern(), "h", rho=0.0, limit=10)
+        assert hits == ["hub"]
+
+    def test_probe_with_mismatch_budget(self):
+        data = star_data()
+        index = NeighborhoodIndex(data)
+        # rho = 0.4 tolerates one missing neighbor label out of three,
+        # letting the degraded hub2 through.
+        hits = index.probe(star_pattern(), "h", rho=0.4, limit=10)
+        assert set(hits) == {"hub", "hub2"}
+
+
+class TestTale:
+    def test_exact_match_found(self):
+        result = tale(star_pattern(), star_data(), TaleParameters(rho=0.0))
+        assert result.num_matched_subgraphs == 1
+        assert {"hub", "s1", "s2", "s3"} in [
+            set(sig) for sig in result.subgraph_signatures
+        ]
+
+    def test_approximate_match_included(self):
+        result = tale(
+            star_pattern(), star_data(), TaleParameters(rho=0.4)
+        )
+        matched_sets = [set(sig) for sig in result.subgraph_signatures]
+        assert any("hub2" in nodes for nodes in matched_sets)
+
+    def test_finds_at_least_exact_matches_on_real_workload(self):
+        data = generate_amazon(300, num_labels=10, seed=5)
+        pattern = sample_pattern_from_data(data, 5, seed=2)
+        assert pattern is not None
+        exact = vf2(pattern, data)
+        approx = tale(pattern, data)
+        # TALE is approximate: it should report at least one match when
+        # exact matches exist.
+        if exact.num_matched_subgraphs > 0:
+            assert approx.num_matched_subgraphs > 0
+
+
+class TestMcs:
+    def test_grow_candidate_is_connected_and_sized(self):
+        data = star_data()
+        nodes = grow_candidate_subgraph(data, "hub", 4)
+        assert len(nodes) == 4
+        assert "hub" in nodes
+
+    def test_greedy_mcs_full_on_identical(self):
+        data = star_data()
+        pattern = star_pattern()
+        nodes = frozenset({"hub", "s1", "s2", "s3"})
+        assert greedy_mcs_size(pattern, data, nodes) == 4
+
+    def test_greedy_mcs_partial_on_degraded(self):
+        data = star_data()
+        pattern = star_pattern()
+        nodes = frozenset({"hub2", "t1", "t2"})
+        size = greedy_mcs_size(pattern, data, nodes)
+        assert 2 <= size <= 3
+
+    def test_threshold_applied(self):
+        data = star_data()
+        pattern = star_pattern()
+        strict = mcs_match(pattern, data, McsParameters(threshold=1.0))
+        loose = mcs_match(pattern, data, McsParameters(threshold=0.5))
+        assert strict.num_matched_subgraphs <= loose.num_matched_subgraphs
+
+    def test_max_candidates_cap(self):
+        data = generate_amazon(200, num_labels=8, seed=3)
+        pattern = sample_pattern_from_data(data, 4, seed=1)
+        assert pattern is not None
+        capped = mcs_match(pattern, data, McsParameters(max_candidates=3))
+        assert capped.num_matched_subgraphs <= 3
+
+    def test_matched_nodes_union(self):
+        data = star_data()
+        pattern = star_pattern()
+        result = mcs_match(pattern, data, McsParameters(threshold=0.5))
+        for node_set, _ in result.accepted:
+            assert node_set <= result.matched_nodes()

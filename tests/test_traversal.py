@@ -1,0 +1,178 @@
+"""Unit tests for traversal primitives (BFS, distances, diameter, cycles)."""
+
+import pytest
+
+from repro.core.digraph import DiGraph
+from repro.core.traversal import (
+    bfs_directed,
+    bfs_layers_undirected,
+    diameter_undirected,
+    eccentricity_undirected,
+    has_directed_cycle,
+    has_undirected_cycle,
+    is_connected_undirected,
+    reachable_from,
+    shortest_undirected_path,
+    undirected_distances,
+)
+from repro.exceptions import GraphError, NodeNotFound
+
+
+def chain(n: int) -> DiGraph:
+    """A directed chain 0 -> 1 -> ... -> n-1."""
+    g = DiGraph()
+    for i in range(n):
+        g.add_node(i, "x")
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestUndirectedBfs:
+    def test_layers_from_chain_end(self):
+        g = chain(4)
+        layers = dict(bfs_layers_undirected(g, 0))
+        assert layers[0] == [0]
+        assert layers[3] == [3]
+
+    def test_distances_ignore_direction(self):
+        g = chain(4)
+        # Node 3 reaches node 0 undirected even though edges point away.
+        assert undirected_distances(g, 3)[0] == 3
+
+    def test_radius_bounds_exploration(self):
+        g = chain(10)
+        distances = undirected_distances(g, 0, radius=2)
+        assert set(distances) == {0, 1, 2}
+
+    def test_missing_source_raises(self):
+        g = chain(2)
+        with pytest.raises(NodeNotFound):
+            undirected_distances(g, 99)
+
+    def test_radius_zero_is_singleton(self):
+        g = chain(5)
+        assert undirected_distances(g, 2, radius=0) == {2: 0}
+
+
+class TestDirectedBfs:
+    def test_directed_respects_direction(self):
+        g = chain(4)
+        assert bfs_directed(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+        assert bfs_directed(g, 3) == {3: 0}
+
+    def test_reachable_from(self):
+        g = chain(4)
+        assert reachable_from(g, 1) == {1, 2, 3}
+
+
+class TestDiameter:
+    def test_chain_diameter(self):
+        assert diameter_undirected(chain(5)) == 4
+
+    def test_single_node(self):
+        assert diameter_undirected(chain(1)) == 0
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            diameter_undirected(DiGraph())
+
+    def test_disconnected_eccentricity_raises(self):
+        g = DiGraph()
+        g.add_node(1, "x")
+        g.add_node(2, "x")
+        with pytest.raises(GraphError):
+            eccentricity_undirected(g, 1)
+
+    def test_cycle_diameter(self):
+        g = DiGraph()
+        for i in range(6):
+            g.add_node(i, "x")
+        for i in range(6):
+            g.add_edge(i, (i + 1) % 6)
+        assert diameter_undirected(g) == 3
+
+
+class TestConnectivity:
+    def test_connected_chain(self):
+        assert is_connected_undirected(chain(5))
+
+    def test_disconnected(self):
+        g = DiGraph()
+        g.add_node(1, "x")
+        g.add_node(2, "x")
+        assert not is_connected_undirected(g)
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected_undirected(DiGraph())
+
+    def test_shortest_path_found(self):
+        g = chain(4)
+        assert shortest_undirected_path(g, 3, 0) == [3, 2, 1, 0]
+
+    def test_shortest_path_self(self):
+        g = chain(2)
+        assert shortest_undirected_path(g, 0, 0) == [0]
+
+    def test_shortest_path_none_when_disconnected(self):
+        g = DiGraph()
+        g.add_node(1, "x")
+        g.add_node(2, "x")
+        assert shortest_undirected_path(g, 1, 2) is None
+
+
+class TestCycles:
+    def test_chain_has_no_cycles(self):
+        g = chain(4)
+        assert not has_directed_cycle(g)
+        assert not has_undirected_cycle(g)
+
+    def test_directed_cycle_detected(self):
+        g = chain(3)
+        g.add_edge(2, 0)
+        assert has_directed_cycle(g)
+        assert has_undirected_cycle(g)
+
+    def test_self_loop_is_a_cycle(self):
+        g = chain(1)
+        g.add_edge(0, 0)
+        assert has_directed_cycle(g)
+        assert has_undirected_cycle(g)
+
+    def test_two_cycle(self):
+        g = DiGraph()
+        g.add_node(1, "x")
+        g.add_node(2, "x")
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert has_directed_cycle(g)
+        assert has_undirected_cycle(g)
+
+    def test_undirected_cycle_without_directed(self):
+        # a -> b, a -> c, b -> d, c -> d: diamond, no directed cycle but an
+        # undirected one.
+        g = DiGraph()
+        for n in "abcd":
+            g.add_node(n, "x")
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("b", "d")
+        g.add_edge("c", "d")
+        assert not has_directed_cycle(g)
+        assert has_undirected_cycle(g)
+
+    def test_tree_has_no_undirected_cycle(self):
+        g = DiGraph()
+        for n in "abc":
+            g.add_node(n, "x")
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        assert not has_undirected_cycle(g)
+
+    def test_forest_across_components(self):
+        g = DiGraph()
+        for n in "abcd":
+            g.add_node(n, "x")
+        g.add_edge("a", "b")
+        g.add_edge("c", "d")
+        assert not has_undirected_cycle(g)

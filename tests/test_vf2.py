@@ -1,0 +1,163 @@
+"""Tests for the VF2 enumerator, cross-checked against networkx and Ullmann."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.ullmann import enumerate_embeddings_ullmann
+from repro.baselines.vf2 import (
+    VF2Budget,
+    embedding_subgraph_signature,
+    enumerate_embeddings,
+    has_subgraph_isomorphism,
+    vf2,
+)
+from repro.core.digraph import DiGraph
+from repro.core.pattern import Pattern
+from tests.conftest import (
+    graph_seeds,
+    pattern_seeds,
+    random_connected_pattern,
+    random_digraph,
+)
+
+
+def to_networkx(graph) -> nx.DiGraph:
+    nxg = nx.DiGraph()
+    for node in graph.nodes():
+        nxg.add_node(node, label=graph.label(node))
+    nxg.add_edges_from(graph.edges())
+    return nxg
+
+
+def networkx_embedding_count(pattern: Pattern, data: DiGraph) -> int:
+    """Count labeled subgraph monomorphisms via networkx (the oracle)."""
+    matcher = nx.algorithms.isomorphism.DiGraphMatcher(
+        to_networkx(data),
+        to_networkx(pattern.graph),
+        node_match=lambda d, p: d["label"] == p["label"],
+    )
+    return sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+
+
+class TestBasics:
+    def test_single_embedding(self):
+        pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        data = DiGraph.from_parts({"x": "A", "y": "B"}, [("x", "y")])
+        embeddings = list(enumerate_embeddings(pattern, data))
+        assert embeddings == [{"a": "x", "b": "y"}]
+
+    def test_injective(self):
+        pattern = Pattern.build(
+            {"a": "X", "b": "X"}, [("a", "b"), ("b", "a")]
+        )
+        data = DiGraph.from_parts({"x": "X"}, [("x", "x")])
+        # The only candidate maps both pattern nodes to x: not injective.
+        assert list(enumerate_embeddings(pattern, data)) == []
+
+    def test_every_pattern_edge_mapped(self):
+        pattern = Pattern.build(
+            {"a": "A", "b": "B", "c": "C"},
+            [("a", "b"), ("b", "c"), ("a", "c")],
+        )
+        data = DiGraph.from_parts(
+            {"x": "A", "y": "B", "z": "C"},
+            [("x", "y"), ("y", "z")],  # missing x -> z
+        )
+        assert not has_subgraph_isomorphism(pattern, data)
+
+    def test_max_matches_cap(self):
+        pattern = Pattern.build({"a": "X"}, [])
+        data = DiGraph.from_parts({i: "X" for i in range(10)}, [])
+        embeddings = list(enumerate_embeddings(pattern, data, max_matches=3))
+        assert len(embeddings) == 3
+
+    def test_budget_exhaustion_flagged(self):
+        pattern = Pattern.build({"a": "X", "b": "X"}, [("a", "b")])
+        data = DiGraph.from_parts(
+            {i: "X" for i in range(20)},
+            [(i, j) for i in range(20) for j in range(20) if i != j],
+        )
+        result = vf2(pattern, data, max_states=5)
+        assert result.exhausted
+
+    def test_subgraph_signature(self):
+        pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        nodes, edges = embedding_subgraph_signature(
+            pattern, {"a": "x", "b": "y"}
+        )
+        assert nodes == frozenset({"x", "y"})
+        assert edges == frozenset({("x", "y")})
+
+    def test_matched_nodes_union(self):
+        pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        data = DiGraph.from_parts(
+            {"x": "A", "y": "B", "z": "B"},
+            [("x", "y"), ("x", "z")],
+        )
+        result = vf2(pattern, data)
+        assert result.matched_nodes() == {"x", "y", "z"}
+        assert result.num_matched_subgraphs == 2
+
+
+class TestOracles:
+    @given(graph_seeds, pattern_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_embedding_count_matches_networkx(self, gseed, pseed):
+        data = random_digraph(gseed, max_nodes=8, edge_prob=0.3)
+        pattern = random_connected_pattern(pseed, max_nodes=3)
+        ours = len(list(enumerate_embeddings(pattern, data)))
+        theirs = networkx_embedding_count(pattern, data)
+        assert ours == theirs
+
+    @given(graph_seeds, pattern_seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_vf2_agrees_with_ullmann(self, gseed, pseed):
+        data = random_digraph(gseed, max_nodes=7, edge_prob=0.3)
+        pattern = random_connected_pattern(pseed, max_nodes=3)
+        vf2_set = {
+            frozenset(emb.items())
+            for emb in enumerate_embeddings(pattern, data)
+        }
+        ull_set = {
+            frozenset(emb.items())
+            for emb in enumerate_embeddings_ullmann(pattern, data)
+        }
+        assert vf2_set == ull_set
+
+    def test_fig1_negative_cross_check(self):
+        from repro.datasets.paper_figures import data_g1, pattern_q1
+
+        pattern, data = pattern_q1(), data_g1()
+        assert not has_subgraph_isomorphism(pattern, data)
+        assert networkx_embedding_count(pattern, data) == 0
+
+
+class TestUllmann:
+    def test_simple_positive(self):
+        pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+        data = DiGraph.from_parts({"x": "A", "y": "B"}, [("x", "y")])
+        assert list(enumerate_embeddings_ullmann(pattern, data)) == [
+            {"a": "x", "b": "y"}
+        ]
+
+    def test_refinement_prunes_before_search(self):
+        from repro.baselines.ullmann import has_subgraph_isomorphism_ullmann
+
+        pattern = Pattern.build(
+            {"a": "A", "b": "B", "c": "C"},
+            [("a", "b"), ("b", "c")],
+        )
+        data = DiGraph.from_parts(
+            {"x": "A", "y": "B"},
+            [("x", "y")],
+        )
+        assert not has_subgraph_isomorphism_ullmann(pattern, data)
+
+    def test_max_matches(self):
+        pattern = Pattern.build({"a": "X"}, [])
+        data = DiGraph.from_parts({i: "X" for i in range(5)}, [])
+        embeddings = list(
+            enumerate_embeddings_ullmann(pattern, data, max_matches=2)
+        )
+        assert len(embeddings) == 2
