@@ -1,0 +1,188 @@
+"""Kernel vs reference engine: wall-clock comparison + equivalence gate.
+
+Runs ``match_plus``, ``match`` and ``dual_simulation`` with both execution
+engines over the Figure-8(g) synthetic shapes (``generate_graph`` with
+``alpha=1.2`` and patterns sampled from the data), at the scale selected
+by ``REPRO_BENCH_SCALE`` (``small`` default / ``large``), and emits
+
+* a rendered table under ``benchmarks/results/bench_kernel.txt``;
+* machine-readable ``benchmarks/results/BENCH_kernel.json`` — the seed of
+  the repo's performance trajectory (one file per run; CI and future PRs
+  diff the numbers).
+
+Every timed pair is also an equivalence check: the kernel result set must
+be byte-identical (canonical node/edge/relation form) to the reference
+result set, and the run fails otherwise.  At small scale the aggregate
+``match_plus`` speedup is asserted to stay above 2x — the bar the kernel
+was built to clear.
+
+Set ``REPRO_KERNEL_BENCH_SMOKE=1`` to shrink the sweep to one small size
+(CI smoke mode; no speedup assertion, equivalence still enforced).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, List
+
+from repro.core.matchplus import match_plus
+from repro.core.dualsim import dual_simulation
+from repro.core.kernel import dual_simulation_kernel, get_index
+from repro.core.strong import match
+from repro.datasets import generate_graph
+from repro.datasets.patterns import sample_pattern_from_data
+from benchmarks.conftest import RESULTS_DIR, emit
+
+PATTERN_SIZE = 10
+PATTERN_REPEATS = 3
+TIMING_REPS = 3
+MATCH_PLUS_SMALL_SCALE_BAR = 2.0
+
+
+def _best_of(fn: Callable[[], object], reps: int = TIMING_REPS) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _canonical(result) -> frozenset:
+    return frozenset(
+        (sg.signature(), sg.relation.pair_set()) for sg in result
+    )
+
+
+def _relation_canonical(relation) -> frozenset:
+    return relation.pair_set()
+
+
+def test_kernel_vs_python_engines(scale):
+    smoke = os.environ.get("REPRO_KERNEL_BENCH_SMOKE") == "1"
+    sweep = [scale["perf_v_sweep"][0]] if smoke else scale["perf_v_sweep"]
+    # Plain Match is cubic-ish per ball over every center; keep its timing
+    # to the smaller sizes so the benchmark stays minutes, not hours.
+    match_sizes = set(sweep[: 1 if smoke else 2])
+
+    rows: List[Dict] = []
+    totals = {"match_plus": {"python": 0.0, "kernel": 0.0},
+              "match": {"python": 0.0, "kernel": 0.0},
+              "dual": {"python": 0.0, "kernel": 0.0}}
+    for n in sweep:
+        data = generate_graph(
+            int(n), alpha=1.2, num_labels=scale["labels"], seed=29
+        )
+        get_index(data)  # compile once; the row times show amortized cost
+        row = {"n": int(n), "patterns": 0}
+        times = {key: {"python": 0.0, "kernel": 0.0} for key in totals}
+        for repeat in range(PATTERN_REPEATS):
+            pattern = sample_pattern_from_data(
+                data, PATTERN_SIZE, seed=441 + repeat
+            )
+            if pattern is None:
+                continue
+            row["patterns"] += 1
+
+            reference = match_plus(pattern, data, engine="python")
+            kernel_result = match_plus(pattern, data, engine="kernel")
+            assert _canonical(kernel_result) == _canonical(reference), (
+                f"match_plus results diverged at |V|={n}, repeat={repeat}"
+            )
+            times["match_plus"]["python"] += _best_of(
+                lambda: match_plus(pattern, data, engine="python")
+            )
+            times["match_plus"]["kernel"] += _best_of(
+                lambda: match_plus(pattern, data, engine="kernel")
+            )
+
+            assert _relation_canonical(
+                dual_simulation_kernel(pattern, data)
+            ) == _relation_canonical(dual_simulation(pattern, data))
+            times["dual"]["python"] += _best_of(
+                lambda: dual_simulation(pattern, data)
+            )
+            times["dual"]["kernel"] += _best_of(
+                lambda: dual_simulation_kernel(pattern, data)
+            )
+
+            if n in match_sizes:
+                assert _canonical(
+                    match(pattern, data, engine="kernel")
+                ) == _canonical(match(pattern, data, engine="python")), (
+                    f"match results diverged at |V|={n}, repeat={repeat}"
+                )
+                times["match"]["python"] += _best_of(
+                    lambda: match(pattern, data, engine="python"), 1
+                )
+                times["match"]["kernel"] += _best_of(
+                    lambda: match(pattern, data, engine="kernel"), 1
+                )
+
+        for key in totals:
+            python_s = times[key]["python"]
+            kernel_s = times[key]["kernel"]
+            totals[key]["python"] += python_s
+            totals[key]["kernel"] += kernel_s
+            row[key] = {
+                "python_s": round(python_s, 6),
+                "kernel_s": round(kernel_s, 6),
+                "speedup": round(python_s / kernel_s, 3) if kernel_s else None,
+            }
+        rows.append(row)
+
+    def speedup(key: str):
+        kernel_s = totals[key]["kernel"]
+        return round(totals[key]["python"] / kernel_s, 3) if kernel_s else None
+
+    payload = {
+        "benchmark": "bench_kernel",
+        "workload": "fig8g synthetic shapes (alpha=1.2, sampled patterns)",
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "small"),
+        "smoke": smoke,
+        "pattern_size": PATTERN_SIZE,
+        "timing": f"best of {TIMING_REPS}, summed over sampled patterns",
+        "rows": rows,
+        "totals": {
+            key: {
+                "python_s": round(totals[key]["python"], 6),
+                "kernel_s": round(totals[key]["kernel"], 6),
+                "speedup": speedup(key),
+            }
+            for key in totals
+        },
+        "equivalence": "all result sets identical across engines",
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_kernel.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    lines = ["Kernel engine vs reference engine (seconds, lower is better)",
+             f"{'|V|':>8} {'algorithm':>11} {'python':>10} {'kernel':>10} {'speedup':>8}"]
+    for row in rows:
+        for key in ("match_plus", "match", "dual"):
+            if row[key]["kernel_s"]:
+                lines.append(
+                    f"{row['n']:>8} {key:>11} "
+                    f"{row[key]['python_s']:>10.4f} "
+                    f"{row[key]['kernel_s']:>10.4f} "
+                    f"{row[key]['speedup']:>8.2f}"
+                )
+    for key in ("match_plus", "match", "dual"):
+        if totals[key]["kernel"]:
+            lines.append(
+                f"{'TOTAL':>8} {key:>11} "
+                f"{totals[key]['python']:>10.4f} "
+                f"{totals[key]['kernel']:>10.4f} "
+                f"{speedup(key):>8.2f}"
+            )
+    emit("bench_kernel", "\n".join(lines))
+
+    if not smoke and payload["scale"] == "small":
+        assert speedup("match_plus") >= MATCH_PLUS_SMALL_SCALE_BAR, (
+            f"kernel match_plus speedup {speedup('match_plus')} fell below "
+            f"{MATCH_PLUS_SMALL_SCALE_BAR}x on the small synthetic workload"
+        )

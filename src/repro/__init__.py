@@ -44,6 +44,7 @@ from repro.core import (
     PerfectSubgraph,
     bounded_simulation,
     dual_simulation,
+    dual_simulation_kernel,
     graph_simulation,
     match,
     match_plus,
@@ -81,6 +82,7 @@ __all__ = [
     "__version__",
     "bounded_simulation",
     "dual_simulation",
+    "dual_simulation_kernel",
     "graph_simulation",
     "match",
     "match_plus",

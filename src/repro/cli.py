@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 
 from repro.core.digraph import DiGraph
 from repro.core.dualsim import dual_simulation
+from repro.core.kernel import ENGINES, dual_simulation_kernel, resolve_engine
 from repro.core.matchplus import match_plus
 from repro.core.pattern import Pattern
 from repro.core.ranking import rank_matches, score_match
@@ -52,9 +53,17 @@ def _load_pattern(path: str) -> Pattern:
 def _cmd_match(args: argparse.Namespace) -> int:
     data = _load_graph(args.data, args.format)
     pattern = _load_pattern(args.pattern)
+    engine = resolve_engine(args.engine)
 
     if args.algorithm in ("sim", "dual"):
-        runner = graph_simulation if args.algorithm == "sim" else dual_simulation
+        if args.algorithm == "dual" and engine == "kernel":
+            runner = dual_simulation_kernel
+        elif args.algorithm == "dual":
+            runner = dual_simulation
+        else:
+            # Graph simulation has no kernel variant yet; the reference
+            # fixpoint is the only engine.
+            runner = graph_simulation
         relation = runner(pattern, data)
         if relation.is_empty():
             print("no match")
@@ -67,8 +76,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
             print(f"  {u} -> {{{shown}}}")
         return 0
 
-    runner = match_plus if args.algorithm == "strong-plus" else match
-    result = runner(pattern, data)
+    if args.algorithm == "strong-plus":
+        result = match_plus(pattern, data, engine=engine)
+    else:
+        result = match(pattern, data, engine=engine)
     if not result:
         print("no match")
         return 1
@@ -168,6 +179,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_match.add_argument(
         "--format", choices=("json", "edgelist"), default="json",
         help="data graph file format",
+    )
+    p_match.add_argument(
+        "--engine", choices=ENGINES, default="auto",
+        help="execution engine: 'kernel' compiles the data graph to a "
+             "CSR integer index (fast), 'python' forces the reference "
+             "implementation, 'auto' picks for you (default: auto; "
+             "'sim' always uses the reference fixpoint)",
     )
     p_match.add_argument("--top", type=int, default=0,
                          help="show only the k best-ranked matches")

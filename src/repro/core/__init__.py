@@ -29,6 +29,7 @@ from repro.core.components import (
 from repro.core.digraph import DiGraph
 from repro.core.dualfilter import dual_filter
 from repro.core.incremental import IncrementalDualSimulation, IncrementalMatcher
+from repro.core.kernel import GraphIndex, dual_simulation_kernel, get_index
 from repro.core.indexing import IndexedMatcher, NeighborhoodLabelIndex
 from repro.core.regex import LabelNfa, compile_regex, regex_predecessors, regex_successors
 from repro.core.regular import (
@@ -86,6 +87,7 @@ __all__ = [
     "Ball",
     "BoundedPattern",
     "DiGraph",
+    "GraphIndex",
     "IncrementalDualSimulation",
     "IncrementalMatcher",
     "IndexedMatcher",
@@ -119,10 +121,12 @@ __all__ = [
     "dual_equivalence_classes",
     "dual_filter",
     "dual_simulation",
+    "dual_simulation_kernel",
     "dual_simulation_naive",
     "extract_ball",
     "extract_ball_restricted",
     "extract_max_perfect_subgraph",
+    "get_index",
     "graph_simulation",
     "has_directed_cycle",
     "has_undirected_cycle",

@@ -31,7 +31,7 @@ class Ball:
         Undirected distance from the center for every ball node.
     """
 
-    __slots__ = ("graph", "center", "radius", "distances")
+    __slots__ = ("graph", "center", "radius", "distances", "_border")
 
     def __init__(
         self,
@@ -44,6 +44,7 @@ class Ball:
         self.center = center
         self.radius = radius
         self.distances = distances
+        self._border: Optional[FrozenSet[Node]] = None
 
     @property
     def border_nodes(self) -> FrozenSet[Node]:
@@ -53,10 +54,18 @@ class Ball:
         global dual-simulation relation and the per-ball relation
         (Proposition 5): every violation inside the ball is caused by an
         edge cut off at the border.
+
+        Computed once and cached: ``dualFilter``'s seeding loop reads this
+        per candidate pair, and distances never change after extraction.
         """
-        return frozenset(
-            node for node, dist in self.distances.items() if dist == self.radius
-        )
+        border = self._border
+        if border is None:
+            radius = self.radius
+            border = frozenset(
+                node for node, dist in self.distances.items() if dist == radius
+            )
+            self._border = border
+        return border
 
     def __contains__(self, node: Node) -> bool:
         return node in self.graph
@@ -81,9 +90,10 @@ def extract_ball(graph: DiGraph, center: Node, radius: int) -> Ball:
         raise GraphError(f"ball radius must be non-negative, got {radius}")
     distances = undirected_distances(graph, center, radius)
     node_set = set(distances)
+    labels = graph.labels_raw()  # BFS only visits existing nodes
     sub = DiGraph()
     for node in node_set:
-        sub.add_node(node, graph.label(node))
+        sub.add_node(node, labels[node])
     for node in node_set:
         for target in graph.successors_raw(node):
             if target in node_set:
@@ -112,9 +122,10 @@ def extract_ball_restricted(
         raise GraphError("ball center must be in the allowed node set")
     distances = undirected_distances(graph, center, radius)
     node_set = set(distances) & allowed
+    labels = graph.labels_raw()  # BFS only visits existing nodes
     sub = DiGraph()
     for node in node_set:
-        sub.add_node(node, graph.label(node))
+        sub.add_node(node, labels[node])
     for node in node_set:
         for target in graph.successors_raw(node):
             if target in node_set:

@@ -14,7 +14,9 @@ not, matching the set semantics of ``E``.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import (
+    AbstractSet,
     Dict,
     FrozenSet,
     Hashable,
@@ -32,6 +34,11 @@ from repro.exceptions import DuplicateNode, EdgeNotFound, GraphError, NodeNotFou
 Node = Hashable
 Label = Hashable
 Edge = Tuple[Node, Node]
+
+#: Shared empty bucket returned by :meth:`DiGraph.nodes_with_label_raw`
+#: for labels that never occur.  A frozenset so that an (illegal) caller
+#: mutation fails loudly instead of poisoning every graph's lookups.
+_EMPTY_SET: FrozenSet[Node] = frozenset()
 
 
 class DiGraph:
@@ -57,7 +64,15 @@ class DiGraph:
     'Bio'
     """
 
-    __slots__ = ("_labels", "_succ", "_pred", "_label_index", "_edge_count")
+    __slots__ = (
+        "_labels",
+        "_succ",
+        "_pred",
+        "_label_index",
+        "_edge_count",
+        "_version",
+        "__weakref__",
+    )
 
     def __init__(self) -> None:
         self._labels: Dict[Node, Label] = {}
@@ -65,6 +80,7 @@ class DiGraph:
         self._pred: Dict[Node, Set[Node]] = {}
         self._label_index: Dict[Label, Set[Node]] = {}
         self._edge_count = 0
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -86,6 +102,42 @@ class DiGraph:
             graph.add_edge(source, target)
         return graph
 
+    @classmethod
+    def _build_unchecked(
+        cls,
+        node_label_pairs: Iterable[Tuple[Node, Label]],
+        edges: Iterable[Edge],
+    ) -> "DiGraph":
+        """Bulk-build from pre-validated parts, skipping per-call checks.
+
+        Internal fast path for the execution kernel, which materializes
+        many small result subgraphs from data it already knows to be
+        consistent.  ``node_label_pairs`` must be duplicate-free,
+        ``edges`` must be duplicate-free with both endpoints present.
+        """
+        graph = cls()
+        labels = graph._labels
+        succ = graph._succ
+        pred = graph._pred
+        label_index = graph._label_index
+        for node, label in node_label_pairs:
+            labels[node] = label
+            succ[node] = set()
+            pred[node] = set()
+            bucket = label_index.get(label)
+            if bucket is None:
+                label_index[label] = {node}
+            else:
+                bucket.add(node)
+        count = 0
+        for source, target in edges:
+            succ[source].add(target)
+            pred[target].add(source)
+            count += 1
+        graph._edge_count = count
+        graph._version = 1
+        return graph
+
     def add_node(self, node: Node, label: Label) -> None:
         """Add ``node`` with ``label``; raise :class:`DuplicateNode` if present."""
         if node in self._labels:
@@ -94,6 +146,7 @@ class DiGraph:
         self._succ[node] = set()
         self._pred[node] = set()
         self._label_index.setdefault(label, set()).add(node)
+        self._version += 1
 
     def add_edge(self, source: Node, target: Node) -> None:
         """Add the directed edge ``(source, target)``.
@@ -109,6 +162,7 @@ class DiGraph:
             self._succ[source].add(target)
             self._pred[target].add(source)
             self._edge_count += 1
+            self._version += 1
 
     def remove_edge(self, source: Node, target: Node) -> None:
         """Remove the directed edge ``(source, target)``."""
@@ -117,6 +171,7 @@ class DiGraph:
         self._succ[source].discard(target)
         self._pred[target].discard(source)
         self._edge_count -= 1
+        self._version += 1
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and every incident edge."""
@@ -133,6 +188,7 @@ class DiGraph:
             del self._label_index[label]
         del self._succ[node]
         del self._pred[node]
+        self._version += 1
 
     def relabel_node(self, node: Node, label: Label) -> None:
         """Change the label of an existing node, keeping the index coherent."""
@@ -147,10 +203,21 @@ class DiGraph:
             del self._label_index[old]
         self._labels[node] = label
         self._label_index.setdefault(label, set()).add(node)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by every structural or label change.
+
+        The execution kernel (:mod:`repro.core.kernel`) keys its compiled
+        :class:`~repro.core.kernel.GraphIndex` cache on this value so a
+        stale index is never served after the graph changes.
+        """
+        return self._version
+
     def __contains__(self, node: Node) -> bool:
         return node in self._labels
 
@@ -193,8 +260,22 @@ class DiGraph:
             raise NodeNotFound(node) from None
 
     def labels(self) -> Mapping[Node, Label]:
-        """Read-only view of the labeling function."""
-        return dict(self._labels)
+        """Read-only *view* of the labeling function (no copy).
+
+        Returns a :class:`types.MappingProxyType` over the live internal
+        dict: O(1) instead of the former full-dict copy per call, while
+        still rejecting mutation.  The view tracks later graph changes.
+        """
+        return MappingProxyType(self._labels)
+
+    def labels_raw(self) -> Dict[Node, Label]:
+        """Internal label dict (no copy, no proxy).  Do not mutate.
+
+        The hot paths (ball extraction, kernel compilation) look labels up
+        per node; skipping the exception-wrapped :meth:`label` and the
+        proxy indirection is a measurable constant-factor win.
+        """
+        return self._labels
 
     def label_set(self) -> FrozenSet[Label]:
         """The set of labels that occur in the graph."""
@@ -203,6 +284,15 @@ class DiGraph:
     def nodes_with_label(self, label: Label) -> FrozenSet[Node]:
         """All nodes carrying ``label`` (empty if the label never occurs)."""
         return frozenset(self._label_index.get(label, frozenset()))
+
+    def nodes_with_label_raw(self, label: Label) -> AbstractSet[Node]:
+        """Internal label bucket (no copy).  Callers must not mutate it.
+
+        Candidate seeding iterates these buckets once per pattern node;
+        avoiding the frozenset copy matters on large label classes.  For
+        absent labels a shared immutable empty set is returned.
+        """
+        return self._label_index.get(label, _EMPTY_SET)
 
     def successors(self, node: Node) -> FrozenSet[Node]:
         """Children of ``node`` — targets of edges leaving it."""
@@ -275,9 +365,14 @@ class DiGraph:
         ``nodes``).
         """
         node_set = set(nodes)
+        labels = self._labels
         sub = DiGraph()
         for node in node_set:
-            sub.add_node(node, self.label(node))
+            try:
+                label = labels[node]
+            except KeyError:
+                raise NodeNotFound(node) from None
+            sub.add_node(node, label)
         if edges is None:
             for node in node_set:
                 for target in self._succ[node]:

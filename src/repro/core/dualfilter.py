@@ -16,12 +16,18 @@ we implement the intended semantics — after removing ``(u, v)``, a child
 pair ``(u1, v1)`` becomes invalid iff ``v1`` no longer has any parent in
 ``sim(u)`` — and verify equivalence with the unoptimized ``Match`` in the
 test suite.
+
+This is the *reference* implementation of the refinement.  The kernel
+engine (:mod:`repro.core.kernel`) reaches the same unique fixpoint with
+per-(pattern-edge, data-node) witness counters over CSR arrays — removals
+cascade when a count hits zero instead of re-running the ``any(...)``
+scans below — and is what ``match_plus(engine="kernel")`` executes.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional, Set, Tuple
+from typing import Deque, Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.core.ball import Ball
 from repro.core.digraph import DiGraph, Node
@@ -34,18 +40,24 @@ Pair = Tuple[Node, Node]
 
 
 def _pair_is_valid(
-    pattern: Pattern,
+    pattern_succ: Dict[Node, FrozenSet[Node]],
+    pattern_pred: Dict[Node, FrozenSet[Node]],
     ball_graph: DiGraph,
     sim: Dict[Node, Set[Node]],
     u: Node,
     v: Node,
 ) -> bool:
-    """Check the dual-simulation conditions for one pair inside the ball."""
-    for u1 in pattern.successors(u):
+    """Check the dual-simulation conditions for one pair inside the ball.
+
+    Takes the pattern adjacency pre-materialized as dicts: this check runs
+    once per border-node pair, and ``Pattern.successors``/``predecessors``
+    would rebuild a frozenset on every call.
+    """
+    for u1 in pattern_succ[u]:
         targets = sim[u1]
         if not any(v1 in targets for v1 in ball_graph.successors_raw(v)):
             return False
-    for u2 in pattern.predecessors(u):
+    for u2 in pattern_pred[u]:
         sources = sim[u2]
         if not any(v2 in sources for v2 in ball_graph.predecessors_raw(v)):
             return False
@@ -90,6 +102,9 @@ def dual_filter(
 
     ball_graph = ball.graph
     border = ball.border_nodes
+    pattern_nodes = list(pattern.nodes())
+    pattern_succ = {u: pattern.successors(u) for u in pattern_nodes}
+    pattern_pred = {u: pattern.predecessors(u) for u in pattern_nodes}
 
     # Lines 2–5: seed the filter queue from border-node pairs that lost a
     # witness to the ball boundary (Proposition 5 — only these can start
@@ -101,11 +116,13 @@ def dual_filter(
             if pair not in enqueued:
                 filter_queue.append(pair)
                 enqueued.add(pair)
-    for u in pattern.nodes():
+    for u in pattern_nodes:
         for v in sim[u]:
             if v not in border:
                 continue
-            if not _pair_is_valid(pattern, ball_graph, sim, u, v):
+            if not _pair_is_valid(
+                pattern_succ, pattern_pred, ball_graph, sim, u, v
+            ):
                 pair = (u, v)
                 filter_queue.append(pair)
                 enqueued.add(pair)
@@ -120,7 +137,7 @@ def dual_filter(
             return None  # line 16: some pattern node has no match left
         # Parent direction: pairs (u2, v2) with pattern edge (u2, u) and
         # data edge (v2, v) may have lost their only child witness.
-        for u2 in pattern.predecessors(u):
+        for u2 in pattern_pred[u]:
             candidates = sim[u2]
             targets = sim[u]
             for v2 in ball_graph.predecessors_raw(v):
@@ -131,7 +148,7 @@ def dual_filter(
                     enqueued.add((u2, v2))
         # Child direction: pairs (u1, v1) with pattern edge (u, u1) and
         # data edge (v, v1) may have lost their only parent witness.
-        for u1 in pattern.successors(u):
+        for u1 in pattern_succ[u]:
             candidates = sim[u1]
             sources = sim[u]
             for v1 in ball_graph.successors_raw(v):

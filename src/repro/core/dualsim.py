@@ -15,6 +15,13 @@ Two equivalent implementations are provided:
   nodes whose candidate sets shrank, used everywhere by default.
 
 Both run in O((|Vq| + |Eq|) (|V| + |E|)) per the paper's analysis.
+
+These are the *reference* fixpoints: readable, set-based, and used as the
+ground truth by the equivalence tests.  The production hot path lives in
+:mod:`repro.core.kernel` (``dual_simulation_kernel``), which computes the
+same unique maximum relation (Lemma 1) with a counter-based
+deletion-propagation fixpoint over CSR integer arrays instead of the
+repeated ``any(...)`` witness scans below.
 """
 
 from __future__ import annotations
@@ -87,6 +94,11 @@ def dual_simulation(
     sim = seeds if seeds is not None else initial_candidates(pattern, data)
     queue = deque(pattern.nodes())
     queued: Set[Node] = set(queue)
+    # Hoist the pattern adjacency: Pattern.successors/predecessors build a
+    # fresh frozenset per call, which the dequeue loop would otherwise pay
+    # on every iteration.
+    pattern_pred = {u: pattern.predecessors(u) for u in pattern.nodes()}
+    pattern_succ = {u: pattern.successors(u) for u in pattern.nodes()}
 
     def shrink(u: Node, stale: list) -> bool:
         """Remove stale candidates from sim(u); return False on collapse."""
@@ -103,7 +115,7 @@ def dual_simulation(
         queued.discard(w)
         w_candidates = sim[w]
         # Parents u of w: every v in sim(u) needs a child in sim(w).
-        for u in pattern.predecessors(w):
+        for u in pattern_pred[w]:
             stale = [
                 v
                 for v in sim[u]
@@ -113,7 +125,7 @@ def dual_simulation(
                 _collapse_if_failed(sim)
                 return MatchRelation(sim)
         # Children u of w: every v in sim(u) needs a parent in sim(w).
-        for u in pattern.successors(w):
+        for u in pattern_succ[w]:
             stale = [
                 v
                 for v in sim[u]

@@ -18,6 +18,14 @@ Each optimization can be toggled independently through
 :class:`MatchPlusOptions` for the ablation benchmarks; the default enables
 all three.  The result is always identical to plain ``Match`` (asserted in
 the integration tests); only the running time differs.
+
+Like :func:`repro.core.strong.match`, ``match_plus`` takes an ``engine``
+argument: ``"python"`` runs the reference path below, ``"kernel"`` (and
+the default ``"auto"``) runs the same algorithm over the compiled
+CSR kernel of :mod:`repro.core.kernel` — output-identical for every
+option combination, with the global fixpoint and the per-ball refinement
+both executed counter-based over integer arrays.  Query minimization
+always happens here (pattern-side work is engine-independent).
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from repro.core.ball import Ball, extract_ball, extract_ball_restricted
 from repro.core.digraph import DiGraph, Node
 from repro.core.dualfilter import dual_filter
 from repro.core.dualsim import dual_simulation
+from repro.core.kernel import kernel_match_plus, resolve_engine
 from repro.core.matchrel import MatchRelation
 from repro.core.minimize import minimize_pattern
 from repro.core.pattern import Pattern
@@ -66,11 +75,14 @@ def match_plus(
     pattern: Pattern,
     data: DiGraph,
     options: Optional[MatchPlusOptions] = None,
+    engine: str = "auto",
 ) -> MatchResult:
     """Optimized strong simulation; output-identical to ``Match``.
 
     Returns the same deduplicated set Θ of maximum perfect subgraphs as
-    :func:`repro.core.strong.match`.
+    :func:`repro.core.strong.match`.  ``engine`` selects the execution
+    backend (``"auto"`` | ``"kernel"`` | ``"python"``, see module
+    docstring); the result set is identical either way.
     """
     if options is None:
         options = MatchPlusOptions()
@@ -82,6 +94,16 @@ def match_plus(
     else:
         working_pattern = pattern
         radius = pattern.diameter
+
+    if resolve_engine(engine) == "kernel":
+        return kernel_match_plus(
+            working_pattern,
+            data,
+            radius,
+            use_dual_filter=options.use_dual_filter,
+            use_pruning=options.use_pruning,
+            restrict_centers_by_label=options.restrict_centers_by_label,
+        )
 
     result = MatchResult(working_pattern)
 

@@ -29,10 +29,11 @@ def initial_candidates(pattern: Pattern, data: DiGraph) -> Dict[Node, Set[Node]]
     """``sim(u) = { v | l(v) = l(u) }`` — the label-compatible seeds.
 
     Lines 1–2 of procedure ``DualSim``.  Uses the data graph's label index,
-    so the cost is proportional to the output, not to |V|·|Vq|.
+    so the cost is proportional to the output, not to |V|·|Vq| — and the
+    raw (copy-free) buckets, since ``set(...)`` copies anyway.
     """
     return {
-        u: set(data.nodes_with_label(pattern.label(u)))
+        u: set(data.nodes_with_label_raw(pattern.label(u)))
         for u in pattern.nodes()
     }
 

@@ -13,6 +13,15 @@ For every ball ``Ĝ[w, d_Q]`` of the data graph:
 
 Complexity: O(|V| (|V| + (|Vq| + |Eq|)(|V| + |E|))) — cubic, as Theorem 5
 states.  The optimized variant lives in :mod:`repro.core.matchplus`.
+
+Two execution engines implement this algorithm (``engine`` argument):
+
+* ``"python"`` — the reference path below: per-ball ``DiGraph``
+  construction + set-based fixpoints, kept as the readable ground truth;
+* ``"kernel"`` — :mod:`repro.core.kernel`: the data graph is compiled once
+  to integer-id CSR arrays and balls/fixpoints run over flat buffers.
+  Output-identical, several times faster;
+* ``"auto"`` (default) — currently selects the kernel.
 """
 
 from __future__ import annotations
@@ -22,6 +31,11 @@ from typing import Iterable, Optional, Set
 from repro.core.ball import Ball, extract_ball
 from repro.core.digraph import DiGraph, Node
 from repro.core.dualsim import dual_simulation
+from repro.core.kernel import (
+    kernel_match,
+    kernel_matches_via_strong_simulation,
+    resolve_engine,
+)
 from repro.core.matchgraph import build_match_graph, relation_restricted_to_component
 from repro.core.matchrel import MatchRelation
 from repro.core.pattern import Pattern
@@ -59,6 +73,7 @@ def match(
     data: DiGraph,
     centers: Optional[Iterable[Node]] = None,
     radius: Optional[int] = None,
+    engine: str = "auto",
 ) -> MatchResult:
     """Algorithm ``Match``: strong simulation over every ball of ``G``.
 
@@ -76,12 +91,18 @@ def match(
         Ball radius; defaults to the pattern diameter ``d_Q``.  Exposed
         because Lemma 3 fixes the radius when comparing pattern
         equivalence, and tests exercise non-default radii.
+    engine:
+        ``"auto"`` (default), ``"kernel"`` or ``"python"`` — see the
+        module docstring.  Both engines are output-identical; use
+        ``"python"`` to force the reference path.
 
     Returns
     -------
     MatchResult
         The deduplicated set Θ of maximum perfect subgraphs.
     """
+    if resolve_engine(engine) == "kernel":
+        return kernel_match(pattern, data, centers=centers, radius=radius)
     if radius is None:
         radius = pattern.diameter
     if centers is None:
@@ -98,8 +119,12 @@ def match(
     return result
 
 
-def matches_via_strong_simulation(pattern: Pattern, data: DiGraph) -> bool:
+def matches_via_strong_simulation(
+    pattern: Pattern, data: DiGraph, engine: str = "auto"
+) -> bool:
     """Decide ``Q ≺_LD G`` — at least one perfect subgraph exists."""
+    if resolve_engine(engine) == "kernel":
+        return kernel_matches_via_strong_simulation(pattern, data)
     radius = pattern.diameter
     for center in data.nodes():
         ball = extract_ball(data, center, radius)

@@ -29,7 +29,10 @@ def bfs_layers_undirected(
     """
     if source not in graph:
         raise NodeNotFound(source)
+    successors_raw = graph.successors_raw
+    predecessors_raw = graph.predecessors_raw
     seen: Set[Node] = {source}
+    seen_add = seen.add
     frontier: List[Node] = [source]
     distance = 0
     while frontier:
@@ -37,15 +40,16 @@ def bfs_layers_undirected(
         if radius is not None and distance >= radius:
             return
         next_frontier: List[Node] = []
+        append = next_frontier.append
         for node in frontier:
-            for neighbor in graph.successors_raw(node):
+            for neighbor in successors_raw(node):
                 if neighbor not in seen:
-                    seen.add(neighbor)
-                    next_frontier.append(neighbor)
-            for neighbor in graph.predecessors_raw(node):
+                    seen_add(neighbor)
+                    append(neighbor)
+            for neighbor in predecessors_raw(node):
                 if neighbor not in seen:
-                    seen.add(neighbor)
-                    next_frontier.append(neighbor)
+                    seen_add(neighbor)
+                    append(neighbor)
         frontier = next_frontier
         distance += 1
 
@@ -142,18 +146,21 @@ def shortest_undirected_path(
     queue = deque([source])
     while queue:
         node = queue.popleft()
-        for neighbor in graph.successors_raw(node) | graph.predecessors_raw(node):
-            if neighbor in seen:
-                continue
-            seen.add(neighbor)
-            parents[neighbor] = node
-            if neighbor == target:
-                path = [target]
-                while path[-1] != source:
-                    path.append(parents[path[-1]])
-                path.reverse()
-                return path
-            queue.append(neighbor)
+        # Iterate both directions without materializing their union —
+        # the per-node set allocation dominated this loop.
+        for adjacency in (graph.successors_raw(node), graph.predecessors_raw(node)):
+            for neighbor in adjacency:
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                parents[neighbor] = node
+                if neighbor == target:
+                    path = [target]
+                    while path[-1] != source:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(neighbor)
     return None
 
 

@@ -1,0 +1,250 @@
+"""Engine equivalence: the CSR kernel must mirror the reference path.
+
+The contract of :mod:`repro.core.kernel` is *output identity*: for every
+input, ``engine="kernel"`` and ``engine="python"`` produce the same set of
+maximum perfect subgraphs with the same match relations (the recorded
+discovering center may legitimately differ — see ``kernel_match_plus``).
+These tests enforce the contract over the paper-figure fixtures, the
+synthetic fixture corpus, and randomized graph/pattern pairs, plus the
+kernel-specific machinery (index caching, version invalidation, engine
+validation).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.digraph import DiGraph
+from repro.core.dualsim import dual_simulation
+from repro.core.kernel import (
+    GraphIndex,
+    dual_simulation_kernel,
+    get_index,
+    kernel_matches_via_strong_simulation,
+    resolve_engine,
+)
+from repro.core.matchplus import MatchPlusOptions, match_plus
+from repro.core.pattern import Pattern
+from repro.core.strong import match, matches_via_strong_simulation
+
+from tests.conftest import (
+    graph_and_pattern,
+    graph_with_sampled_pattern,
+    pattern_from_subgraph,
+    random_connected_pattern,
+    random_digraph,
+)
+
+ALL_OPTION_COMBOS = [
+    MatchPlusOptions(),
+    MatchPlusOptions(use_minimization=False),
+    MatchPlusOptions(use_dual_filter=False),
+    MatchPlusOptions(use_pruning=False),
+    MatchPlusOptions(use_dual_filter=False, use_pruning=False),
+    MatchPlusOptions(
+        use_minimization=False,
+        use_dual_filter=False,
+        use_pruning=False,
+        restrict_centers_by_label=False,
+    ),
+]
+
+
+def canonical(result):
+    """Engine-independent form of a MatchResult: subgraphs + relations."""
+    return {
+        (sg.signature(), sg.relation.pair_set()) for sg in result
+    }
+
+
+def assert_engines_agree(pattern, data):
+    """Both entry points agree between engines on (pattern, data)."""
+    plain_python = canonical(match(pattern, data, engine="python"))
+    assert canonical(match(pattern, data, engine="kernel")) == plain_python
+    for options in ALL_OPTION_COMBOS:
+        assert (
+            canonical(match_plus(pattern, data, options, engine="kernel"))
+            == canonical(match_plus(pattern, data, options, engine="python"))
+        )
+
+
+# ----------------------------------------------------------------------
+# Fixture corpus
+# ----------------------------------------------------------------------
+class TestFixtureCorpus:
+    def test_paper_figure(self, q1, g1):
+        assert_engines_agree(q1, g1)
+
+    def test_small_synthetic_sampled_patterns(self, small_synthetic):
+        for seed in range(6):
+            pattern = pattern_from_subgraph(small_synthetic, seed, 4)
+            if pattern is None:
+                continue
+            assert_engines_agree(pattern, small_synthetic)
+
+    def test_medium_synthetic_sampled_pattern(self, medium_synthetic):
+        pattern = pattern_from_subgraph(medium_synthetic, 5, 6)
+        assert pattern is not None
+        assert canonical(
+            match_plus(pattern, medium_synthetic, engine="kernel")
+        ) == canonical(match_plus(pattern, medium_synthetic, engine="python"))
+
+    def test_dual_simulation_on_fixtures(self, q1, g1, small_synthetic):
+        assert dual_simulation_kernel(q1, g1) == dual_simulation(q1, g1)
+        pattern = pattern_from_subgraph(small_synthetic, 2, 3)
+        assert pattern is not None
+        assert dual_simulation_kernel(pattern, small_synthetic) == (
+            dual_simulation(pattern, small_synthetic)
+        )
+
+    def test_non_default_radius(self, small_synthetic):
+        pattern = pattern_from_subgraph(small_synthetic, 1, 3)
+        assert pattern is not None
+        for radius in (0, 1, pattern.diameter + 2):
+            assert canonical(
+                match(pattern, small_synthetic, radius=radius, engine="kernel")
+            ) == canonical(
+                match(pattern, small_synthetic, radius=radius, engine="python")
+            )
+
+    def test_restricted_centers(self, small_synthetic):
+        pattern = pattern_from_subgraph(small_synthetic, 3, 3)
+        assert pattern is not None
+        centers = list(small_synthetic.nodes())[::3]
+        assert canonical(
+            match(pattern, small_synthetic, centers=centers, engine="kernel")
+        ) == canonical(
+            match(pattern, small_synthetic, centers=centers, engine="python")
+        )
+
+    def test_decision_procedure(self, small_synthetic):
+        pattern = pattern_from_subgraph(small_synthetic, 4, 3)
+        assert pattern is not None
+        assert kernel_matches_via_strong_simulation(
+            pattern, small_synthetic
+        ) == matches_via_strong_simulation(
+            pattern, small_synthetic, engine="python"
+        )
+
+
+# ----------------------------------------------------------------------
+# Randomized equivalence (hypothesis shrinks over the seeds)
+# ----------------------------------------------------------------------
+class TestRandomizedEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(graph_and_pattern())
+    def test_match_agrees(self, pair):
+        data, pattern = pair
+        assert canonical(match(pattern, data, engine="kernel")) == canonical(
+            match(pattern, data, engine="python")
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph_with_sampled_pattern())
+    def test_match_plus_agrees_all_options(self, pair):
+        data, pattern = pair
+        for options in ALL_OPTION_COMBOS:
+            assert (
+                canonical(match_plus(pattern, data, options, engine="kernel"))
+                == canonical(
+                    match_plus(pattern, data, options, engine="python")
+                )
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(graph_and_pattern())
+    def test_dual_simulation_agrees(self, pair):
+        data, pattern = pair
+        assert dual_simulation_kernel(pattern, data) == dual_simulation(
+            pattern, data
+        )
+
+    def test_seeded_sweep(self):
+        """A deterministic seed sweep, independent of hypothesis."""
+        for seed in range(40):
+            data = random_digraph(seed, max_nodes=10)
+            pattern = random_connected_pattern(seed + 900, max_nodes=4)
+            assert_engines_agree(pattern, data)
+
+
+# ----------------------------------------------------------------------
+# Kernel machinery
+# ----------------------------------------------------------------------
+class TestGraphIndex:
+    def test_index_is_cached_until_mutation(self):
+        graph = DiGraph.from_parts({1: "A", 2: "B"}, [(1, 2)])
+        first = get_index(graph)
+        assert get_index(graph) is first
+        graph.add_node(3, "A")
+        second = get_index(graph)
+        assert second is not first
+        assert second.n == 3
+
+    def test_version_bumps_on_every_mutator(self):
+        graph = DiGraph()
+        observed = {graph.version}
+
+        def record():
+            assert graph.version not in observed, "mutator did not bump"
+            observed.add(graph.version)
+
+        graph.add_node(1, "A"); record()
+        graph.add_node(2, "B"); record()
+        graph.add_edge(1, 2); record()
+        graph.relabel_node(2, "C"); record()
+        graph.remove_edge(1, 2); record()
+        graph.remove_node(2); record()
+
+    def test_stale_index_never_served_after_edge_change(self):
+        pattern = Pattern.build({"a": "X", "b": "Y"}, [("a", "b")])
+        graph = DiGraph.from_parts(
+            {1: "X", 2: "Y", 3: "Y"}, [(1, 2)]
+        )
+        before = canonical(match(pattern, graph, engine="kernel"))
+        graph.add_edge(1, 3)
+        after_kernel = canonical(match(pattern, graph, engine="kernel"))
+        after_python = canonical(match(pattern, graph, engine="python"))
+        assert after_kernel == after_python
+        assert after_kernel != before
+
+    def test_csr_shape(self):
+        graph = DiGraph.from_parts(
+            {1: "A", 2: "A", 3: "B"}, [(1, 2), (1, 3), (2, 1)]
+        )
+        index = GraphIndex(graph)
+        assert index.n == 3
+        assert sum(map(len, index.fwd_rows)) == graph.num_edges
+        assert sum(map(len, index.rev_rows)) == graph.num_edges
+        # Undirected rows contain each neighbor exactly once.
+        node_1 = index.index_of[1]
+        assert sorted(index.und_rows[node_1]) == sorted(
+            index.index_of[x] for x in (2, 3)
+        )
+
+    def test_empty_data_graph(self):
+        pattern = Pattern.build({"a": "A"}, [])
+        assert len(match(pattern, DiGraph(), engine="kernel")) == 0
+        assert len(match_plus(pattern, DiGraph(), engine="kernel")) == 0
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_engine("numpy")
+        pattern = Pattern.build({"a": "A"}, [])
+        data = DiGraph.from_parts({1: "A"}, [])
+        with pytest.raises(ValueError):
+            match(pattern, data, engine="numpy")
+        with pytest.raises(ValueError):
+            match_plus(pattern, data, engine="numpy")
+
+    def test_auto_matches_reference(self):
+        data = random_digraph(17, max_nodes=10)
+        pattern = random_connected_pattern(23, max_nodes=4)
+        assert canonical(match(pattern, data)) == canonical(
+            match(pattern, data, engine="python")
+        )
+        assert canonical(match_plus(pattern, data)) == canonical(
+            match_plus(pattern, data, engine="python")
+        )
