@@ -1,9 +1,10 @@
 """Kernel vs reference engine: wall-clock comparison + equivalence gate.
 
-Runs ``match_plus``, ``match`` and ``dual_simulation`` with both execution
-engines over the Figure-8(g) synthetic shapes (``generate_graph`` with
-``alpha=1.2`` and patterns sampled from the data), at the scale selected
-by ``REPRO_BENCH_SCALE`` (``small`` default / ``large``), and emits
+Runs ``match_plus``, ``match``, ``dual_simulation`` and the distributed
+``Cluster.run`` protocol with both execution engines over the Figure-8(g)
+synthetic shapes (``generate_graph`` with ``alpha=1.2`` and patterns
+sampled from the data), at the scale selected by ``REPRO_BENCH_SCALE``
+(``small`` default / ``large``), and emits
 
 * a rendered table under ``benchmarks/results/bench_kernel.txt``;
 * machine-readable ``benchmarks/results/BENCH_kernel.json`` — the seed of
@@ -33,12 +34,16 @@ from repro.core.kernel import dual_simulation_kernel, get_index
 from repro.core.strong import match
 from repro.datasets import generate_graph
 from repro.datasets.patterns import sample_pattern_from_data
+from repro.distributed import Cluster, bfs_partition
 from benchmarks.conftest import RESULTS_DIR, emit
 
 PATTERN_SIZE = 10
 PATTERN_REPEATS = 3
 TIMING_REPS = 3
 MATCH_PLUS_SMALL_SCALE_BAR = 2.0
+DISTRIBUTED_SMALL_SCALE_BAR = 1.5
+DISTRIBUTED_SITES = 4
+DISTRIBUTED_PATTERN_SIZE = 6
 
 
 def _best_of(fn: Callable[[], object], reps: int = TIMING_REPS) -> float:
@@ -137,6 +142,71 @@ def test_kernel_vs_python_engines(scale):
         kernel_s = totals[key]["kernel"]
         return round(totals[key]["python"] / kernel_s, 3) if kernel_s else None
 
+    # ------------------------------------------------------------------
+    # Distributed protocol: python vs kernel cluster on one small
+    # synthetic workload (the per-site CSR substrate of PR 2).  The
+    # equivalence gate covers the full protocol observation: result set,
+    # per-site partial counts and bus accounting.
+    # ------------------------------------------------------------------
+    dist_n = 300 if smoke else 600
+    dist_data = generate_graph(
+        dist_n, alpha=1.15, num_labels=scale["labels"], seed=37
+    )
+    dist_pattern = sample_pattern_from_data(
+        dist_data, DISTRIBUTED_PATTERN_SIZE, seed=501
+    )
+    assert dist_pattern is not None
+    assignment = bfs_partition(dist_data, DISTRIBUTED_SITES)
+    clusters = {
+        engine: Cluster(dist_data, assignment, DISTRIBUTED_SITES, engine=engine)
+        for engine in ("python", "kernel")
+    }
+    reports = {
+        engine: cluster.run(dist_pattern)
+        for engine, cluster in clusters.items()
+    }
+    assert _canonical(reports["kernel"].result) == _canonical(
+        reports["python"].result
+    ), "distributed results diverged between engines"
+    assert (
+        reports["kernel"].per_site_subgraphs
+        == reports["python"].per_site_subgraphs
+    )
+    assert (
+        reports["kernel"].bus.units_by_kind()
+        == reports["python"].bus.units_by_kind()
+    )
+    # Snapshot per-query accounting NOW: data_shipment_units is a live
+    # view over the cluster's bus, which keeps accumulating across the
+    # timing runs below.
+    dist_data_units = reports["kernel"].data_shipment_units
+    dist_per_site = dict(reports["kernel"].per_site_subgraphs)
+    dist_times = {
+        engine: _best_of(lambda engine=engine: clusters[engine].run(dist_pattern))
+        for engine in ("python", "kernel")
+    }
+    dist_speedup = (
+        round(dist_times["python"] / dist_times["kernel"], 3)
+        if dist_times["kernel"]
+        else None
+    )
+    distributed_section = {
+        "workload": (
+            f"bfs-partitioned synthetic graph, |V|={dist_n}, "
+            f"{DISTRIBUTED_SITES} sites, |Vq|={DISTRIBUTED_PATTERN_SIZE}"
+        ),
+        "n": dist_n,
+        "sites": DISTRIBUTED_SITES,
+        "pattern_size": DISTRIBUTED_PATTERN_SIZE,
+        "python_s": round(dist_times["python"], 6),
+        "kernel_s": round(dist_times["kernel"], 6),
+        "speedup": dist_speedup,
+        "data_units": dist_data_units,
+        "per_site_subgraphs": {
+            str(site): count for site, count in sorted(dist_per_site.items())
+        },
+    }
+
     payload = {
         "benchmark": "bench_kernel",
         "workload": "fig8g synthetic shapes (alpha=1.2, sampled patterns)",
@@ -153,6 +223,7 @@ def test_kernel_vs_python_engines(scale):
             }
             for key in totals
         },
+        "distributed": distributed_section,
         "equivalence": "all result sets identical across engines",
     }
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -179,10 +250,21 @@ def test_kernel_vs_python_engines(scale):
                 f"{totals[key]['kernel']:>10.4f} "
                 f"{speedup(key):>8.2f}"
             )
+    if dist_speedup is not None:
+        lines.append(
+            f"{dist_n:>8} {'distributed':>11} "
+            f"{dist_times['python']:>10.4f} "
+            f"{dist_times['kernel']:>10.4f} "
+            f"{dist_speedup:>8.2f}"
+        )
     emit("bench_kernel", "\n".join(lines))
 
     if not smoke and payload["scale"] == "small":
         assert speedup("match_plus") >= MATCH_PLUS_SMALL_SCALE_BAR, (
             f"kernel match_plus speedup {speedup('match_plus')} fell below "
             f"{MATCH_PLUS_SMALL_SCALE_BAR}x on the small synthetic workload"
+        )
+        assert dist_speedup >= DISTRIBUTED_SMALL_SCALE_BAR, (
+            f"kernel distributed speedup {dist_speedup} fell below "
+            f"{DISTRIBUTED_SMALL_SCALE_BAR}x on the small synthetic workload"
         )

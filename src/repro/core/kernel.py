@@ -35,6 +35,14 @@ Dual simulation
     deletions pays only for the border pairs it actually inspects
     (Proposition 5), never for a full re-initialization.
 
+Graph simulation
+    The same counter machinery restricted to the *child* direction only:
+    plain graph simulation (Milner-style, no duality) maintains one
+    witness count per (pattern edge, parent candidate) and cascades
+    removals when a candidate's last child witness disappears.  This is
+    the counter fixpoint the ROADMAP asked to reuse for
+    ``graph_simulation``.
+
 Entry points — all *output-identical* to the reference Python path:
 
 * :func:`kernel_match` — strong simulation (algorithm ``Match``);
@@ -43,8 +51,15 @@ Entry points — all *output-identical* to the reference Python path:
   per-ball refinement);
 * :func:`dual_simulation_kernel` — the maximum dual-simulation relation
   over the full data graph;
+* :func:`graph_simulation_kernel` — the maximum (child-direction-only)
+  graph-simulation relation over the full data graph;
 * :func:`kernel_matches_via_strong_simulation` — the boolean decision
   procedure with early exit.
+
+The distributed runtime (:mod:`repro.distributed.sitekernel`) reuses the
+compiled-pattern and fixpoint internals over its own incrementally
+extended per-site index, which mirrors the :class:`GraphIndex` row
+layout.
 
 Callers normally do not import this module directly: ``match`` and
 ``match_plus`` take an ``engine`` argument (``"auto"`` | ``"kernel"`` |
@@ -436,6 +451,117 @@ def dual_simulation_kernel(pattern: Pattern, data: DiGraph) -> MatchRelation:
     nodes = gi.nodes
     if not ok:
         return MatchRelation({u: set() for u in cp.nodes})
+    return MatchRelation(
+        {cp.nodes[u]: {nodes[v] for v in sim[u]} for u in range(cp.size)}
+    )
+
+
+# ======================================================================
+# Child-direction-only counter fixpoint (graph simulation)
+# ======================================================================
+def _sim_child_only(
+    cp: _CompiledPattern, gi: "GraphIndex", sim: List[Set[int]]
+) -> bool:
+    """Graph-simulation fixpoint: child witnesses only, counter-cascaded.
+
+    Plain graph simulation (``Q ≺ G``) drops ``v`` from ``sim(u)`` only
+    when some pattern edge ``(u, b)`` has no witness ``(v, w)`` with
+    ``w ∈ sim(b)`` — the parent direction of dual simulation is absent.
+    Structurally this is :func:`_dual_sim_eager` with the ``cnt_up``
+    half deleted: one batch pre-filter round for the label-seed mass
+    extinction, then exact per-(edge, parent) witness counts with O(1)
+    decrements.  Removing ``v`` from ``sim(u)`` can only invalidate
+    *predecessors* of ``v`` under pattern edges entering ``u``, so the
+    cascade walks ``rev`` rows exclusively.  Refines ``sim`` in place;
+    ``False`` on collapse (some candidate set emptied).
+    """
+    fwd = gi.fwd_rows
+    rev = gi.rev_rows
+    edges = cp.edges
+    # Batch pre-filter, child direction only (same stopping rule as
+    # _batch_prefilter: hand the tail to the exact counters).
+    while True:
+        removed = 0
+        remaining = 0
+        for a, b in edges:
+            sim_a = sim[a]
+            sim_b = sim[b]
+            stale = [v for v in sim_a if sim_b.isdisjoint(fwd[v])]
+            if stale:
+                if len(stale) == len(sim_a):
+                    return False
+                sim_a.difference_update(stale)
+                removed += len(stale)
+            remaining += len(sim_a)
+        if removed <= max(8, remaining >> 4):
+            break
+
+    num_edges = len(edges)
+    cnt_down: List[Dict[int, int]] = [{} for _ in range(num_edges)]
+    pending: Deque[Pair] = deque()
+    push = pending.append
+    for e in range(num_edges):
+        a, b = edges[e]
+        sim_b = sim[b]
+        cd = cnt_down[e]
+        for v in sim[a]:
+            c = 0
+            for w in fwd[v]:
+                if w in sim_b:
+                    c += 1
+            if c:
+                cd[v] = c
+            else:
+                push((a, v))
+
+    in_edges = cp.in_edges
+    while pending:
+        u, v = pending.popleft()
+        sim_u = sim[u]
+        if v not in sim_u:
+            continue
+        sim_u.discard(v)
+        if not sim_u:
+            return False
+        # Pattern edges (a, u): predecessors of v lose a child witness.
+        for e in in_edges[u]:
+            a = edges[e][0]
+            sim_a = sim[a]
+            cd = cnt_down[e]
+            for p in rev[v]:
+                if p in sim_a:
+                    c = cd.get(p)
+                    if c is None:
+                        # Lazy recount (the pair was enqueued with zero at
+                        # init and a cascade reached it first): count the
+                        # survivors, v already removed.
+                        c = 0
+                        for w in fwd[p]:
+                            if w in sim_u:
+                                c += 1
+                    else:
+                        c -= 1
+                    cd[p] = c
+                    if not c:
+                        push((a, p))
+    return True
+
+
+def graph_simulation_kernel(pattern: Pattern, data: DiGraph) -> MatchRelation:
+    """Maximum graph-simulation relation of ``Q ≺ G`` — kernel engine.
+
+    Output-identical to :func:`repro.core.simulation.simulation_fixpoint`
+    (the maximum simulation relation is unique; both engines compute the
+    greatest fixpoint below the label seeds, and both collapse to the
+    empty relation when any pattern node ends up with no matches).
+    """
+    gi = get_index(data)
+    cp = _CompiledPattern(pattern)
+    sim = _seed_by_label_full(cp, gi)
+    ok = all(sim) and _sim_child_only(cp, gi, sim)
+    if not ok:
+        return MatchRelation({u: set() for u in cp.nodes})
+    nodes = gi.nodes
     return MatchRelation(
         {cp.nodes[u]: {nodes[v] for v in sim[u]} for u in range(cp.size)}
     )

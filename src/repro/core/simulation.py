@@ -13,6 +13,13 @@ pattern edges.
 Both entry points return the maximum relation; if simulation fails (some
 pattern node ends with no matches) the returned relation is empty, matching
 line 10 of procedure ``DualSim`` in the paper.
+
+Like the strong-simulation entry points, :func:`graph_simulation` takes an
+``engine`` argument: ``"python"`` runs the reference worklist fixpoint
+below, ``"kernel"`` (and the default ``"auto"``) runs the
+child-direction-only counter fixpoint of
+:func:`repro.core.kernel.graph_simulation_kernel` over the compiled CSR
+index.  Both compute the same unique maximum relation.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from collections import deque
 from typing import Dict, Set
 
 from repro.core.digraph import DiGraph, Node
+from repro.core.kernel import graph_simulation_kernel, resolve_engine
 from repro.core.matchrel import MatchRelation
 from repro.core.pattern import Pattern
 
@@ -116,14 +124,24 @@ def simulation_fixpoint(
     return MatchRelation(sim)
 
 
-def graph_simulation(pattern: Pattern, data: DiGraph) -> MatchRelation:
-    """The maximum match relation of ``Q ≺ G`` (empty if no match)."""
+def graph_simulation(
+    pattern: Pattern, data: DiGraph, engine: str = "auto"
+) -> MatchRelation:
+    """The maximum match relation of ``Q ≺ G`` (empty if no match).
+
+    ``engine`` selects the execution backend (``"auto"`` | ``"kernel"`` |
+    ``"python"``); the relation is identical either way.
+    """
+    if resolve_engine(engine) == "kernel":
+        return graph_simulation_kernel(pattern, data)
     return simulation_fixpoint(pattern, data)
 
 
-def matches_via_simulation(pattern: Pattern, data: DiGraph) -> bool:
+def matches_via_simulation(
+    pattern: Pattern, data: DiGraph, engine: str = "auto"
+) -> bool:
     """Decide ``Q ≺ G``."""
-    return graph_simulation(pattern, data).is_total()
+    return graph_simulation(pattern, data, engine=engine).is_total()
 
 
 def is_simulation_relation(

@@ -1,4 +1,14 @@
-"""Distributed strong simulation (Section 4.3) over a simulated cluster."""
+"""Distributed strong simulation (Section 4.3) over a simulated cluster.
+
+The protocol runs on either execution engine
+(``engine="auto"|"kernel"|"python"`` on :class:`Cluster` and
+:func:`distributed_match`): the kernel engine compiles each fragment once
+per site into an incrementally extended CSR index
+(:mod:`repro.distributed.sitekernel`) and is several times faster; the
+python engine is the readable reference path — the right choice when
+debugging result or traffic differences against the paper's pseudocode.
+Result sets, per-site counts and bus accounting are engine-identical.
+"""
 
 from repro.distributed.coordinator import (
     Cluster,
@@ -9,11 +19,13 @@ from repro.distributed.coordinator import (
 from repro.distributed.fragment import Fragment, fragment_graph
 from repro.distributed.network import Message, MessageBus
 from repro.distributed.partition import (
+    PARTITIONERS,
     bfs_partition,
     cut_edges,
     greedy_edge_cut_partition,
     hash_partition,
 )
+from repro.distributed.sitekernel import SiteGraphIndex
 from repro.distributed.worker import SiteWorker
 
 __all__ = [
@@ -22,6 +34,8 @@ __all__ = [
     "Fragment",
     "Message",
     "MessageBus",
+    "PARTITIONERS",
+    "SiteGraphIndex",
     "SiteWorker",
     "bfs_partition",
     "crossing_ball_bound",

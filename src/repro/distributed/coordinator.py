@@ -14,6 +14,16 @@ Section 4.3, transcribed:
 
 The protocol is generic over partitioning and returns *exactly* the
 centralized ``Match`` output (asserted by the integration tests).
+
+The protocol is also generic over the *execution engine*: ``Cluster``
+accepts ``engine="auto"|"kernel"|"python"`` and threads it to every
+:class:`~repro.distributed.worker.SiteWorker`.  With the kernel engine
+each site compiles its fragment once into a per-site CSR index
+(:mod:`repro.distributed.sitekernel`) and extends it incrementally as
+remote records arrive over the bus; the result set, the per-site partial
+counts and the full traffic accounting are engine-independent, so the
+Section 4.3 bound holds unchanged (enforced by
+``tests/test_distributed_kernel_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.digraph import DiGraph
+from repro.core.kernel import resolve_engine
 from repro.core.pattern import Pattern
 from repro.core.result import MatchResult
 from repro.distributed.fragment import Assignment, Fragment, fragment_graph
@@ -63,13 +74,16 @@ class Cluster:
         graph: DiGraph,
         assignment: Assignment,
         num_sites: int,
+        engine: str = "auto",
     ) -> None:
+        resolve_engine(engine)  # validate before building any worker
+        self.engine = engine
         self.bus = MessageBus()
         self.fragments: List[Fragment] = fragment_graph(
             graph, assignment, num_sites
         )
         self.workers: Dict[int, SiteWorker] = {
-            fragment.site_id: SiteWorker(fragment, self.bus)
+            fragment.site_id: SiteWorker(fragment, self.bus, engine=engine)
             for fragment in self.fragments
         }
         for worker in self.workers.values():
@@ -80,12 +94,18 @@ class Cluster:
         """Number of sites in the cluster."""
         return len(self.workers)
 
-    def evaluate(
+    def run(
         self,
         pattern: Pattern,
         radius: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> DistributedRunReport:
-        """Run the Section 4.3 protocol for one pattern."""
+        """Run the Section 4.3 protocol for one pattern.
+
+        ``engine`` overrides the cluster default for this query only;
+        the result, per-site counts and traffic accounting are identical
+        for every engine choice.
+        """
         if radius is None:
             radius = pattern.diameter
         # Step 1: broadcast the query (|Q| units per site).
@@ -98,7 +118,7 @@ class Cluster:
         per_site: Dict[int, int] = {}
         for site, worker in self.workers.items():
             worker.clear_cache()
-            partial = worker.match_local(pattern, radius)
+            partial = worker.match_local(pattern, radius, engine=engine)
             per_site[site] = len(partial)
             units = sum(sg.graph.size for sg in partial)
             self.bus.send(site, COORDINATOR_ID, "result", units)
@@ -107,6 +127,15 @@ class Cluster:
                 result.add(subgraph)
         return DistributedRunReport(result, self.bus, per_site)
 
+    def evaluate(
+        self,
+        pattern: Pattern,
+        radius: Optional[int] = None,
+        engine: Optional[str] = None,
+    ) -> DistributedRunReport:
+        """Alias of :meth:`run` (the original Section 4.3 entry point)."""
+        return self.run(pattern, radius, engine=engine)
+
 
 def distributed_match(
     pattern: Pattern,
@@ -114,10 +143,11 @@ def distributed_match(
     assignment: Assignment,
     num_sites: int,
     radius: Optional[int] = None,
+    engine: str = "auto",
 ) -> DistributedRunReport:
     """Convenience wrapper: build a cluster and evaluate one pattern."""
-    cluster = Cluster(graph, assignment, num_sites)
-    return cluster.evaluate(pattern, radius)
+    cluster = Cluster(graph, assignment, num_sites, engine=engine)
+    return cluster.run(pattern, radius)
 
 
 def crossing_ball_bound(

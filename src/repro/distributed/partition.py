@@ -109,3 +109,13 @@ def cut_edges(graph: DiGraph, assignment: Assignment) -> int:
         for source, target in graph.edges()
         if assignment[source] != assignment[target]
     )
+
+
+#: Canonical name -> partitioner registry (the CLI's ``--partitioner``
+#: choices and the differential tests both derive from this, so adding a
+#: partitioner here propagates everywhere).
+PARTITIONERS = {
+    "hash": hash_partition,
+    "bfs": bfs_partition,
+    "greedy": greedy_edge_cut_partition,
+}

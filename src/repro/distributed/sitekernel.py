@@ -1,0 +1,247 @@
+"""Per-site CSR execution substrate for the distributed protocol.
+
+PR 1 gave the centralized entry points a compiled execution kernel
+(:mod:`repro.core.kernel`), but the distributed workers kept the slow
+reference path: every ball rebuilt a hash-set ``DiGraph`` and re-ran the
+set-based dual-simulation fixpoint, so the Section 4.3 protocol never saw
+the 2–5x kernel win.  This module closes that gap with the same pattern
+MADlib uses for in-database analytics: the compiled kernel is pushed down
+to each data-parallel site instead of shipping rows to a central
+evaluator.
+
+:class:`SiteGraphIndex` is the per-site analogue of
+:class:`~repro.core.kernel.GraphIndex` — integer node ids plus CSR
+adjacency rows — with two distributed-specific twists:
+
+* **Incremental extension.**  A fragment only knows its own nodes' full
+  adjacency; remote neighbors start as unmaterialized *stubs* (an id with
+  no label and empty rows).  When a ball BFS reaches a stub, the worker
+  fetches the node record over the message bus (charging it exactly as
+  the reference path does) and the record is appended to the index in
+  place — ids are stable, so previously compiled rows stay valid.
+
+* **Per-query remote reset.**  The owned part of the index is compiled
+  once per site and reused across queries ("fragments compile once per
+  site"); the remote extension is reverted to stubs at the start of each
+  query (:meth:`SiteGraphIndex.reset_remote`) so fetch accounting per
+  query is identical to the reference path, which re-ships records after
+  the coordinator clears the per-query cache.
+
+The per-ball matching itself (:func:`site_match_ball`) reuses the
+kernel's compiled-pattern representation and counter-based fixpoint
+(:func:`~repro.core.kernel._dual_sim_eager`) unchanged: candidate sets
+hold integer ids, ball membership is implicit in the seeds, and only
+successful balls pay for object-graph materialization.  The fixpoint and
+extraction never read the adjacency row of a non-candidate node, so
+unmaterialized stubs outside the ball are never touched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.digraph import Label, Node
+from repro.core.kernel import (
+    _CompiledPattern,
+    _dual_sim_eager,
+    _extract_perfect_subgraph,
+)
+from repro.core.result import PerfectSubgraph
+from repro.distributed.fragment import Fragment
+
+#: ``label, successors, predecessors`` — the record served for one node.
+NodeRecord = Tuple[Label, Set[Node], Set[Node]]
+
+#: Fetches the record of a (remote) node, charging the message bus.
+FetchFn = Callable[[Node], NodeRecord]
+
+
+class SiteGraphIndex:
+    """One site's fragment compiled to integer ids + growable CSR rows.
+
+    Ids ``[0, num_owned)`` are the fragment's own nodes in fragment
+    insertion order (which is data-graph node order restricted to the
+    site, so per-site center iteration matches the reference path).
+    Higher ids are remote nodes, interned on first sight; a remote id is
+    *materialized* once its record has been fetched and its label and
+    adjacency rows filled in.
+
+    The row layout (``fwd_rows`` / ``rev_rows`` / ``und_rows`` indexed by
+    node id, plus ``nodes`` / ``labels`` / ``_stamp``) deliberately
+    mirrors :class:`~repro.core.kernel.GraphIndex`, so the kernel's
+    fixpoint and extraction helpers run on either index unchanged.
+    """
+
+    __slots__ = (
+        "nodes",
+        "index_of",
+        "labels",
+        "materialized",
+        "fwd_rows",
+        "rev_rows",
+        "und_rows",
+        "num_owned",
+        "_stamp",
+        "_epoch",
+    )
+
+    def __init__(self, fragment: Fragment) -> None:
+        self.nodes: List[Node] = []
+        self.index_of: Dict[Node, int] = {}
+        self.labels: List[Optional[Label]] = []
+        self.materialized: List[bool] = []
+        self.fwd_rows: List[List[int]] = []
+        self.rev_rows: List[List[int]] = []
+        self.und_rows: List[List[int]] = []
+        self._stamp: List[int] = []
+        self._epoch = 0
+        # Intern every owned node first so ids [0, num_owned) are owned
+        # and site ball centers enumerate as range(num_owned).
+        for node in fragment.labels:
+            self._intern(node)
+        self.num_owned = len(self.nodes)
+        labels = fragment.labels
+        succ = fragment.succ
+        pred = fragment.pred
+        for node, i in list(self.index_of.items()):
+            self._fill(i, labels[node], succ[node], pred[node])
+
+    # ------------------------------------------------------------------
+    def _intern(self, node: Node) -> int:
+        """The id of ``node``, assigning a fresh stub id on first sight."""
+        i = self.index_of.get(node)
+        if i is None:
+            i = len(self.nodes)
+            self.index_of[node] = i
+            self.nodes.append(node)
+            self.labels.append(None)
+            self.materialized.append(False)
+            self.fwd_rows.append([])
+            self.rev_rows.append([])
+            self.und_rows.append([])
+            self._stamp.append(0)
+        return i
+
+    def _fill(
+        self, i: int, label: Label, succ: Set[Node], pred: Set[Node]
+    ) -> None:
+        """Materialize id ``i`` from its full (global) adjacency."""
+        intern = self._intern
+        fwd = [intern(target) for target in succ]
+        und = fwd.copy()
+        und.extend(intern(source) for source in pred if source not in succ)
+        self.fwd_rows[i] = fwd
+        self.rev_rows[i] = [intern(source) for source in pred]
+        self.und_rows[i] = und
+        self.labels[i] = label
+        self.materialized[i] = True
+
+    def materialize(self, i: int, record: NodeRecord) -> None:
+        """Extend the index with a fetched remote node record."""
+        label, succ, pred = record
+        self._fill(i, label, succ, pred)
+
+    def reset_remote(self) -> None:
+        """Revert every remote node to an unmaterialized stub.
+
+        Called at the start of each query (via the worker's per-query
+        cache clear) so remote records are re-fetched — and re-charged —
+        exactly like the reference path.  Ids are stable across resets:
+        owned rows keep referencing the stubbed ids, which simply get
+        refilled on the next fetch.
+        """
+        for i in range(self.num_owned, len(self.nodes)):
+            self.labels[i] = None
+            self.materialized[i] = False
+            self.fwd_rows[i] = []
+            self.rev_rows[i] = []
+            self.und_rows[i] = []
+
+    def new_epoch(self) -> int:
+        """Invalidate the visited-stamp buffer in O(1)."""
+        self._epoch += 1
+        return self._epoch
+
+    def __repr__(self) -> str:
+        return (
+            f"SiteGraphIndex(owned={self.num_owned}, "
+            f"interned={len(self.nodes)}, "
+            f"materialized={sum(self.materialized)})"
+        )
+
+
+def site_ball_bfs(
+    index: SiteGraphIndex,
+    fetch: FetchFn,
+    center: int,
+    radius: int,
+) -> Tuple[List[int], int]:
+    """Bounded undirected BFS over the site index, fetching across cuts.
+
+    Identical ball membership to the reference
+    :meth:`~repro.distributed.worker.SiteWorker.build_ball`: every ball
+    node — including the border layer — is materialized, because the
+    induced ball subgraph needs border-to-border edges and the reference
+    path likewise ships the record of every ball member.  ``fetch`` is
+    charged once per newly materialized remote node (the worker's
+    per-query cache keeps repeat visits free, preserving the Section 4.3
+    shipment bound).
+
+    Returns ``(order, epoch)``: ball node ids in BFS order (center
+    first) and the epoch under which ``index._stamp[v] == epoch`` marks
+    membership.
+    """
+    epoch = index.new_epoch()
+    stamp = index._stamp
+    materialized = index.materialized
+    nodes = index.nodes
+    rows = index.und_rows
+    if not materialized[center]:
+        index.materialize(center, fetch(nodes[center]))
+    stamp[center] = epoch
+    order = [center]
+    frontier = [center]
+    depth = 0
+    while frontier and depth < radius:
+        nxt: List[int] = []
+        for v in frontier:
+            for w in rows[v]:
+                if stamp[w] != epoch:
+                    stamp[w] = epoch
+                    if not materialized[w]:
+                        index.materialize(w, fetch(nodes[w]))
+                    nxt.append(w)
+        order.extend(nxt)
+        frontier = nxt
+        depth += 1
+    return order, epoch
+
+
+def site_match_ball(
+    cp: _CompiledPattern,
+    index: SiteGraphIndex,
+    fetch: FetchFn,
+    center: int,
+    radius: int,
+) -> Optional[PerfectSubgraph]:
+    """One ball of the per-site ``Match`` loop on the kernel substrate.
+
+    Mirrors the reference worker's ``build_ball`` + ``dual_simulation``
+    + ``extract_max_perfect_subgraph`` sequence: label-compatible seeds
+    restricted to the ball, the counter fixpoint, then extraction.  No
+    cross-ball dedup happens here — the reference path ships every
+    discovered subgraph and lets the coordinator dedup, and the per-site
+    partial counts are part of the observable protocol output.
+    """
+    order, _ = site_ball_bfs(index, fetch, center, radius)
+    by_label = cp.by_label
+    labels = index.labels
+    sim: List[Set[int]] = [set() for _ in range(cp.size)]
+    for v in order:
+        for u in by_label.get(labels[v], ()):
+            sim[u].add(v)
+    if not all(sim):
+        return None
+    if not _dual_sim_eager(cp, index, sim):
+        return None
+    return _extract_perfect_subgraph(cp, index, center, sim)

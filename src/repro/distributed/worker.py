@@ -8,33 +8,63 @@ owning site through the message bus — the accounted data shipment.  A
 per-worker cache ensures each remote record is shipped at most once per
 query, so the total shipment is bounded by the union of the
 boundary-crossing balls, which is the Section 4.3 bound.
+
+Like the centralized entry points, a worker runs on one of two execution
+engines (``engine="auto"|"kernel"|"python"``):
+
+* ``"python"`` — the reference path: every ball rebuilds a hash-set
+  ``DiGraph`` and runs the set-based dual-simulation fixpoint.  Readable,
+  mirrors the paper's pseudocode; the right choice when debugging result
+  or traffic differences.
+* ``"kernel"`` (and the ``"auto"`` default) — the fragment is compiled
+  once per site into a :class:`~repro.distributed.sitekernel.SiteGraphIndex`
+  (integer ids + CSR rows) that is *extended incrementally* as remote
+  node records arrive over the bus; balls and fixpoints then run over
+  flat integer arrays exactly as in :mod:`repro.core.kernel`.
+
+Both engines fetch exactly the records of the remote ball members, so the
+message sequence, the per-link unit totals and the Section 4.3 data-
+shipment bound are engine-independent (enforced by
+``tests/test_distributed_kernel_equivalence.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.ball import Ball
-from repro.core.digraph import DiGraph, Label, Node
+from repro.core.digraph import DiGraph, Node
 from repro.core.dualsim import dual_simulation
+from repro.core.kernel import _CompiledPattern, resolve_engine
 from repro.core.pattern import Pattern
 from repro.core.result import PerfectSubgraph
 from repro.core.strong import extract_max_perfect_subgraph
 from repro.distributed.fragment import Fragment
 from repro.distributed.network import MessageBus
+from repro.distributed.sitekernel import (
+    NodeRecord,
+    SiteGraphIndex,
+    site_match_ball,
+)
 from repro.exceptions import DistributedError
-
-NodeRecord = Tuple[Label, Set[Node], Set[Node]]  # label, successors, predecessors
 
 
 class SiteWorker:
     """One site of the simulated cluster."""
 
-    def __init__(self, fragment: Fragment, bus: MessageBus) -> None:
+    def __init__(
+        self,
+        fragment: Fragment,
+        bus: MessageBus,
+        engine: str = "auto",
+    ) -> None:
+        resolve_engine(engine)  # validate eagerly, before any query runs
         self.fragment = fragment
         self.bus = bus
+        self.engine = engine
         self._peers: Dict[int, "SiteWorker"] = {}
         self._remote_cache: Dict[Node, NodeRecord] = {}
+        self._site_index: Optional[SiteGraphIndex] = None
 
     # ------------------------------------------------------------------
     # Cluster wiring
@@ -90,12 +120,29 @@ class SiteWorker:
         raise DistributedError(f"no site owns node {node!r}")
 
     def clear_cache(self) -> None:
-        """Drop fetched remote records (coordinator calls between queries)."""
+        """Drop fetched remote records (coordinator calls between queries).
+
+        Also reverts the compiled site index's remote extension to stubs,
+        so the next kernel-engine query re-fetches — and the bus
+        re-charges — remote records exactly like the reference path.
+        The owned part of the index survives: fragments compile once per
+        site.
+        """
         self._remote_cache.clear()
+        if self._site_index is not None:
+            self._site_index.reset_remote()
 
     # ------------------------------------------------------------------
     # Distributed ball construction + matching
     # ------------------------------------------------------------------
+    def site_index(self) -> SiteGraphIndex:
+        """The site's compiled index, built on first (kernel) use."""
+        index = self._site_index
+        if index is None:
+            index = SiteGraphIndex(self.fragment)
+            self._site_index = index
+        return index
+
     def build_ball(self, center: Node, radius: int) -> Ball:
         """Undirected BFS to ``radius`` across fragment boundaries.
 
@@ -133,14 +180,25 @@ class SiteWorker:
         self,
         pattern: Pattern,
         radius: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> List[PerfectSubgraph]:
         """Run per-ball strong simulation for every owned center.
 
         Returns the site's partial result Θ_i (possibly containing
         subgraphs that other sites also discover; the coordinator dedups).
+        ``engine`` overrides the worker default for this query only.
         """
         if radius is None:
             radius = pattern.diameter
+        resolved = resolve_engine(self.engine if engine is None else engine)
+        if resolved == "kernel":
+            return self._match_local_kernel(pattern, radius)
+        return self._match_local_python(pattern, radius)
+
+    def _match_local_python(
+        self, pattern: Pattern, radius: int
+    ) -> List[PerfectSubgraph]:
+        """Reference path: per-ball ``DiGraph`` + set-based fixpoint."""
         partial: List[PerfectSubgraph] = []
         for center in self.fragment.labels:
             ball = self.build_ball(center, radius)
@@ -148,6 +206,26 @@ class SiteWorker:
             if relation.is_empty():
                 continue
             subgraph = extract_max_perfect_subgraph(pattern, ball, relation)
+            if subgraph is not None:
+                partial.append(subgraph)
+        return partial
+
+    def _match_local_kernel(
+        self, pattern: Pattern, radius: int
+    ) -> List[PerfectSubgraph]:
+        """Kernel path: ball BFS + counter fixpoint over the site index.
+
+        Centers iterate in the same fragment order as the reference path
+        (owned ids are assigned in fragment insertion order), and no
+        per-site dedup is applied, so the partial list — and with it the
+        per-site counts and the ``result`` traffic — is engine-identical.
+        """
+        index = self.site_index()
+        cp = _CompiledPattern(pattern)
+        fetch = self._record_for
+        partial: List[PerfectSubgraph] = []
+        for center in range(index.num_owned):
+            subgraph = site_match_ball(cp, index, fetch, center, radius)
             if subgraph is not None:
                 partial.append(subgraph)
         return partial

@@ -1,0 +1,185 @@
+"""Reusable cross-engine differential harness.
+
+Every matching entry point in the repo runs on two execution engines —
+``"python"`` (the reference path, transcribed from the paper's
+pseudocode) and ``"kernel"`` (the compiled CSR path of
+:mod:`repro.core.kernel` / :mod:`repro.distributed.sitekernel`).  The
+engines' contract is *output identity*, and this module is the one place
+that knows how to observe each entry point in an engine-independent,
+comparable form:
+
+* :data:`ENGINES` / :data:`ENTRY_POINTS` — the matrix under test;
+* :func:`run_entry_point` — run one entry point on one engine and return
+  its canonical observation;
+* :func:`assert_entry_point_identical` /
+  :func:`assert_all_entry_points_identical` — the differential asserts;
+* :func:`cluster_observation` — the full observable protocol output of a
+  distributed run: canonical result set, per-site partial-subgraph
+  counts, and the complete message-bus accounting (message count, units
+  by kind, units per directed link).
+
+Test modules parametrize over these instead of hand-rolling per-entry
+canonicalization; new engines or entry points get differential coverage
+by extending the tables here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.digraph import DiGraph
+from repro.core.dualsim import dual_simulation
+from repro.core.kernel import dual_simulation_kernel
+from repro.core.matchplus import match_plus
+from repro.core.pattern import Pattern
+from repro.core.simulation import graph_simulation
+from repro.core.strong import match
+from repro.distributed import Cluster
+from repro.distributed.coordinator import DistributedRunReport
+
+ENGINES = ("python", "kernel")
+
+
+# ----------------------------------------------------------------------
+# Canonical forms
+# ----------------------------------------------------------------------
+def canonical_result(result) -> frozenset:
+    """Engine-independent form of a ``MatchResult``.
+
+    The set of (node/edge signature, relation pair set) pairs: discovery
+    order and the incidental recorded center may differ between engines,
+    the subgraphs and their relations may not.
+    """
+    return frozenset(
+        (sg.signature(), sg.relation.pair_set()) for sg in result
+    )
+
+
+def canonical_relation(relation) -> frozenset:
+    """Engine-independent form of a ``MatchRelation``."""
+    return relation.pair_set()
+
+
+def bus_observation(bus) -> Dict[str, Any]:
+    """Everything the message bus accounts, in comparable form."""
+    return {
+        "total_messages": bus.total_messages,
+        "total_units": bus.total_units,
+        "units_by_kind": bus.units_by_kind(),
+        "units_by_link": {
+            link: bus.units_between(*link)
+            for link in {(m.sender, m.receiver) for m in bus.messages}
+        },
+        "data_units": bus.data_units(),
+    }
+
+
+def cluster_observation(report: DistributedRunReport) -> Dict[str, Any]:
+    """The full observable output of one distributed run."""
+    return {
+        "result": canonical_result(report.result),
+        "per_site_subgraphs": dict(report.per_site_subgraphs),
+        "bus": bus_observation(report.bus),
+    }
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def _run_match(pattern, data, engine, **_):
+    return canonical_result(match(pattern, data, engine=engine))
+
+
+def _run_match_plus(pattern, data, engine, **_):
+    return canonical_result(match_plus(pattern, data, engine=engine))
+
+
+def _run_graph_simulation(pattern, data, engine, **_):
+    return canonical_relation(graph_simulation(pattern, data, engine=engine))
+
+
+def _run_dual_simulation(pattern, data, engine, **_):
+    runner = dual_simulation_kernel if engine == "kernel" else dual_simulation
+    return canonical_relation(runner(pattern, data))
+
+
+def _run_cluster(pattern, data, engine, *, assignment=None, num_sites=None):
+    if assignment is None or num_sites is None:
+        raise ValueError("cluster entry point needs assignment and num_sites")
+    cluster = Cluster(data, assignment, num_sites, engine=engine)
+    return cluster_observation(cluster.run(pattern))
+
+
+#: name -> runner(pattern, data, engine, **kwargs) returning a canonical,
+#: directly comparable observation.
+ENTRY_POINTS = {
+    "match": _run_match,
+    "match_plus": _run_match_plus,
+    "graph_simulation": _run_graph_simulation,
+    "dual_simulation": _run_dual_simulation,
+    "cluster_run": _run_cluster,
+}
+
+#: The entry points that need no cluster setup.
+CENTRALIZED_ENTRY_POINTS = (
+    "match",
+    "match_plus",
+    "graph_simulation",
+    "dual_simulation",
+)
+
+
+def run_entry_point(
+    name: str,
+    engine: str,
+    pattern: Pattern,
+    data: DiGraph,
+    *,
+    assignment: Optional[Dict] = None,
+    num_sites: Optional[int] = None,
+):
+    """Run one entry point on one engine; return its canonical observation."""
+    return ENTRY_POINTS[name](
+        pattern, data, engine, assignment=assignment, num_sites=num_sites
+    )
+
+
+def assert_entry_point_identical(
+    name: str,
+    pattern: Pattern,
+    data: DiGraph,
+    *,
+    assignment: Optional[Dict] = None,
+    num_sites: Optional[int] = None,
+) -> None:
+    """Assert one entry point observes identically on every engine."""
+    kwargs = {"assignment": assignment, "num_sites": num_sites}
+    reference = run_entry_point(name, ENGINES[0], pattern, data, **kwargs)
+    for engine in ENGINES[1:]:
+        observed = run_entry_point(name, engine, pattern, data, **kwargs)
+        assert observed == reference, (
+            f"{name} diverged between engines {ENGINES[0]!r} and {engine!r}"
+        )
+
+
+def assert_all_entry_points_identical(
+    pattern: Pattern,
+    data: DiGraph,
+    *,
+    assignment: Optional[Dict] = None,
+    num_sites: Optional[int] = None,
+) -> None:
+    """Differential-check every entry point on (pattern, data).
+
+    The cluster entry point is included whenever a partition is supplied.
+    """
+    for name in CENTRALIZED_ENTRY_POINTS:
+        assert_entry_point_identical(name, pattern, data)
+    if assignment is not None and num_sites is not None:
+        assert_entry_point_identical(
+            "cluster_run",
+            pattern,
+            data,
+            assignment=assignment,
+            num_sites=num_sites,
+        )
