@@ -4,7 +4,11 @@ Runs ``match_plus``, ``match``, ``dual_simulation`` and the distributed
 ``Cluster.run`` protocol with both execution engines over the Figure-8(g)
 synthetic shapes (``generate_graph`` with ``alpha=1.2`` and patterns
 sampled from the data), at the scale selected by ``REPRO_BENCH_SCALE``
-(``small`` default / ``large``), and emits
+(``small`` default / ``large``), plus an **incremental** section — an
+update+requery workload comparing the delta-maintained warm index
+(incremental-kernel) against recompile-per-query (recompile-kernel) and
+the reference engine, gated at >= 2x over full recompilation at small
+scale with zero full recompiles asserted — and emits
 
 * a rendered table under ``benchmarks/results/bench_kernel.txt``;
 * machine-readable ``benchmarks/results/BENCH_kernel.json`` — the seed of
@@ -32,6 +36,10 @@ from repro.core.matchplus import match_plus
 from repro.core.dualsim import dual_simulation
 from repro.core.kernel import dual_simulation_kernel, get_index
 from repro.core.strong import match
+from repro.experiments.performance import (
+    random_insertion_stream,
+    time_update_workload,
+)
 from repro.datasets import generate_graph
 from repro.datasets.patterns import sample_pattern_from_data
 from repro.distributed import Cluster, bfs_partition
@@ -44,6 +52,8 @@ MATCH_PLUS_SMALL_SCALE_BAR = 2.0
 DISTRIBUTED_SMALL_SCALE_BAR = 1.5
 DISTRIBUTED_SITES = 4
 DISTRIBUTED_PATTERN_SIZE = 6
+INCREMENTAL_SMALL_SCALE_BAR = 2.0
+INCREMENTAL_PATTERN_SIZE = 6
 
 
 def _best_of(fn: Callable[[], object], reps: int = TIMING_REPS) -> float:
@@ -207,6 +217,60 @@ def test_kernel_vs_python_engines(scale):
         },
     }
 
+    # ------------------------------------------------------------------
+    # Incremental index maintenance: update + requery workload.  One
+    # stream of single-edge insertions, re-running match_plus after each:
+    #   * incremental-kernel — maintenance on, ONE warm index maintained
+    #     through the GraphDelta pipeline (zero full recompiles);
+    #   * recompile-kernel  — maintenance off, every query recompiles the
+    #     index from scratch (the pre-pipeline behavior);
+    #   * reference         — engine="python", no index at all.
+    # ------------------------------------------------------------------
+    inc_n = 600 if smoke else 2500
+    inc_updates = 10 if smoke else 40
+    inc_master = generate_graph(
+        inc_n, alpha=1.15, num_labels=scale["labels"], seed=71
+    )
+    inc_pattern = sample_pattern_from_data(
+        inc_master, INCREMENTAL_PATTERN_SIZE, seed=611
+    )
+    assert inc_pattern is not None
+    inc_run = time_update_workload(
+        inc_pattern,
+        inc_master,
+        random_insertion_stream(inc_master, inc_updates, seed=5),
+    )
+    assert inc_run.results_identical(), (
+        "update-workload results diverged between maintenance modes/engines"
+    )
+    assert inc_run.full_compiles == 0, (
+        f"incremental maintenance recompiled {inc_run.full_compiles} "
+        "time(s) on a pure-insertion workload"
+    )
+    inc_s = inc_run.seconds["incremental-kernel"]
+    rec_s = inc_run.seconds["recompile-kernel"]
+    ref_s = inc_run.seconds["reference"]
+    inc_speedup = round(rec_s / inc_s, 3) if inc_s else None
+    incremental_section = {
+        "workload": (
+            f"{inc_updates} single-edge insertions + match_plus requery "
+            f"each, synthetic |V|={inc_n}, |Vq|={INCREMENTAL_PATTERN_SIZE}"
+        ),
+        "n": inc_n,
+        "updates": inc_updates,
+        "pattern_size": INCREMENTAL_PATTERN_SIZE,
+        "incremental_kernel_s": round(inc_s, 6),
+        "recompile_kernel_s": round(rec_s, 6),
+        "reference_s": round(ref_s, 6),
+        "speedup_vs_recompile": inc_speedup,
+        "speedup_vs_reference": round(ref_s / inc_s, 3) if inc_s else None,
+        "amortized_update_ms": {
+            strategy: round(amortized * 1e3, 4)
+            for strategy, amortized in inc_run.amortized_seconds.items()
+        },
+        "incremental_full_compiles_after_priming": inc_run.full_compiles,
+    }
+
     payload = {
         "benchmark": "bench_kernel",
         "workload": "fig8g synthetic shapes (alpha=1.2, sampled patterns)",
@@ -224,6 +288,7 @@ def test_kernel_vs_python_engines(scale):
             for key in totals
         },
         "distributed": distributed_section,
+        "incremental": incremental_section,
         "equivalence": "all result sets identical across engines",
     }
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -257,6 +322,12 @@ def test_kernel_vs_python_engines(scale):
             f"{dist_times['kernel']:>10.4f} "
             f"{dist_speedup:>8.2f}"
         )
+    lines.append(
+        f"incremental ({inc_updates} updates + requery, |V|={inc_n}): "
+        f"warm={inc_s:.4f}s recompile={rec_s:.4f}s reference={ref_s:.4f}s "
+        f"-> {inc_speedup:.2f}x vs recompile, "
+        f"{inc_run.full_compiles} full recompiles"
+    )
     emit("bench_kernel", "\n".join(lines))
 
     if not smoke and payload["scale"] == "small":
@@ -267,4 +338,9 @@ def test_kernel_vs_python_engines(scale):
         assert dist_speedup >= DISTRIBUTED_SMALL_SCALE_BAR, (
             f"kernel distributed speedup {dist_speedup} fell below "
             f"{DISTRIBUTED_SMALL_SCALE_BAR}x on the small synthetic workload"
+        )
+        assert inc_speedup >= INCREMENTAL_SMALL_SCALE_BAR, (
+            f"incremental index maintenance speedup {inc_speedup} fell "
+            f"below {INCREMENTAL_SMALL_SCALE_BAR}x over recompile-per-query "
+            "on the update workload"
         )

@@ -54,7 +54,7 @@ def _load_pattern(path: str) -> Pattern:
 def _cmd_match(args: argparse.Namespace) -> int:
     data = _load_graph(args.data, args.format)
     pattern = _load_pattern(args.pattern)
-    engine = resolve_engine(args.engine)
+    engine = resolve_engine(args.engine, data)
 
     if args.algorithm in ("sim", "dual"):
         if args.algorithm == "dual":

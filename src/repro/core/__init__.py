@@ -26,10 +26,17 @@ from repro.core.components import (
     component_containing,
     strongly_connected_components,
 )
-from repro.core.digraph import DiGraph
+from repro.core.digraph import DiGraph, GraphDelta
 from repro.core.dualfilter import dual_filter
 from repro.core.incremental import IncrementalDualSimulation, IncrementalMatcher
-from repro.core.kernel import GraphIndex, dual_simulation_kernel, get_index
+from repro.core.kernel import (
+    GraphIndex,
+    IndexStats,
+    dual_simulation_kernel,
+    get_index,
+    index_maintenance,
+    set_index_maintenance,
+)
 from repro.core.indexing import IndexedMatcher, NeighborhoodLabelIndex
 from repro.core.regex import LabelNfa, compile_regex, regex_predecessors, regex_successors
 from repro.core.regular import (
@@ -87,7 +94,9 @@ __all__ = [
     "Ball",
     "BoundedPattern",
     "DiGraph",
+    "GraphDelta",
     "GraphIndex",
+    "IndexStats",
     "IncrementalDualSimulation",
     "IncrementalMatcher",
     "IndexedMatcher",
@@ -127,6 +136,8 @@ __all__ = [
     "extract_ball_restricted",
     "extract_max_perfect_subgraph",
     "get_index",
+    "index_maintenance",
+    "set_index_maintenance",
     "graph_simulation",
     "has_directed_cycle",
     "has_undirected_cycle",

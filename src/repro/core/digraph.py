@@ -10,10 +10,21 @@ simulation algorithms rely on for their initial candidate computation.
 Node identifiers may be any hashable object; labels likewise.  Self-loops
 are permitted (``E ⊆ V × V`` does not exclude them); parallel edges are
 not, matching the set semantics of ``E``.
+
+Graphs also carry a **structured change-log**: every mutator emits a
+typed :class:`GraphDelta` to weakly-held subscribers
+(:meth:`DiGraph.subscribe`), with :meth:`DiGraph.batch` grouping a burst
+of mutations into one delivery.  The compiled execution kernel
+(:mod:`repro.core.kernel`) maintains its :class:`~repro.core.kernel.\
+GraphIndex` incrementally from this stream instead of recompiling; the
+plain ``version`` counter remains the cheap staleness check.
 """
 
 from __future__ import annotations
 
+import weakref
+from contextlib import contextmanager
+from dataclasses import dataclass
 from types import MappingProxyType
 from typing import (
     AbstractSet,
@@ -34,6 +45,41 @@ from repro.exceptions import DuplicateNode, EdgeNotFound, GraphError, NodeNotFou
 Node = Hashable
 Label = Hashable
 Edge = Tuple[Node, Node]
+
+# ----------------------------------------------------------------------
+# Structured change-log: typed mutation events
+# ----------------------------------------------------------------------
+#: The five mutation kinds a :class:`DiGraph` can emit.
+ADD_NODE = "add_node"
+REMOVE_NODE = "remove_node"
+ADD_EDGE = "add_edge"
+REMOVE_EDGE = "remove_edge"
+RELABEL = "relabel"
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """One typed mutation event emitted by a :class:`DiGraph` mutator.
+
+    ``kind`` is one of :data:`ADD_NODE`, :data:`REMOVE_NODE`,
+    :data:`ADD_EDGE`, :data:`REMOVE_EDGE`, :data:`RELABEL`.  Node events
+    carry ``node`` and ``label`` (for :data:`RELABEL` additionally
+    ``old_label``; for :data:`REMOVE_NODE`, ``label`` is the label the
+    node had).  Edge events carry ``source`` and ``target``.
+
+    Deltas describe the *applied* mutation: by the time a listener sees
+    one, the graph already reflects it.  A ``remove_node`` is always
+    preceded by one ``remove_edge`` per incident edge (delivered in the
+    same batch), so listeners never need to reconstruct adjacency that
+    is already gone.
+    """
+
+    kind: str
+    node: Node = None
+    label: Label = None
+    old_label: Label = None
+    source: Node = None
+    target: Node = None
 
 #: Shared empty bucket returned by :meth:`DiGraph.nodes_with_label_raw`
 #: for labels that never occur.  A frozenset so that an (illegal) caller
@@ -71,6 +117,9 @@ class DiGraph:
         "_label_index",
         "_edge_count",
         "_version",
+        "_listeners",
+        "_batch_buffer",
+        "_batch_depth",
         "__weakref__",
     )
 
@@ -81,6 +130,71 @@ class DiGraph:
         self._label_index: Dict[Label, Set[Node]] = {}
         self._edge_count = 0
         self._version = 0
+        self._listeners: List["weakref.ref"] = []
+        self._batch_buffer: Optional[List[GraphDelta]] = None
+        self._batch_depth = 0
+
+    # ------------------------------------------------------------------
+    # Change-log subscription
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: object) -> None:
+        """Register ``listener`` for mutation deltas (held weakly).
+
+        ``listener`` must implement ``on_graph_deltas(deltas)``, receiving
+        a tuple of :class:`GraphDelta` after every mutation — one event
+        per call outside :meth:`batch`, the whole group at batch exit.
+        The graph keeps only a weak reference: a listener dies with its
+        owner (e.g. a compiled index) without unsubscribing.
+        """
+        self._listeners.append(weakref.ref(listener))
+
+    def unsubscribe(self, listener: object) -> None:
+        """Remove ``listener`` (no-op if it was never subscribed)."""
+        self._listeners = [
+            ref for ref in self._listeners
+            if ref() is not None and ref() is not listener
+        ]
+
+    @contextmanager
+    def batch(self):
+        """Group mutations into one delta delivery.
+
+        Inside the context every mutator applies (and bumps ``version``)
+        immediately, but listeners hear nothing until the outermost batch
+        exits, when the buffered deltas arrive as one tuple — the unit an
+        incremental index maintains itself by.  Nests; delivery happens
+        even if the body raises, because the mutations did apply.
+        """
+        if self._batch_depth == 0:
+            self._batch_buffer = []
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                buffered, self._batch_buffer = self._batch_buffer, None
+                if buffered:
+                    self._deliver(tuple(buffered))
+
+    def _emit(self, delta: GraphDelta) -> None:
+        """Route one applied delta to the batch buffer or the listeners."""
+        if self._batch_buffer is not None:
+            self._batch_buffer.append(delta)
+        else:
+            self._deliver((delta,))
+
+    def _deliver(self, deltas: Tuple[GraphDelta, ...]) -> None:
+        listeners = self._listeners
+        dead = False
+        for ref in listeners:
+            target = ref()
+            if target is None:
+                dead = True
+            else:
+                target.on_graph_deltas(deltas)
+        if dead:
+            self._listeners = [ref for ref in listeners if ref() is not None]
 
     # ------------------------------------------------------------------
     # Construction
@@ -147,6 +261,8 @@ class DiGraph:
         self._pred[node] = set()
         self._label_index.setdefault(label, set()).add(node)
         self._version += 1
+        if self._listeners:
+            self._emit(GraphDelta(ADD_NODE, node=node, label=label))
 
     def add_edge(self, source: Node, target: Node) -> None:
         """Add the directed edge ``(source, target)``.
@@ -163,6 +279,8 @@ class DiGraph:
             self._pred[target].add(source)
             self._edge_count += 1
             self._version += 1
+            if self._listeners:
+                self._emit(GraphDelta(ADD_EDGE, source=source, target=target))
 
     def remove_edge(self, source: Node, target: Node) -> None:
         """Remove the directed edge ``(source, target)``."""
@@ -172,23 +290,32 @@ class DiGraph:
         self._pred[target].discard(source)
         self._edge_count -= 1
         self._version += 1
+        if self._listeners:
+            self._emit(GraphDelta(REMOVE_EDGE, source=source, target=target))
 
     def remove_node(self, node: Node) -> None:
-        """Remove ``node`` and every incident edge."""
+        """Remove ``node`` and every incident edge.
+
+        Emits one ``remove_edge`` delta per incident edge followed by the
+        ``remove_node`` delta, grouped as a single batch delivery.
+        """
         if node not in self._labels:
             raise NodeNotFound(node)
-        for target in list(self._succ[node]):
-            self.remove_edge(node, target)
-        for source in list(self._pred[node]):
-            self.remove_edge(source, node)
-        label = self._labels.pop(node)
-        bucket = self._label_index[label]
-        bucket.discard(node)
-        if not bucket:
-            del self._label_index[label]
-        del self._succ[node]
-        del self._pred[node]
-        self._version += 1
+        with self.batch():
+            for target in list(self._succ[node]):
+                self.remove_edge(node, target)
+            for source in list(self._pred[node]):
+                self.remove_edge(source, node)
+            label = self._labels.pop(node)
+            bucket = self._label_index[label]
+            bucket.discard(node)
+            if not bucket:
+                del self._label_index[label]
+            del self._succ[node]
+            del self._pred[node]
+            self._version += 1
+            if self._listeners:
+                self._emit(GraphDelta(REMOVE_NODE, node=node, label=label))
 
     def relabel_node(self, node: Node, label: Label) -> None:
         """Change the label of an existing node, keeping the index coherent."""
@@ -204,6 +331,10 @@ class DiGraph:
         self._labels[node] = label
         self._label_index.setdefault(label, set()).add(node)
         self._version += 1
+        if self._listeners:
+            self._emit(
+                GraphDelta(RELABEL, node=node, label=label, old_label=old)
+            )
 
     # ------------------------------------------------------------------
     # Inspection

@@ -22,15 +22,48 @@ implements both observations:
   either endpoint (any ball further away contains neither endpoint, and
   a shortest path of length ≤ d_Q through the edge would put an endpoint
   within d_Q).  Only those balls are re-evaluated.
+
+Both classes take an ``engine`` argument (``"auto"`` | ``"kernel"`` |
+``"python"``), mirroring the matching entry points:
+
+* ``"python"`` — the reference path: the cascade revalidates pairs with
+  set scans over ``DiGraph`` adjacency, insertions re-run the set-based
+  fixpoint, and balls are rebuilt as per-ball ``DiGraph`` objects.
+* ``"kernel"`` — the update path runs on the same compiled substrate as
+  the query path.  Graph mutations flow through the
+  :class:`~repro.core.digraph.GraphDelta` pipeline into an incrementally
+  maintained :class:`~repro.core.kernel.GraphIndex` (no recompiles under
+  insertions); the deletion cascade decrements the kernel's persistent
+  *witness counters* directly (O(1) per surviving witness instead of a
+  revalidation scan); insertion re-expansion re-runs the counter fixpoint
+  over the CSR arrays; and :class:`IncrementalMatcher` re-evaluates
+  affected balls via kernel ball extraction.  Output-identical to the
+  reference path after every update.
+* ``"auto"`` (default) — the standard heuristic of
+  :func:`~repro.core.kernel.resolve_engine` (kernel unless the graph is
+  tiny and unindexed), resolved once at construction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.ball import extract_ball
 from repro.core.digraph import DiGraph, Node
 from repro.core.dualsim import dual_simulation
+from repro.core.kernel import (
+    GraphIndex,
+    Pair,
+    _ball_bfs,
+    _CompiledPattern,
+    _dual_sim_eager,
+    _match_ball,
+    _run_fixpoint,
+    _seed_by_label_full,
+    get_index,
+    resolve_engine,
+)
 from repro.core.matchrel import MatchRelation
 from repro.core.pattern import Pattern
 from repro.core.result import MatchResult, PerfectSubgraph
@@ -44,7 +77,8 @@ class IncrementalDualSimulation:
     """Maintains the maximum dual-simulation relation under edge updates.
 
     The wrapped graph must be mutated *through this object* (``add_edge``
-    / ``remove_edge``) so the relation stays synchronized.
+    / ``remove_edge`` / ``add_node`` / ``remove_node``) so the relation
+    stays synchronized.
 
     Example
     -------
@@ -60,21 +94,166 @@ class IncrementalDualSimulation:
     True
     """
 
-    def __init__(self, pattern: Pattern, data: DiGraph) -> None:
+    def __init__(
+        self, pattern: Pattern, data: DiGraph, engine: str = "auto"
+    ) -> None:
         self.pattern = pattern
         self.data = data
-        self._sim: Dict[Node, Set[Node]] = dual_simulation(
-            pattern, data
-        ).to_sim_dict()
+        self.engine = resolve_engine(engine, data)
         self.recomputations = 0  # full fixpoints run (observability)
         self.cascade_removals = 0  # pairs removed incrementally
+        if self.engine == "kernel":
+            self._cp = _CompiledPattern(pattern)
+            self._gi: GraphIndex  # set (with _compiles_seen) by the call:
+            self._kernel_refixpoint()
+        else:
+            self._sim: Dict[Node, Set[Node]] = dual_simulation(
+                pattern, data
+            ).to_sim_dict()
 
     # ------------------------------------------------------------------
     @property
     def relation(self) -> MatchRelation:
         """The current maximum dual-simulation relation."""
+        if self.engine == "kernel":
+            nodes = self._gi.nodes
+            cp = self._cp
+            return MatchRelation(
+                {
+                    cp.nodes[u]: {nodes[v] for v in self._sim_ids[u]}
+                    for u in range(cp.size)
+                }
+            )
         return MatchRelation(self._sim)
 
+    # ------------------------------------------------------------------
+    # Kernel substrate: persistent counters over the maintained index
+    # ------------------------------------------------------------------
+    def _sync_index(self) -> GraphIndex:
+        """The synced index, remapping ids if a recompile compacted them.
+
+        Incremental maintenance keeps ids stable, but a deletion-heavy
+        history triggers a compacting recompile (and disabled maintenance
+        replaces the index object outright).  Either way the surviving
+        candidates are translated object-wise and the witness counters
+        dropped — the fixpoint's lazy-recount path rebuilds any counter
+        it touches, so dropping them costs a recount, never correctness.
+        """
+        # Capture the node list our ids index BEFORE get_index: a
+        # threshold-triggered recompile rebuilds the SAME index object in
+        # place, replacing its .nodes with the compacted list (the old
+        # list object survives only through this reference).
+        old_nodes = self._gi.nodes
+        gi = get_index(self.data)
+        if gi is self._gi and gi.stats.full_compiles == self._compiles_seen:
+            return gi
+        index_of = gi.index_of
+        self._sim_ids = [
+            {
+                index_of[old_nodes[v]]
+                for v in s
+                if old_nodes[v] in index_of
+            }
+            for s in self._sim_ids
+        ]
+        self._cnt_down = [{} for _ in self._cp.edges]
+        self._cnt_up = [{} for _ in self._cp.edges]
+        self._gi = gi
+        self._compiles_seen = gi.stats.full_compiles
+        return gi
+
+    def _kernel_refixpoint(self) -> None:
+        """(Re)establish the gfp from label seeds; keeps the counters."""
+        gi = get_index(self.data)
+        cp = self._cp
+        sim = _seed_by_label_full(cp, gi)
+        cnt_down: List[Dict[int, int]] = [{} for _ in cp.edges]
+        cnt_up: List[Dict[int, int]] = [{} for _ in cp.edges]
+        if not (all(sim) and _dual_sim_eager(cp, gi, sim, cnt_down, cnt_up)):
+            for s in sim:
+                s.clear()
+        self._sim_ids = sim
+        self._cnt_down = cnt_down
+        self._cnt_up = cnt_up
+        self._gi = gi
+        self._compiles_seen = gi.stats.full_compiles
+
+    def _kernel_seed_removed_edge(
+        self, v: int, w: int, pending: Deque[Pair]
+    ) -> None:
+        """Decrement the witness counters that counted data edge (v, w).
+
+        For every pattern edge ``e = (a, b)`` with ``v ∈ sim(a)`` and
+        ``w ∈ sim(b)``, the removed data edge was one surviving witness:
+        ``cnt_down[e][v]`` and ``cnt_up[e][w]`` each drop by one, and a
+        count reaching zero enqueues its pair for the ordinary cascade.
+        Missing counter entries are recomputed by one post-removal scan
+        (the kernel's lazy-count invariant).
+        """
+        gi = self._gi
+        fwd = gi.fwd_rows
+        rev = gi.rev_rows
+        sim = self._sim_ids
+        push = pending.append
+        for e, (a, b) in enumerate(self._cp.edges):
+            sim_a = sim[a]
+            sim_b = sim[b]
+            if v not in sim_a or w not in sim_b:
+                continue
+            cd = self._cnt_down[e]
+            c = cd.get(v)
+            if c is None:
+                c = 0
+                for x in fwd[v]:
+                    if x in sim_b:
+                        c += 1
+            else:
+                c -= 1
+            cd[v] = c
+            if not c:
+                push((a, v))
+            cu = self._cnt_up[e]
+            c = cu.get(w)
+            if c is None:
+                c = 0
+                for x in rev[w]:
+                    if x in sim_a:
+                        c += 1
+            else:
+                c -= 1
+            cu[w] = c
+            if not c:
+                push((b, w))
+
+    def _kernel_cascade(self, pending: Deque[Pair]) -> None:
+        """Drain a deletion worklist on the persistent counters."""
+        if not pending:
+            return
+        before = sum(len(s) for s in self._sim_ids)
+        if not _run_fixpoint(
+            self._cp,
+            self._gi,
+            self._sim_ids,
+            self._cnt_down,
+            self._cnt_up,
+            pending,
+        ):
+            for s in self._sim_ids:
+                s.clear()
+        self.cascade_removals += before - sum(len(s) for s in self._sim_ids)
+
+    def _kernel_remove_edge(self, source: Node, target: Node) -> None:
+        self.data.remove_edge(source, target)
+        gi = self._sync_index()
+        pending: Deque[Pair] = deque()
+        self._kernel_seed_removed_edge(
+            gi.index_of[source], gi.index_of[target], pending
+        )
+        self._kernel_cascade(pending)
+
+    # ------------------------------------------------------------------
+    # Reference substrate (the paper-shaped path)
+    # ------------------------------------------------------------------
     def _pair_valid(self, u: Node, v: Node) -> bool:
         """Check both dual-simulation conditions for one pair."""
         for u1 in self.pattern.successors(u):
@@ -119,8 +298,12 @@ class IncrementalDualSimulation:
 
         Only pairs whose witness used the deleted edge can become
         invalid; they are exactly the pairs over the two endpoints, so
-        the cascade is seeded there.
+        the cascade is seeded there.  On the kernel engine the seeding is
+        a counter decrement per surviving witness pair, not a scan.
         """
+        if self.engine == "kernel":
+            self._kernel_remove_edge(source, target)
+            return
         self.data.remove_edge(source, target)
         seeds = [
             (u, source) for u in self.pattern.nodes() if source in self._sim[u]
@@ -131,6 +314,21 @@ class IncrementalDualSimulation:
 
     def remove_node(self, node: Node) -> None:
         """Delete a data node (and incident edges), repairing incrementally."""
+        if self.engine == "kernel":
+            # Exact decomposition: cascade each incident edge deletion on
+            # the counters, then drop the (now isolated) node's own pairs
+            # — an isolated node witnesses nothing, so no further cascade.
+            for target in list(self.data.successors_raw(node)):
+                self._kernel_remove_edge(node, target)
+            for source in list(self.data.predecessors_raw(node)):
+                self._kernel_remove_edge(source, node)
+            gi = self._sync_index()
+            node_id = gi.index_of[node]
+            for s in self._sim_ids:
+                s.discard(node_id)
+            self.data.remove_node(node)
+            self._sync_index()
+            return
         neighbors = set(self.data.successors_raw(node)) | set(
             self.data.predecessors_raw(node)
         )
@@ -155,10 +353,15 @@ class IncrementalDualSimulation:
         label candidates, which converges to the same gfp as a fresh
         run while reusing no stale exclusions.  The paper's observation
         that insertions are the hard direction is thus made concrete:
-        deletions are O(affected), insertions are a full (warm) fixpoint.
+        deletions are O(affected), insertions are a full (warm) fixpoint
+        — on the kernel engine a counter fixpoint over the incrementally
+        maintained CSR arrays, with zero index recompilation.
         """
         self.data.add_edge(source, target)
         self.recomputations += 1
+        if self.engine == "kernel":
+            self._kernel_refixpoint()
+            return
         seeds = initial_candidates(self.pattern, self.data)
         self._sim = dual_simulation(
             self.pattern, self.data, seeds=seeds
@@ -172,6 +375,12 @@ class IncrementalDualSimulation:
         relation is unchanged, so no fixpoint is needed.
         """
         self.data.add_node(node, label)
+        if self.engine == "kernel":
+            gi = self._sync_index()
+            cp = self._cp
+            if cp.size == 1 and not cp.edges and cp.labels[0] == label:
+                self._sim_ids[0].add(gi.index_of[node])
+            return
         if self.pattern.num_nodes == 1:
             u = next(iter(self.pattern.nodes()))
             if self.pattern.label(u) == label and not list(self.pattern.edges()):
@@ -186,20 +395,35 @@ class IncrementalMatcher:
     endpoint of the changed edge (measured in the graph where the edge is
     present — before a deletion, after an insertion).  Everything else is
     provably untouched by the update (locality).
+
+    On the kernel engine, affected-region discovery and ball
+    re-evaluation both run over the incrementally maintained
+    :class:`~repro.core.kernel.GraphIndex` — epoch-stamped CSR ball BFS
+    plus the counter fixpoint — so an update costs O(affected balls) with
+    no index recompilation.
     """
 
-    def __init__(self, pattern: Pattern, data: DiGraph) -> None:
+    def __init__(
+        self, pattern: Pattern, data: DiGraph, engine: str = "auto"
+    ) -> None:
         self.pattern = pattern
         self.data = data
+        self.engine = resolve_engine(engine, data)
         self.radius = pattern.diameter
+        self._cp = _CompiledPattern(pattern) if self.engine == "kernel" else None
         self._cache: Dict[Node, Optional[PerfectSubgraph]] = {}
         self.balls_recomputed = 0
         self._evaluate_all()
 
     def _evaluate_ball(self, center: Node) -> Optional[PerfectSubgraph]:
+        self.balls_recomputed += 1
+        if self.engine == "kernel":
+            gi = get_index(self.data)
+            return _match_ball(
+                self._cp, gi, gi.index_of[center], self.radius
+            )
         ball = extract_ball(self.data, center, self.radius)
         relation = dual_simulation(self.pattern, ball.graph)
-        self.balls_recomputed += 1
         if relation.is_empty():
             return None
         return extract_max_perfect_subgraph(self.pattern, ball, relation)
@@ -220,7 +444,17 @@ class IncrementalMatcher:
     def _affected_centers(self, source: Node, target: Node) -> Set[Node]:
         """Centers within d_Q of either endpoint (edge currently present)."""
         affected: Set[Node] = set()
-        for endpoint in (source, target):
+        endpoints = (source,) if source == target else (source, target)
+        if self.engine == "kernel":
+            gi = get_index(self.data)
+            for endpoint in endpoints:
+                endpoint_id = gi.index_of.get(endpoint)
+                if endpoint_id is not None:
+                    order, _, _ = _ball_bfs(gi, endpoint_id, self.radius)
+                    nodes = gi.nodes
+                    affected.update(nodes[v] for v in order)
+            return affected
+        for endpoint in endpoints:
             if endpoint in self.data:
                 affected |= set(
                     undirected_distances(self.data, endpoint, self.radius)
@@ -249,7 +483,7 @@ class IncrementalMatcher:
         """Delete a node with its edges; re-evaluate the affected balls."""
         if node not in self.data:
             raise MatchingError(f"node {node!r} is not in the data graph")
-        affected = set(undirected_distances(self.data, node, self.radius))
+        affected = self._affected_centers(node, node)
         affected.discard(node)
         self.data.remove_node(node)
         self._cache.pop(node, None)

@@ -11,11 +11,17 @@ This module compiles a data graph *once* into a compact form and
 re-implements the two inner engines on top of it:
 
 ``GraphIndex``
-    Integer node ids plus CSR adjacency arrays (forward, reverse and
-    undirected views) and a label-partitioned node table.  Compilation is
-    O(|V| + |E|) and cached per data graph keyed on the graph's mutation
-    version (:attr:`DiGraph.version`), so repeated queries against the
-    same graph amortize it.
+    Integer node ids plus growable CSR adjacency rows (forward, reverse
+    and undirected views; shared substrate :class:`GrowableCSRIndex`)
+    and a label-partitioned node table.  Compilation is O(|V| + |E|),
+    cached per data graph — and *maintained* rather than recompiled: the
+    index subscribes to the graph's
+    :class:`~repro.core.digraph.GraphDelta` stream and :func:`get_index`
+    syncs pending events in place (O(1) per node event, O(degree) per
+    edge event; a full recompile only once deletions pass a density
+    threshold, observable via :attr:`GraphIndex.stats`).  Repeated
+    queries against the same graph — even a mutating one — amortize one
+    compilation.
 
 Ball extraction
     Bounded undirected layered BFS over the flat arrays with a reusable
@@ -70,48 +76,85 @@ from __future__ import annotations
 
 import weakref
 from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Deque, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-from repro.core.digraph import DiGraph, Label, Node
+from repro.core.digraph import (
+    ADD_EDGE,
+    ADD_NODE,
+    REMOVE_EDGE,
+    REMOVE_NODE,
+    RELABEL,
+    DiGraph,
+    GraphDelta,
+    Label,
+    Node,
+)
 from repro.core.matchrel import MatchRelation
 from repro.core.pattern import Pattern
 from repro.core.result import MatchResult, PerfectSubgraph
-from repro.exceptions import GraphError, NodeNotFound
+from repro.exceptions import GraphError, MatchingError, NodeNotFound
 
 ENGINES = ("auto", "kernel", "python")
+
+#: ``"auto"`` falls back to the reference engine below this ``|V| + |E|``
+#: when the graph has no compiled index yet: for a one-shot tiny query
+#: the O(|V| + |E|) compilation cannot amortize.
+TINY_AUTO_THRESHOLD = 256
 
 #: A pending removal: (pattern node id, data node id).
 Pair = Tuple[int, int]
 
+#: Sentinel stored in ``labels[i]`` for tombstoned (removed) node slots.
+#: A fresh object, so it can never collide with a user label (including
+#: ``None``, which is a legal label).
+_DEAD = object()
 
-def resolve_engine(engine: str) -> str:
+
+def resolve_engine(engine: str, data: Optional[DiGraph] = None) -> str:
     """Validate ``engine`` and collapse ``"auto"`` to a concrete choice.
 
-    ``"auto"`` currently always selects the kernel: it is output-identical
-    to the reference path and at least as fast on every workload we
-    benchmark.  The name is kept separate from ``"kernel"`` so the policy
-    can grow heuristics (e.g. skipping compilation for one-shot tiny
-    graphs) without an API change.
+    ``"auto"`` selects the kernel — output-identical to the reference
+    path and at least as fast on every workload we benchmark — with one
+    exception: when ``data`` is given, is tiny (``|V| + |E| <``
+    :data:`TINY_AUTO_THRESHOLD`) and has no compiled index cached yet,
+    the reference engine is chosen, because a one-shot query on a tiny
+    graph cannot amortize compilation.  A cached index (even one with
+    pending deltas — syncing is cheaper than compiling) always means
+    kernel.  Without ``data`` the answer is ``"kernel"``, preserving the
+    pre-heuristic behavior for callers that validate only.
     """
     if engine not in ENGINES:
         raise ValueError(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
         )
-    return "kernel" if engine == "auto" else engine
+    if engine != "auto":
+        return engine
+    if (
+        data is not None
+        and data.size < TINY_AUTO_THRESHOLD
+        and _INDEX_CACHE.get(data) is None
+    ):
+        return "python"
+    return "kernel"
 
 
 # ======================================================================
 # Graph compilation
 # ======================================================================
-class GraphIndex:
-    """A ``DiGraph`` compiled to integer ids + CSR adjacency arrays.
+class GrowableCSRIndex:
+    """Shared growable-CSR substrate for compiled graph indexes.
 
-    The index stores three adjacency views — forward edges, reverse
-    edges, and the undirected union used by ball BFS — as CSR row
-    partitions ``*_rows[i]``: per-node integer lists, which is what the
-    hot loops iterate.  (In CPython, iterating a pre-sliced row list
-    beats indptr offset arithmetic into one flat array, so the flat
-    form is not materialized; each adjacency is held exactly once.)
+    Holds the row layout every kernel loop iterates — ``nodes`` /
+    ``index_of`` / ``labels`` plus the three adjacency views (forward,
+    reverse, and the undirected union used by ball BFS) as per-node
+    integer lists — and the epoch-stamped visited buffer.  Rows are
+    *growable*: new node slots append in O(1) and edges patch the
+    affected rows in O(degree), with ids stable across every extension,
+    which is what lets both the centralized :class:`GraphIndex` (delta
+    maintenance) and the distributed ``SiteGraphIndex`` (remote-stub
+    materialization) stay warm instead of recompiling.
 
     ``_stamp`` plus ``_epoch`` implement epoch-stamped visited marking:
     bumping the epoch invalidates the whole buffer in O(1), so per-ball
@@ -119,21 +162,148 @@ class GraphIndex:
     """
 
     __slots__ = (
-        "graph_version",
-        "n",
         "nodes",
         "index_of",
         "labels",
-        "label_groups",
-        "num_edges",
         "fwd_rows",
         "rev_rows",
         "und_rows",
         "_stamp",
         "_epoch",
+        "__weakref__",
+    )
+
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        self.index_of: Dict[Node, int] = {}
+        self.labels: List[Label] = []
+        self.fwd_rows: List[List[int]] = []
+        self.rev_rows: List[List[int]] = []
+        self.und_rows: List[List[int]] = []
+        self._stamp: List[int] = []
+        self._epoch = 0
+
+    def _new_slot(self, node: Node) -> int:
+        """Append an empty slot for ``node``; returns its (stable) id."""
+        i = len(self.nodes)
+        self.index_of[node] = i
+        self.nodes.append(node)
+        self.labels.append(None)
+        self.fwd_rows.append([])
+        self.rev_rows.append([])
+        self.und_rows.append([])
+        self._stamp.append(0)
+        return i
+
+    def _csr_add_edge(self, s: int, t: int) -> None:
+        """Patch all three views for a new edge ``s -> t`` (both rows).
+
+        The undirected rows hold each neighbor once, so the append is
+        guarded by membership — already present exactly when the reverse
+        edge existed (or for the second half of a self-loop).
+        """
+        self.fwd_rows[s].append(t)
+        self.rev_rows[t].append(s)
+        und_s = self.und_rows[s]
+        if t not in und_s:
+            und_s.append(t)
+        if s != t:
+            und_t = self.und_rows[t]
+            if s not in und_t:
+                und_t.append(s)
+
+    def _csr_remove_edge(self, s: int, t: int) -> None:
+        """Patch all three views for a removed edge ``s -> t`` (both rows)."""
+        self.fwd_rows[s].remove(t)
+        self.rev_rows[t].remove(s)
+        # The undirected link survives iff the reverse edge t -> s still
+        # exists (never the case after removing a self-loop).
+        if s == t or s not in self.fwd_rows[t]:
+            self.und_rows[s].remove(t)
+            if s != t:
+                self.und_rows[t].remove(s)
+
+    def new_epoch(self) -> int:
+        """Invalidate the stamp buffer in O(1) and return the new epoch."""
+        self._epoch += 1
+        return self._epoch
+
+
+@dataclass
+class IndexStats:
+    """Observability counters for one :class:`GraphIndex`.
+
+    Attributes
+    ----------
+    full_compiles:
+        From-scratch compilations, including the initial one.  A warm
+        update workload holds this at 1; it grows only when deletions
+        pass the density threshold (or maintenance is disabled and a new
+        index replaces this one — a new index starts a new counter).
+    incremental_syncs:
+        ``sync`` calls that applied pending deltas in place.
+    deltas_applied:
+        Total mutation events applied incrementally.
+    """
+
+    full_compiles: int = 0
+    incremental_syncs: int = 0
+    deltas_applied: int = 0
+
+
+class GraphIndex(GrowableCSRIndex):
+    """A ``DiGraph`` compiled to integer ids + growable CSR rows.
+
+    Compilation is O(|V| + |E|); afterwards the index *maintains itself*:
+    it subscribes to the graph's :class:`~repro.core.digraph.GraphDelta`
+    stream, buffers events, and :meth:`sync` (called by
+    :func:`get_index`) patches the rows in place — O(1) per node event,
+    O(degree) per edge event — so ids stay stable and a warm index never
+    recompiles under insertions.  Node removals tombstone their slot
+    (label → sentinel, rows already emptied by the preceding edge
+    deltas); when accumulated deletions pass the density threshold
+    (:meth:`_deletions_over_threshold`) the next sync recompiles from
+    scratch instead, compacting the tombstones away.
+
+    :attr:`stats` (an :class:`IndexStats`) makes the maintenance
+    observable: a pure-insertion workload keeps ``full_compiles`` at 1.
+
+    ``n`` counts *slots* (including tombstones) — it is the bound for
+    id-space iteration; :attr:`num_live` is the live ``|V|``.
+
+    Using an index that has *unapplied* deltas (the graph mutated after
+    the index was obtained, e.g. mid-query) raises
+    :class:`~repro.exceptions.MatchingError` instead of silently serving
+    rows from a mix of epochs — re-acquire via :func:`get_index`, which
+    syncs first.
+    """
+
+    __slots__ = (
+        "graph_version",
+        "n",
+        "label_groups",
+        "num_edges",
+        "stats",
+        "_pending",
+        "_overflowed",
+        "_removed_weight",
     )
 
     def __init__(self, graph: DiGraph) -> None:
+        super().__init__()
+        self.stats = IndexStats()
+        self._pending: List[GraphDelta] = []
+        self._overflowed = False
+        self._compile(graph)
+        graph.subscribe(self)
+
+    @property
+    def num_live(self) -> int:
+        """``|V|`` excluding tombstoned slots (``n`` counts all slots)."""
+        return len(self.index_of)
+
+    def _compile(self, graph: DiGraph) -> None:
+        """(Re)build every array from scratch; resets deletion debt."""
         self.graph_version = graph.version
         nodes: List[Node] = list(graph.nodes())
         self.nodes = nodes
@@ -144,9 +314,9 @@ class GraphIndex:
         labels_map = graph.labels_raw()
         labels: List[Label] = [labels_map[node] for node in nodes]
         self.labels = labels
-        label_groups: Dict[Label, List[int]] = {}
+        label_groups: Dict[Label, Set[int]] = {}
         for i, lab in enumerate(labels):
-            label_groups.setdefault(lab, []).append(i)
+            label_groups.setdefault(lab, set()).add(i)
         self.label_groups = label_groups
 
         fwd_rows: List[List[int]] = []
@@ -170,15 +340,136 @@ class GraphIndex:
 
         self._stamp = [0] * n
         self._epoch = 0
+        self._removed_weight = 0
+        self.stats.full_compiles += 1
+
+    # ------------------------------------------------------------------
+    # Delta maintenance
+    # ------------------------------------------------------------------
+    def on_graph_deltas(self, deltas: Tuple[GraphDelta, ...]) -> None:
+        """Change-log subscriber: buffer events until the next sync.
+
+        The buffer is bounded: once replaying it would cost more than a
+        fresh compile (more pending events than the index is large), the
+        events are dropped and the index just marks itself for a full
+        recompile — a graph mutated heavily between queries then costs
+        one compile, not unbounded delta retention.
+        """
+        if self._overflowed:
+            return
+        self._pending.extend(deltas)
+        if len(self._pending) > max(4096, self.n + self.num_edges):
+            self._pending.clear()
+            self._overflowed = True
+
+    def _deletions_over_threshold(self, pending_deletions: int) -> bool:
+        """The density threshold for falling back to a full recompile.
+
+        Tombstoned slots and removed row entries make the arrays sparser
+        than a fresh compile; once the accumulated deletion debt exceeds
+        a quarter of the live size (with a floor of 64 so small graphs
+        never thrash), rebuilding is cheaper than further patching.
+        """
+        debt = self._removed_weight + pending_deletions
+        return debt > max(64, (self.n + self.num_edges) >> 2)
+
+    def sync(self, graph: DiGraph) -> None:
+        """Bring the index up to date with ``graph``'s pending deltas.
+
+        Applies the buffered events in place (insertions never trigger a
+        recompile); falls back to :meth:`_compile` when deletions exceed
+        the density threshold or the delta stream cannot explain the
+        version gap (defensive — cannot happen through ``DiGraph``'s own
+        mutators).
+        """
+        deltas, self._pending = self._pending, []
+        if self._overflowed:
+            self._overflowed = False
+            self._compile(graph)
+            return
+        if not deltas and self.graph_version == graph.version:
+            return
+        pending_deletions = sum(
+            1 for d in deltas if d.kind in (REMOVE_EDGE, REMOVE_NODE)
+        )
+        if (
+            self.graph_version + len(deltas) != graph.version
+            or self._deletions_over_threshold(pending_deletions)
+        ):
+            self._compile(graph)
+            return
+        for delta in deltas:
+            self._apply_delta(delta)
+        self.graph_version = graph.version
+        self.stats.incremental_syncs += 1
+        self.stats.deltas_applied += len(deltas)
+
+    def _apply_delta(self, delta: GraphDelta) -> None:
+        kind = delta.kind
+        if kind == ADD_EDGE:
+            self._csr_add_edge(
+                self.index_of[delta.source], self.index_of[delta.target]
+            )
+            self.num_edges += 1
+        elif kind == REMOVE_EDGE:
+            self._csr_remove_edge(
+                self.index_of[delta.source], self.index_of[delta.target]
+            )
+            self.num_edges -= 1
+            self._removed_weight += 1
+        elif kind == ADD_NODE:
+            i = self._new_slot(delta.node)
+            self.labels[i] = delta.label
+            self.label_groups.setdefault(delta.label, set()).add(i)
+            self.n += 1
+        elif kind == REMOVE_NODE:
+            # Incident-edge deltas always precede (same batch), so the
+            # slot's rows are already empty; tombstone it.
+            i = self.index_of.pop(delta.node)
+            group = self.label_groups[delta.label]
+            group.discard(i)
+            if not group:
+                del self.label_groups[delta.label]
+            self.labels[i] = _DEAD
+            self.nodes[i] = None
+            self._removed_weight += 1
+        elif kind == RELABEL:
+            i = self.index_of[delta.node]
+            group = self.label_groups[delta.old_label]
+            group.discard(i)
+            if not group:
+                del self.label_groups[delta.old_label]
+            self.labels[i] = delta.label
+            self.label_groups.setdefault(delta.label, set()).add(i)
+        else:  # pragma: no cover - the kinds above are exhaustive
+            raise MatchingError(f"unknown graph delta kind {kind!r}")
+
+    def ensure_current(self) -> None:
+        """Raise if the graph mutated after this index was obtained.
+
+        Serving rows from a mix of epochs (the pre-mutation compile plus
+        whatever the caller sees live) is silently wrong; callers must
+        re-acquire the index through :func:`get_index`, which syncs.
+        """
+        if self._pending or self._overflowed:
+            count = "many" if self._overflowed else len(self._pending)
+            raise MatchingError(
+                f"stale GraphIndex: the data graph was mutated "
+                f"({count} unapplied delta(s)) after this index was "
+                "obtained; re-acquire it via get_index(graph) instead of "
+                "using a held index across mutations"
+            )
 
     def new_epoch(self) -> int:
         """Invalidate the stamp buffer in O(1) and return the new epoch."""
+        if self._pending or self._overflowed:
+            self.ensure_current()
         self._epoch += 1
         return self._epoch
 
     def __repr__(self) -> str:
         return (
-            f"GraphIndex(|V|={self.n}, |E|={self.num_edges}, "
+            f"GraphIndex(|V|={self.num_live}, |E|={self.num_edges}, "
             f"labels={len(self.label_groups)})"
         )
 
@@ -187,17 +478,54 @@ _INDEX_CACHE: "weakref.WeakKeyDictionary[DiGraph, GraphIndex]" = (
     weakref.WeakKeyDictionary()
 )
 
+#: Whether cached indexes maintain themselves from the delta stream
+#: (default) or are replaced wholesale on mutation (the pre-pipeline
+#: behavior, kept for benchmarking the difference).
+_MAINTENANCE_ENABLED = True
+
+
+def set_index_maintenance(enabled: bool) -> bool:
+    """Toggle incremental index maintenance; returns the previous value.
+
+    With maintenance off, :func:`get_index` recompiles a fresh index for
+    every mutated graph (the recompile-per-update baseline benchmarked in
+    ``benchmarks/bench_kernel.py``); held stale indexes still raise
+    :class:`~repro.exceptions.MatchingError` on use either way.
+    """
+    global _MAINTENANCE_ENABLED
+    previous = _MAINTENANCE_ENABLED
+    _MAINTENANCE_ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def index_maintenance(enabled: bool):
+    """Context manager form of :func:`set_index_maintenance`."""
+    previous = set_index_maintenance(enabled)
+    try:
+        yield
+    finally:
+        set_index_maintenance(previous)
+
 
 def get_index(graph: DiGraph) -> GraphIndex:
-    """The compiled index of ``graph``, rebuilt only after mutation.
+    """The compiled index of ``graph``, maintained across mutations.
 
-    Cached per graph object (weakly, so indexes die with their graphs) and
-    keyed on :attr:`DiGraph.version`, which every mutator bumps — a stale
-    index is never served.
+    Cached per graph object (weakly, so indexes die with their graphs).
+    A cache hit whose graph has since mutated is *synced* — pending
+    deltas applied in place, a full recompile only past the deletion
+    threshold — so update workloads keep one warm index instead of
+    recompiling per query.  With maintenance disabled
+    (:func:`set_index_maintenance`) a mutated graph gets a brand-new
+    index, the pre-pipeline behavior.
     """
     index = _INDEX_CACHE.get(graph)
-    if index is not None and index.graph_version == graph.version:
-        return index
+    if index is not None:
+        if index.graph_version == graph.version and not index._pending:
+            return index
+        if _MAINTENANCE_ENABLED:
+            index.sync(graph)
+            return index
     index = GraphIndex(graph)
     _INDEX_CACHE[graph] = index
     return index
@@ -365,7 +693,11 @@ def _batch_prefilter(
 
 
 def _dual_sim_eager(
-    cp: _CompiledPattern, gi: GraphIndex, sim: List[Set[int]]
+    cp: _CompiledPattern,
+    gi: GraphIndex,
+    sim: List[Set[int]],
+    cnt_down: Optional[List[Dict[int, int]]] = None,
+    cnt_up: Optional[List[Dict[int, int]]] = None,
 ) -> bool:
     """Full counter fixpoint from arbitrary seeds (not known to be valid).
 
@@ -375,6 +707,13 @@ def _dual_sim_eager(
     deletions with O(1) decrements.  Used for the global dual simulation
     and for per-ball ``DualSim`` from label seeds.  Refines ``sim`` in
     place; ``False`` on collapse.
+
+    ``cnt_down`` / ``cnt_up`` (one empty dict per pattern edge) may be
+    supplied by callers that want to keep the witness counters after the
+    fixpoint — :class:`~repro.core.incremental.IncrementalDualSimulation`
+    decrements them across later deletions instead of recounting.  The
+    counter invariant at return: every stored count for a *surviving*
+    candidate is exact; missing entries are recomputed lazily on touch.
     """
     if not _batch_prefilter(cp, gi, sim):
         return False
@@ -382,8 +721,10 @@ def _dual_sim_eager(
     rev = gi.rev_rows
     edges = cp.edges
     num_edges = len(edges)
-    cnt_down: List[Dict[int, int]] = [{} for _ in range(num_edges)]
-    cnt_up: List[Dict[int, int]] = [{} for _ in range(num_edges)]
+    if cnt_down is None:
+        cnt_down = [{} for _ in range(num_edges)]
+    if cnt_up is None:
+        cnt_up = [{} for _ in range(num_edges)]
     pending: Deque[Pair] = deque()
     push = pending.append
     for e in range(num_edges):
@@ -869,8 +1210,13 @@ def kernel_match(
     cp = _CompiledPattern(pattern)
     result = MatchResult(pattern)
     if centers is None:
-        center_ids: Iterable[int] = range(gi.n)
-        if radius < 0 and gi.n:
+        # All live slots, in id (= insertion) order; tombstoned slots
+        # could only ever yield empty seeds, so skip them outright.
+        labels = gi.labels
+        center_ids: Iterable[int] = (
+            i for i in range(gi.n) if labels[i] is not _DEAD
+        )
+        if radius < 0 and gi.num_live:
             raise GraphError(f"ball radius must be non-negative, got {radius}")
     else:
         center_ids = _resolve_centers(gi, centers, radius)
@@ -904,7 +1250,10 @@ def kernel_matches_via_strong_simulation(
     radius = pattern.diameter
     gi = get_index(data)
     cp = _CompiledPattern(pattern)
+    labels = gi.labels
     for center in range(gi.n):
+        if labels[center] is _DEAD:
+            continue
         if _match_ball(cp, gi, center, radius) is not None:
             return True
     return False
@@ -961,7 +1310,7 @@ def kernel_match_plus(
             i for i in range(gi.n) if labels[i] in pattern_labels
         )
     else:
-        center_ids = range(gi.n)
+        center_ids = (i for i in range(gi.n) if labels[i] is not _DEAD)
     seen = set()
     for center in center_ids:
         subgraph = _match_ball(

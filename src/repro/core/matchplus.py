@@ -95,7 +95,7 @@ def match_plus(
         working_pattern = pattern
         radius = pattern.diameter
 
-    if resolve_engine(engine) == "kernel":
+    if resolve_engine(engine, data) == "kernel":
         return kernel_match_plus(
             working_pattern,
             data,

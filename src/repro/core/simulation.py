@@ -132,7 +132,7 @@ def graph_simulation(
     ``engine`` selects the execution backend (``"auto"`` | ``"kernel"`` |
     ``"python"``); the relation is identical either way.
     """
-    if resolve_engine(engine) == "kernel":
+    if resolve_engine(engine, data) == "kernel":
         return graph_simulation_kernel(pattern, data)
     return simulation_fixpoint(pattern, data)
 

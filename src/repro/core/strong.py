@@ -101,7 +101,7 @@ def match(
     MatchResult
         The deduplicated set Θ of maximum perfect subgraphs.
     """
-    if resolve_engine(engine) == "kernel":
+    if resolve_engine(engine, data) == "kernel":
         return kernel_match(pattern, data, centers=centers, radius=radius)
     if radius is None:
         radius = pattern.diameter
@@ -123,7 +123,7 @@ def matches_via_strong_simulation(
     pattern: Pattern, data: DiGraph, engine: str = "auto"
 ) -> bool:
     """Decide ``Q ≺_LD G`` — at least one perfect subgraph exists."""
-    if resolve_engine(engine) == "kernel":
+    if resolve_engine(engine, data) == "kernel":
         return kernel_matches_via_strong_simulation(pattern, data)
     radius = pattern.diameter
     for center in data.nodes():

@@ -31,13 +31,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.digraph import DiGraph
+from repro.core.digraph import (
+    ADD_EDGE,
+    ADD_NODE,
+    REMOVE_EDGE,
+    REMOVE_NODE,
+    RELABEL,
+    DiGraph,
+    GraphDelta,
+    Label,
+    Node,
+)
 from repro.core.kernel import resolve_engine
 from repro.core.pattern import Pattern
 from repro.core.result import MatchResult
 from repro.distributed.fragment import Assignment, Fragment, fragment_graph
 from repro.distributed.network import MessageBus
 from repro.distributed.worker import SiteWorker
+from repro.exceptions import (
+    DistributedError,
+    DuplicateNode,
+    EdgeNotFound,
+    NodeNotFound,
+)
 
 COORDINATOR_ID = -1
 
@@ -79,6 +95,7 @@ class Cluster:
         resolve_engine(engine)  # validate before building any worker
         self.engine = engine
         self.bus = MessageBus()
+        self.assignment: Assignment = dict(assignment)
         self.fragments: List[Fragment] = fragment_graph(
             graph, assignment, num_sites
         )
@@ -93,6 +110,117 @@ class Cluster:
     def num_sites(self) -> int:
         """Number of sites in the cluster."""
         return len(self.workers)
+
+    # ------------------------------------------------------------------
+    # Mutation pipeline (live-cluster updates)
+    # ------------------------------------------------------------------
+    def apply_update(self, delta: GraphDelta, site: Optional[int] = None) -> None:
+        """Route one :class:`~repro.core.digraph.GraphDelta` to its sites.
+
+        The distributed half of the mutation pipeline: the delta stream a
+        master :class:`~repro.core.digraph.DiGraph` emits can be fed here
+        verbatim and the owning fragments (plus their warm per-site
+        indexes) stay in sync without re-partitioning or recompiling.
+        Each affected site is charged one ``update`` unit on the bus —
+        identically for every engine, so protocol observations remain
+        engine-independent ("update" traffic is not ``fetch`` traffic and
+        does not count against the Section 4.3 data-shipment bound).
+
+        ``site`` places an ``add_node`` explicitly; by default the least
+        loaded site (ties broken by site id) takes the new node.  A
+        ``remove_node`` delta expects its incident-edge deltas first —
+        exactly what ``DiGraph.remove_node`` emits; the convenience
+        mutators below (:meth:`remove_node` etc.) produce well-formed
+        streams for callers not mirroring a master graph.
+        """
+        kind = delta.kind
+        if kind == ADD_EDGE or kind == REMOVE_EDGE:
+            source_site = self._site_of(delta.source)
+            target_site = self._site_of(delta.target)
+            for site_id in sorted({source_site, target_site}):
+                self.bus.send(COORDINATOR_ID, site_id, "update", 1)
+                self.workers[site_id].apply_update(delta, self.assignment)
+        elif kind == ADD_NODE:
+            if delta.node in self.assignment:
+                raise DuplicateNode(delta.node)
+            if site is None:
+                site = min(
+                    self.workers,
+                    key=lambda s: (self.workers[s].fragment.num_nodes, s),
+                )
+            elif site not in self.workers:
+                raise DistributedError(f"unknown site {site!r}")
+            self.assignment[delta.node] = site
+            self.bus.send(COORDINATOR_ID, site, "update", 1)
+            self.workers[site].apply_update(delta, self.assignment)
+        elif kind == REMOVE_NODE:
+            owner = self._site_of(delta.node)
+            del self.assignment[delta.node]
+            self.bus.send(COORDINATOR_ID, owner, "update", 1)
+            self.workers[owner].apply_update(delta, self.assignment)
+            for worker in self.workers.values():
+                worker.forget_remote(delta.node)
+        elif kind == RELABEL:
+            owner = self._site_of(delta.node)
+            self.bus.send(COORDINATOR_ID, owner, "update", 1)
+            self.workers[owner].apply_update(delta, self.assignment)
+        else:
+            raise DistributedError(f"unknown graph delta kind {kind!r}")
+
+    def _site_of(self, node: Node) -> int:
+        site = self.assignment.get(node)
+        if site is None:
+            raise NodeNotFound(node)
+        return site
+
+    def add_node(
+        self, node: Node, label: Label, site: Optional[int] = None
+    ) -> None:
+        """Add a node to the cluster (least-loaded site by default)."""
+        self.apply_update(
+            GraphDelta(ADD_NODE, node=node, label=label), site=site
+        )
+
+    def remove_node(self, node: Node) -> None:
+        """Remove a node and its incident edges cluster-wide."""
+        owner = self._site_of(node)
+        fragment = self.workers[owner].fragment
+        for target in list(fragment.succ[node]):
+            self.remove_edge(node, target)
+        for source in list(fragment.pred[node]):
+            if source != node:  # a self-loop is already gone
+                self.remove_edge(source, node)
+        label = fragment.labels[node]
+        self.apply_update(GraphDelta(REMOVE_NODE, node=node, label=label))
+
+    def add_edge(self, source: Node, target: Node) -> None:
+        """Add a directed edge; a no-op if it exists (set semantics)."""
+        source_site = self._site_of(source)
+        self._site_of(target)  # validate
+        if target in self.workers[source_site].fragment.succ[source]:
+            return
+        self.apply_update(GraphDelta(ADD_EDGE, source=source, target=target))
+
+    def remove_edge(self, source: Node, target: Node) -> None:
+        """Remove a directed edge; raises if absent."""
+        source_site = self._site_of(source)
+        self._site_of(target)  # validate
+        if target not in self.workers[source_site].fragment.succ[source]:
+            raise EdgeNotFound(source, target)
+        self.apply_update(
+            GraphDelta(REMOVE_EDGE, source=source, target=target)
+        )
+
+    def relabel_node(self, node: Node, label: Label) -> None:
+        """Change a node's label; a no-op when unchanged."""
+        owner = self._site_of(node)
+        fragment = self.workers[owner].fragment
+        old = fragment.labels[node]
+        if old == label:
+            return
+        self.apply_update(
+            GraphDelta(RELABEL, node=node, label=label, old_label=old)
+        )
 
     def run(
         self,

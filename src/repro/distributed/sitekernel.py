@@ -10,8 +10,10 @@ to each data-parallel site instead of shipping rows to a central
 evaluator.
 
 :class:`SiteGraphIndex` is the per-site analogue of
-:class:`~repro.core.kernel.GraphIndex` — integer node ids plus CSR
-adjacency rows — with two distributed-specific twists:
+:class:`~repro.core.kernel.GraphIndex`, built on the same shared
+growable-CSR substrate (:class:`~repro.core.kernel.GrowableCSRIndex` —
+integer node ids, per-node forward / reverse / undirected rows, stable
+ids under extension) with three distributed-specific twists:
 
 * **Incremental extension.**  A fragment only knows its own nodes' full
   adjacency; remote neighbors start as unmaterialized *stubs* (an id with
@@ -26,6 +28,16 @@ adjacency rows — with two distributed-specific twists:
   query (:meth:`SiteGraphIndex.reset_remote`) so fetch accounting per
   query is identical to the reference path, which re-ships records after
   the coordinator clears the per-query cache.
+
+* **Owned-delta maintenance.**  The mutation pipeline
+  (``Cluster.apply_update`` →
+  :meth:`~repro.distributed.worker.SiteWorker.apply_update`) patches the
+  *owned* rows in place through the growable-CSR helpers — new owned
+  nodes append a slot, owned edge endpoints patch their own rows, owned
+  removals tombstone — so per-site indexes stay warm across updates
+  instead of recompiling per query.  Stub rows are never patched: a
+  stub's adjacency is materialized wholesale from the owner's (already
+  updated) fragment on the next fetch.
 
 The per-ball matching itself (:func:`site_match_ball`) reuses the
 kernel's compiled-pattern representation and counter-based fixpoint
@@ -42,6 +54,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.digraph import Label, Node
 from repro.core.kernel import (
+    GrowableCSRIndex,
     _CompiledPattern,
     _dual_sim_eager,
     _extract_perfect_subgraph,
@@ -56,70 +69,58 @@ NodeRecord = Tuple[Label, Set[Node], Set[Node]]
 FetchFn = Callable[[Node], NodeRecord]
 
 
-class SiteGraphIndex:
+class SiteGraphIndex(GrowableCSRIndex):
     """One site's fragment compiled to integer ids + growable CSR rows.
 
-    Ids ``[0, num_owned)`` are the fragment's own nodes in fragment
-    insertion order (which is data-graph node order restricted to the
-    site, so per-site center iteration matches the reference path).
-    Higher ids are remote nodes, interned on first sight; a remote id is
-    *materialized* once its record has been fetched and its label and
-    adjacency rows filled in.
+    Owned nodes are interned first, in fragment insertion order (which is
+    data-graph node order restricted to the site, so per-site center
+    iteration matches the reference path); their ids are collected in
+    :attr:`owned_ids`.  Remote nodes are interned on first sight; a
+    remote id is *materialized* once its record has been fetched and its
+    label and adjacency rows filled in.
 
-    The row layout (``fwd_rows`` / ``rev_rows`` / ``und_rows`` indexed by
-    node id, plus ``nodes`` / ``labels`` / ``_stamp``) deliberately
-    mirrors :class:`~repro.core.kernel.GraphIndex`, so the kernel's
+    The row layout is inherited from
+    :class:`~repro.core.kernel.GrowableCSRIndex` — the same layout
+    :class:`~repro.core.kernel.GraphIndex` uses — so the kernel's
     fixpoint and extraction helpers run on either index unchanged.
     """
 
-    __slots__ = (
-        "nodes",
-        "index_of",
-        "labels",
-        "materialized",
-        "fwd_rows",
-        "rev_rows",
-        "und_rows",
-        "num_owned",
-        "_stamp",
-        "_epoch",
-    )
+    __slots__ = ("materialized", "is_owned", "owned_ids", "_remote_live")
 
     def __init__(self, fragment: Fragment) -> None:
-        self.nodes: List[Node] = []
-        self.index_of: Dict[Node, int] = {}
-        self.labels: List[Optional[Label]] = []
+        super().__init__()
         self.materialized: List[bool] = []
-        self.fwd_rows: List[List[int]] = []
-        self.rev_rows: List[List[int]] = []
-        self.und_rows: List[List[int]] = []
-        self._stamp: List[int] = []
-        self._epoch = 0
-        # Intern every owned node first so ids [0, num_owned) are owned
-        # and site ball centers enumerate as range(num_owned).
+        self.is_owned: List[bool] = []
+        # Insertion-ordered dict used as an ordered set: iteration is
+        # fragment insertion order (center order of the reference path),
+        # membership removal is O(1) even mid-stream.
+        self.owned_ids: Dict[int, None] = {}
+        self._remote_live = 0  # currently materialized remote nodes
+        # Intern every owned node first so owned ids enumerate in
+        # fragment insertion order.
         for node in fragment.labels:
-            self._intern(node)
-        self.num_owned = len(self.nodes)
+            i = self._intern(node)
+            self.is_owned[i] = True
+            self.owned_ids[i] = None
         labels = fragment.labels
         succ = fragment.succ
         pred = fragment.pred
         for node, i in list(self.index_of.items()):
             self._fill(i, labels[node], succ[node], pred[node])
 
+    @property
+    def num_owned(self) -> int:
+        """Number of (live) owned nodes."""
+        return len(self.owned_ids)
+
     # ------------------------------------------------------------------
     def _intern(self, node: Node) -> int:
         """The id of ``node``, assigning a fresh stub id on first sight."""
         i = self.index_of.get(node)
         if i is None:
-            i = len(self.nodes)
-            self.index_of[node] = i
-            self.nodes.append(node)
-            self.labels.append(None)
+            i = self._new_slot(node)
             self.materialized.append(False)
-            self.fwd_rows.append([])
-            self.rev_rows.append([])
-            self.und_rows.append([])
-            self._stamp.append(0)
+            self.is_owned.append(False)
         return i
 
     def _fill(
@@ -140,27 +141,113 @@ class SiteGraphIndex:
         """Extend the index with a fetched remote node record."""
         label, succ, pred = record
         self._fill(i, label, succ, pred)
+        self._remote_live += 1
 
     def reset_remote(self) -> None:
         """Revert every remote node to an unmaterialized stub.
 
         Called at the start of each query (via the worker's per-query
-        cache clear) so remote records are re-fetched — and re-charged —
-        exactly like the reference path.  Ids are stable across resets:
-        owned rows keep referencing the stubbed ids, which simply get
-        refilled on the next fetch.
+        cache clear) and before applying an update, so remote records are
+        re-fetched — and re-charged — exactly like the reference path.
+        Ids are stable across resets: owned rows keep referencing the
+        stubbed ids, which simply get refilled on the next fetch.  O(1)
+        when no remote is materialized, so a burst of updates between
+        queries pays the slot scan at most once.
         """
-        for i in range(self.num_owned, len(self.nodes)):
-            self.labels[i] = None
-            self.materialized[i] = False
-            self.fwd_rows[i] = []
-            self.rev_rows[i] = []
-            self.und_rows[i] = []
+        if not self._remote_live:
+            return
+        is_owned = self.is_owned
+        materialized = self.materialized
+        for i in range(len(self.nodes)):
+            if materialized[i] and not is_owned[i]:
+                self.labels[i] = None
+                self.materialized[i] = False
+                self.fwd_rows[i] = []
+                self.rev_rows[i] = []
+                self.und_rows[i] = []
+        self._remote_live = 0
 
-    def new_epoch(self) -> int:
-        """Invalidate the visited-stamp buffer in O(1)."""
-        self._epoch += 1
-        return self._epoch
+    # ------------------------------------------------------------------
+    # Owned-delta maintenance (the per-site half of the mutation pipeline)
+    # ------------------------------------------------------------------
+    def add_owned_node(self, node: Node, label: Label) -> None:
+        """Append a slot for a newly owned (isolated) node."""
+        i = self._intern(node)
+        self.is_owned[i] = True
+        self.materialized[i] = True
+        self.labels[i] = label
+        self.owned_ids[i] = None
+
+    def remove_owned_node(self, node: Node) -> None:
+        """Tombstone an owned node whose incident edges are already gone."""
+        i = self.index_of.pop(node)
+        del self.owned_ids[i]
+        self.is_owned[i] = False
+        self.materialized[i] = False
+        self.labels[i] = None
+        self.nodes[i] = None
+        self.fwd_rows[i] = []
+        self.rev_rows[i] = []
+        self.und_rows[i] = []
+
+    def relabel_owned_node(self, node: Node, label: Label) -> None:
+        """Update the stored label of an owned node."""
+        self.labels[self.index_of[node]] = label
+
+    def add_owned_edge(
+        self, source: Node, target: Node, owns_source: bool, owns_target: bool
+    ) -> None:
+        """Patch the *owned* endpoints' rows for a new edge.
+
+        Stub (remote) rows are never patched — their adjacency is always
+        materialized wholesale from the owner's fragment on fetch — so
+        each side updates only the rows it owns.  The undirected appends
+        are membership-guarded: already present exactly when the reverse
+        edge existed (or for the second half of a self-loop).
+        """
+        s = self._intern(source)
+        t = self._intern(target)
+        if owns_source:
+            self.fwd_rows[s].append(t)
+            und_s = self.und_rows[s]
+            if t not in und_s:
+                und_s.append(t)
+        if owns_target:
+            self.rev_rows[t].append(s)
+            und_t = self.und_rows[t]
+            if s not in und_t:
+                und_t.append(s)
+
+    def remove_owned_edge(
+        self,
+        source: Node,
+        target: Node,
+        owns_source: bool,
+        owns_target: bool,
+        reverse_exists: bool,
+    ) -> None:
+        """Patch the *owned* endpoints' rows for a removed edge.
+
+        ``reverse_exists`` — whether the opposite edge ``target ->
+        source`` still exists (the worker answers this from its fragment
+        adjacency) — decides whether the undirected link survives.  The
+        undirected removals are membership-guarded so a both-endpoints-
+        owned self-loop removes its single entry exactly once.
+        """
+        s = self.index_of[source]
+        t = self.index_of[target]
+        if owns_source:
+            self.fwd_rows[s].remove(t)
+            if not reverse_exists:
+                und_s = self.und_rows[s]
+                if t in und_s:
+                    und_s.remove(t)
+        if owns_target:
+            self.rev_rows[t].remove(s)
+            if not reverse_exists:
+                und_t = self.und_rows[t]
+                if s in und_t:
+                    und_t.remove(s)
 
     def __repr__(self) -> str:
         return (

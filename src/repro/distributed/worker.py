@@ -33,7 +33,16 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.ball import Ball
-from repro.core.digraph import DiGraph, Node
+from repro.core.digraph import (
+    ADD_EDGE,
+    ADD_NODE,
+    REMOVE_EDGE,
+    REMOVE_NODE,
+    RELABEL,
+    DiGraph,
+    GraphDelta,
+    Node,
+)
 from repro.core.dualsim import dual_simulation
 from repro.core.kernel import _CompiledPattern, resolve_engine
 from repro.core.pattern import Pattern
@@ -133,6 +142,95 @@ class SiteWorker:
             self._site_index.reset_remote()
 
     # ------------------------------------------------------------------
+    # Mutation pipeline: owned-fragment delta application
+    # ------------------------------------------------------------------
+    def apply_update(self, delta: GraphDelta, owner_of) -> None:
+        """Apply one owned-fragment delta to this site's state.
+
+        The per-site half of ``Cluster.apply_update``: patches the
+        fragment dictionaries (the source of truth both engines read) and
+        — when a site index has been compiled — the index's *owned* CSR
+        rows in place, keeping it warm instead of recompiling per query.
+        ``owner_of`` maps any node to its owning site, for refreshing the
+        ``remote_owner`` routing table when an edge reaches off-site.
+
+        Remote records cached from the previous query are dropped first
+        (they may describe pre-update adjacency); the next query
+        re-fetches — and the bus re-charges — them exactly as it would
+        have anyway after the coordinator's per-query cache clear.
+        """
+        self._remote_cache.clear()
+        index = self._site_index
+        if index is not None:
+            index.reset_remote()
+        fragment = self.fragment
+        kind = delta.kind
+        if kind == ADD_EDGE or kind == REMOVE_EDGE:
+            source, target = delta.source, delta.target
+            owns_source = fragment.owns(source)
+            owns_target = fragment.owns(target)
+            if not (owns_source or owns_target):
+                raise DistributedError(
+                    f"site {fragment.site_id} owns neither endpoint of "
+                    f"({source!r}, {target!r})"
+                )
+            if kind == ADD_EDGE:
+                if owns_source:
+                    fragment.succ[source].add(target)
+                    if not owns_target:
+                        fragment.remote_owner[target] = owner_of[target]
+                if owns_target:
+                    fragment.pred[target].add(source)
+                    if not owns_source:
+                        fragment.remote_owner[source] = owner_of[source]
+                if index is not None:
+                    index.add_owned_edge(
+                        source, target, owns_source, owns_target
+                    )
+            else:
+                if owns_source:
+                    fragment.succ[source].discard(target)
+                if owns_target:
+                    fragment.pred[target].discard(source)
+                # Does the opposite edge target -> source survive?  An
+                # owned endpoint knows: it sees all its incident edges.
+                reverse_exists = (
+                    (owns_target and source in fragment.succ[target])
+                    or (owns_source and target in fragment.pred[source])
+                )
+                if index is not None:
+                    index.remove_owned_edge(
+                        source, target, owns_source, owns_target,
+                        reverse_exists,
+                    )
+        elif kind == ADD_NODE:
+            fragment.labels[delta.node] = delta.label
+            fragment.succ[delta.node] = set()
+            fragment.pred[delta.node] = set()
+            fragment.remote_owner.pop(delta.node, None)
+            if index is not None:
+                index.add_owned_node(delta.node, delta.label)
+        elif kind == REMOVE_NODE:
+            # Incident-edge deltas were applied first (the pipeline
+            # decomposes node removals), so the node is isolated here.
+            del fragment.labels[delta.node]
+            del fragment.succ[delta.node]
+            del fragment.pred[delta.node]
+            if index is not None:
+                index.remove_owned_node(delta.node)
+        elif kind == RELABEL:
+            fragment.labels[delta.node] = delta.label
+            if index is not None:
+                index.relabel_owned_node(delta.node, delta.label)
+        else:  # pragma: no cover - the kinds above are exhaustive
+            raise DistributedError(f"unknown graph delta kind {kind!r}")
+
+    def forget_remote(self, node: Node) -> None:
+        """Drop a (cluster-wide removed) node from the routing table."""
+        self.fragment.remote_owner.pop(node, None)
+        self._remote_cache.pop(node, None)
+
+    # ------------------------------------------------------------------
     # Distributed ball construction + matching
     # ------------------------------------------------------------------
     def site_index(self) -> SiteGraphIndex:
@@ -224,7 +322,7 @@ class SiteWorker:
         cp = _CompiledPattern(pattern)
         fetch = self._record_for
         partial: List[PerfectSubgraph] = []
-        for center in range(index.num_owned):
+        for center in index.owned_ids:
             subgraph = site_match_ball(cp, index, fetch, center, radius)
             if subgraph is not None:
                 partial.append(subgraph)

@@ -5,6 +5,12 @@ simulation), ``Match+`` (all optimizations) and — on small inputs only —
 ``VF2``, along the four axes the paper sweeps: pattern size ``|Vq|``,
 pattern density ``αq``, data size ``|V|`` and data density ``α``.
 
+Beyond the paper's static sweeps, :func:`time_update_workload` times the
+Section 6 scenario — a stream of updates with a requery after each — and
+reports *amortized per-update latency* per execution strategy
+(incremental-kernel / recompile-kernel / reference), registered as the
+``incremental-updates`` experiment.
+
 The absolute numbers are pure-Python and smaller-scale than the paper's;
 EXPERIMENTS.md records the *shape* comparisons the paper makes: VF2 is
 orders of magnitude slower and blows up with size; Match+ runs at roughly
@@ -13,11 +19,13 @@ orders of magnitude slower and blows up with size; Match+ runs at roughly
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.vf2 import vf2
-from repro.core.digraph import DiGraph
+from repro.core.digraph import DiGraph, Node
+from repro.core.kernel import get_index, index_maintenance
 from repro.core.matchplus import match_plus
 from repro.core.pattern import Pattern
 from repro.core.simulation import graph_simulation
@@ -25,6 +33,9 @@ from repro.core.strong import match
 from repro.utils.timer import timed
 
 PERF_ALGORITHMS = ("Sim", "Match", "Match+", "VF2")
+
+#: The execution strategies the update workload compares.
+UPDATE_STRATEGIES = ("incremental-kernel", "recompile-kernel", "reference")
 
 
 @dataclass
@@ -74,6 +85,131 @@ def time_algorithms(
     else:
         seconds["VF2"] = None
     return TimingRun(pattern.num_nodes, data.num_nodes, seconds)
+
+
+def random_insertion_stream(
+    data: DiGraph, count: int, seed: int = 5
+) -> List[Tuple[Node, Node]]:
+    """``count`` distinct edges absent from ``data``, reproducibly.
+
+    The one edge-stream generator shared by the update-workload
+    experiment, the ``bench_kernel`` incremental section and tests, so
+    all three time the same kind of stream.
+    """
+    rng = random.Random(seed)
+    nodes = list(data.nodes())
+    seen = set(data.edges())
+    absent = len(nodes) * len(nodes) - len(seen)
+    if count > absent:
+        raise ValueError(
+            f"cannot draw {count} absent edges: only {absent} ordered "
+            "pairs (including self-loops) are missing from the graph"
+        )
+    stream: List[Tuple[Node, Node]] = []
+    while len(stream) < count:
+        source, target = rng.choice(nodes), rng.choice(nodes)
+        if (source, target) not in seen:
+            seen.add((source, target))
+            stream.append((source, target))
+    return stream
+
+
+@dataclass
+class UpdateWorkloadRun:
+    """Amortized timing of one update+requery stream.
+
+    ``seconds`` / ``amortized_seconds`` map each strategy in
+    :data:`UPDATE_STRATEGIES` to its total and per-update wall-clock;
+    ``full_compiles`` records how many from-scratch index compilations
+    the incremental-kernel strategy performed *after* priming (zero for
+    a pure-insertion stream — the point of the mutation pipeline).
+    ``final_results`` holds each strategy's last query result in
+    canonical form; :meth:`results_identical` is the equivalence gate.
+    """
+
+    data_size: int
+    pattern_size: int
+    num_updates: int
+    seconds: Dict[str, float]
+    amortized_seconds: Dict[str, float]
+    full_compiles: int
+    final_results: Dict[str, object]
+
+    def results_identical(self) -> bool:
+        """True iff every strategy ended on the same canonical result."""
+        values = list(self.final_results.values())
+        return all(value == values[0] for value in values[1:])
+
+
+def _canonical_match_result(result) -> frozenset:
+    return frozenset(
+        (sg.signature(), sg.relation.pair_set()) for sg in result
+    )
+
+
+def time_update_workload(
+    pattern: Pattern,
+    data: DiGraph,
+    updates: Sequence[Tuple[Node, Node]],
+    query: Optional[Callable[[Pattern, DiGraph, str], object]] = None,
+    canonicalize: Optional[Callable[[object], object]] = None,
+) -> UpdateWorkloadRun:
+    """Time an edge-insertion stream with a requery after every update.
+
+    Each strategy runs on its own copy of ``data``: the
+    ``incremental-kernel`` strategy keeps one warm, delta-maintained
+    index; ``recompile-kernel`` disables maintenance so every requery
+    recompiles; ``reference`` runs the pure-Python engine.  ``query``
+    defaults to ``match_plus`` (with ``canonicalize`` defaulting to the
+    signature/relation canonical form); a custom callable receives
+    ``(pattern, data, engine)``.  The priming query is excluded from the
+    timing, so the numbers are pure update+requery cost.
+    """
+    if query is None:
+        query = lambda q, g, engine: match_plus(q, g, engine=engine)
+        if canonicalize is None:
+            canonicalize = _canonical_match_result
+    if canonicalize is None:
+        canonicalize = lambda result: result
+    seconds: Dict[str, float] = {}
+    final_results: Dict[str, object] = {}
+    full_compiles = 0
+    for strategy in UPDATE_STRATEGIES:
+        graph = data.copy()
+        engine = "python" if strategy == "reference" else "kernel"
+        maintain = strategy != "recompile-kernel"
+        with index_maintenance(maintain):
+            query(pattern, graph, engine)  # prime outside the clock
+            primed_compiles = (
+                get_index(graph).stats.full_compiles
+                if engine == "kernel" and maintain
+                else 0
+            )
+            last: List[object] = [None]
+
+            def run() -> None:
+                for source, target in updates:
+                    graph.add_edge(source, target)
+                    last[0] = query(pattern, graph, engine)
+
+            _, seconds[strategy] = timed(run)
+            final_results[strategy] = canonicalize(last[0])
+            if engine == "kernel" and maintain:
+                full_compiles = (
+                    get_index(graph).stats.full_compiles - primed_compiles
+                )
+    num_updates = max(1, len(updates))
+    return UpdateWorkloadRun(
+        data_size=data.num_nodes,
+        pattern_size=pattern.num_nodes,
+        num_updates=len(updates),
+        seconds=seconds,
+        amortized_seconds={
+            name: total / num_updates for name, total in seconds.items()
+        },
+        full_compiles=full_compiles,
+        final_results=final_results,
+    )
 
 
 @dataclass

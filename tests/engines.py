@@ -16,7 +16,14 @@ comparable form:
 * :func:`cluster_observation` — the full observable protocol output of a
   distributed run: canonical result set, per-site partial-subgraph
   counts, and the complete message-bus accounting (message count, units
-  by kind, units per directed link).
+  by kind, units per directed link);
+* the **update-workload harness** — random interleavings of graph
+  mutations and queries (:func:`random_mutation`,
+  :func:`assert_update_workload_identical`): after every mutation the
+  warm incremental kernel (one cached, delta-maintained ``GraphIndex``;
+  warm per-site indexes on the distributed path) must observe
+  identically to the from-scratch reference engine *and* to a
+  from-scratch kernel compile of a graph copy.
 
 Test modules parametrize over these instead of hand-rolling per-entry
 canonicalization; new engines or entry points get differential coverage
@@ -25,11 +32,12 @@ by extending the tables here.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+import random
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.digraph import DiGraph
+from repro.core.digraph import DiGraph, GraphDelta
 from repro.core.dualsim import dual_simulation
-from repro.core.kernel import dual_simulation_kernel
+from repro.core.kernel import dual_simulation_kernel, get_index
 from repro.core.matchplus import match_plus
 from repro.core.pattern import Pattern
 from repro.core.simulation import graph_simulation
@@ -183,3 +191,184 @@ def assert_all_entry_points_identical(
             assignment=assignment,
             num_sites=num_sites,
         )
+
+
+# ----------------------------------------------------------------------
+# Update-workload differential harness
+# ----------------------------------------------------------------------
+class DeltaRecorder:
+    """Captures the :class:`GraphDelta` stream of a master graph.
+
+    Used to mirror mutations into live clusters: the recorder subscribes
+    to the master ``DiGraph`` and :meth:`drain` hands the buffered events
+    to ``Cluster.apply_update`` verbatim.
+    """
+
+    def __init__(self, graph: DiGraph) -> None:
+        self.deltas: List[GraphDelta] = []
+        graph.subscribe(self)
+
+    def on_graph_deltas(self, deltas) -> None:
+        self.deltas.extend(deltas)
+
+    def drain(self) -> List[GraphDelta]:
+        drained, self.deltas = self.deltas, []
+        return drained
+
+
+#: Mutation kinds the workload generator draws from.
+MUTATION_KINDS = (
+    "add_edge", "remove_edge", "add_node", "remove_node", "relabel",
+)
+
+#: Labels used for nodes the workload generator creates or relabels.
+WORKLOAD_LABELS = ("l0", "l1", "l2")
+
+
+def random_mutation(
+    rng: "random.Random", graph: DiGraph, fresh_node: int
+) -> Optional[Tuple]:
+    """Apply one random mutation to ``graph``; describe what happened.
+
+    Returns ``(kind, *args)`` or ``None`` when the drawn mutation was
+    inapplicable (e.g. removing an edge from an edgeless graph).  The
+    caller supplies ``fresh_node``, a node id not yet in the graph, so
+    sequences are reproducible from the rng alone.
+    """
+    nodes = list(graph.nodes())
+    kind = rng.choice(MUTATION_KINDS)
+    if kind == "add_edge":
+        if not nodes:
+            return None
+        source, target = rng.choice(nodes), rng.choice(nodes)
+        if graph.has_edge(source, target):
+            return None
+        graph.add_edge(source, target)
+        return ("add_edge", source, target)
+    if kind == "remove_edge":
+        edges = list(graph.edges())
+        if not edges:
+            return None
+        source, target = rng.choice(edges)
+        graph.remove_edge(source, target)
+        return ("remove_edge", source, target)
+    if kind == "add_node":
+        label = rng.choice(WORKLOAD_LABELS)
+        graph.add_node(fresh_node, label)
+        return ("add_node", fresh_node, label)
+    if kind == "remove_node":
+        if len(nodes) < 2:
+            return None
+        node = rng.choice(nodes)
+        graph.remove_node(node)
+        return ("remove_node", node)
+    # relabel
+    if not nodes:
+        return None
+    node = rng.choice(nodes)
+    label = rng.choice(WORKLOAD_LABELS)
+    if graph.label(node) == label:
+        return None
+    graph.relabel_node(node, label)
+    return ("relabel", node, label)
+
+
+def assert_centralized_update_step_identical(
+    pattern: Pattern, graph: DiGraph
+) -> None:
+    """One post-mutation differential check of the centralized matrix.
+
+    The warm incremental kernel (``graph``'s cached index, maintained
+    through the delta stream) must observe identically to the
+    from-scratch reference engine on ``graph`` *and* to a from-scratch
+    kernel compile on a structural copy of ``graph``.
+    """
+    copy = graph.copy()  # fresh object: fresh, from-scratch kernel compile
+    for name in CENTRALIZED_ENTRY_POINTS:
+        reference = run_entry_point(name, "python", pattern, graph)
+        warm_kernel = run_entry_point(name, "kernel", pattern, graph)
+        assert warm_kernel == reference, (
+            f"{name}: warm incremental kernel diverged from the reference"
+        )
+        fresh_kernel = run_entry_point(name, "kernel", pattern, copy)
+        assert fresh_kernel == reference, (
+            f"{name}: from-scratch kernel diverged from the reference"
+        )
+
+
+def assert_update_workload_identical(
+    pattern: Pattern,
+    graph: DiGraph,
+    num_ops: int,
+    op_seed: int,
+    *,
+    assignment: Optional[Dict] = None,
+    num_sites: Optional[int] = None,
+    check_every: int = 1,
+) -> None:
+    """Drive a random mutation/query interleaving differentially.
+
+    Mutates ``graph`` in place for ``num_ops`` steps (seeded by
+    ``op_seed``), asserting after every ``check_every``-th applied
+    mutation that the warm incremental kernel results equal from-scratch
+    reference results (see
+    :func:`assert_centralized_update_step_identical`).
+
+    With a partition supplied, the same delta stream is also mirrored
+    into one live cluster per engine via ``Cluster.apply_update`` and the
+    full protocol observation is compared at every checkpoint — warm
+    python cluster vs warm kernel cluster (bus accounting included, so
+    update charges and fetch traffic must agree exactly) and both against
+    a cluster built fresh from the mutated graph (result set and
+    per-site counts; its bus only ever saw one query).
+    """
+    get_index(graph)  # prime the warm index before the first mutation
+    clusters = {}
+    recorder = None
+    if assignment is not None and num_sites is not None:
+        clusters = {
+            engine: Cluster(graph.copy(), dict(assignment), num_sites,
+                            engine=engine)
+            for engine in ENGINES
+        }
+        recorder = DeltaRecorder(graph)
+    rng = random.Random(op_seed)
+    fresh_node = 10_000 + op_seed  # never collides with fixture nodes
+    applied = 0
+    for _ in range(num_ops):
+        op = random_mutation(rng, graph, fresh_node)
+        if op is None:
+            continue
+        if op[0] == "add_node":
+            fresh_node += 1
+        applied += 1
+        if recorder is not None:
+            for delta in recorder.drain():
+                for cluster in clusters.values():
+                    cluster.apply_update(delta)
+        if applied % check_every:
+            continue
+        assert_centralized_update_step_identical(pattern, graph)
+        if clusters:
+            observed = {
+                engine: cluster_observation(cluster.run(pattern))
+                for engine, cluster in clusters.items()
+            }
+            assert observed["python"] == observed["kernel"], (
+                "warm clusters diverged between engines after updates"
+            )
+            fresh_cluster = Cluster(
+                graph.copy(),
+                dict(clusters["kernel"].assignment),
+                num_sites,
+                engine="kernel",
+            )
+            fresh_report = fresh_cluster.run(pattern)
+            assert (
+                canonical_result(fresh_report.result)
+                == observed["kernel"]["result"]
+            ), "warm cluster result diverged from a freshly built cluster"
+            assert (
+                dict(fresh_report.per_site_subgraphs)
+                == observed["kernel"]["per_site_subgraphs"]
+            ), "warm cluster per-site counts diverged from a fresh cluster"

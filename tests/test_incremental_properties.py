@@ -7,13 +7,16 @@ after *every* update in an arbitrary insert/delete sequence, the
 maintained relation equals a from-scratch
 :func:`~repro.core.dualsim.dual_simulation` on the mutated graph — on
 both execution engines (the reference set-based fixpoint and the kernel's
-counter fixpoint), which must themselves agree.
+counter fixpoint), which must themselves agree.  The *maintainer* itself
+is parametrized over the same engines: the reference cascade and the
+kernel's persistent-counter cascade must both track the scratch runs.
 """
 
 from __future__ import annotations
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -38,6 +41,7 @@ def assert_matches_scratch(inc) -> None:
     ).pair_set()
 
 
+@pytest.mark.parametrize("engine", ["python", "kernel"])
 class TestIncrementalDualSimulationProperties:
     @settings(max_examples=25, deadline=None)
     @given(
@@ -47,11 +51,11 @@ class TestIncrementalDualSimulationProperties:
         num_ops=st.integers(min_value=1, max_value=12),
     )
     def test_random_update_sequences(
-        self, seed, pattern_seed, op_seed, num_ops
+        self, engine, seed, pattern_seed, op_seed, num_ops
     ):
         data = random_digraph(seed, max_nodes=10, edge_prob=0.3)
         pattern = random_connected_pattern(pattern_seed, max_nodes=4)
-        inc = IncrementalDualSimulation(pattern, data)
+        inc = IncrementalDualSimulation(pattern, data, engine=engine)
         assert_matches_scratch(inc)
         rng = random.Random(op_seed)
         nodes = list(data.nodes())
@@ -66,12 +70,12 @@ class TestIncrementalDualSimulationProperties:
 
     @settings(max_examples=15, deadline=None)
     @given(seed=graph_seeds, pattern_seed=pattern_seeds)
-    def test_delete_everything_then_empty(self, seed, pattern_seed):
+    def test_delete_everything_then_empty(self, engine, seed, pattern_seed):
         """Deleting every edge drives the cascade to the bare-graph
         relation (exactly what a fresh run on the edgeless graph says)."""
         data = random_digraph(seed, max_nodes=8, edge_prob=0.35)
         pattern = random_connected_pattern(pattern_seed, max_nodes=3)
-        inc = IncrementalDualSimulation(pattern, data)
+        inc = IncrementalDualSimulation(pattern, data, engine=engine)
         for source, target in list(data.edges()):
             inc.remove_edge(source, target)
             assert_matches_scratch(inc)
@@ -82,12 +86,14 @@ class TestIncrementalDualSimulationProperties:
         pattern_seed=pattern_seeds,
         op_seed=st.integers(min_value=0, max_value=10_000),
     )
-    def test_delete_then_reinsert_roundtrip(self, seed, pattern_seed, op_seed):
+    def test_delete_then_reinsert_roundtrip(
+        self, engine, seed, pattern_seed, op_seed
+    ):
         """Removing an edge and adding it back restores the original
         relation (gfp is a function of the graph, not of the history)."""
         data = random_digraph(seed, max_nodes=9, edge_prob=0.3)
         pattern = random_connected_pattern(pattern_seed, max_nodes=3)
-        inc = IncrementalDualSimulation(pattern, data)
+        inc = IncrementalDualSimulation(pattern, data, engine=engine)
         before = inc.relation.pair_set()
         edges = list(data.edges())
         if not edges:

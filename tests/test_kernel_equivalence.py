@@ -172,14 +172,20 @@ class TestRandomizedEquivalence:
 # Kernel machinery
 # ----------------------------------------------------------------------
 class TestGraphIndex:
-    def test_index_is_cached_until_mutation(self):
+    def test_index_is_cached_and_maintained_across_mutation(self):
         graph = DiGraph.from_parts({1: "A", 2: "B"}, [(1, 2)])
         first = get_index(graph)
         assert get_index(graph) is first
         graph.add_node(3, "A")
         second = get_index(graph)
-        assert second is not first
+        # The mutation pipeline keeps ONE warm index per graph: the
+        # cached object syncs itself from the delta stream instead of
+        # being replaced by a fresh compile.
+        assert second is first
         assert second.n == 3
+        assert second.graph_version == graph.version
+        assert second.stats.full_compiles == 1
+        assert second.stats.deltas_applied == 1
 
     def test_version_bumps_on_every_mutator(self):
         graph = DiGraph()
