@@ -29,8 +29,7 @@ from __future__ import annotations
 
 import json
 import os
-import time
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from repro.core.matchplus import match_plus
 from repro.core.dualsim import dual_simulation
@@ -43,7 +42,7 @@ from repro.experiments.performance import (
 from repro.datasets import generate_graph
 from repro.datasets.patterns import sample_pattern_from_data
 from repro.distributed import Cluster, bfs_partition
-from benchmarks.conftest import RESULTS_DIR, emit
+from benchmarks.conftest import RESULTS_DIR, best_of, emit
 
 PATTERN_SIZE = 10
 PATTERN_REPEATS = 3
@@ -54,15 +53,6 @@ DISTRIBUTED_SITES = 4
 DISTRIBUTED_PATTERN_SIZE = 6
 INCREMENTAL_SMALL_SCALE_BAR = 2.0
 INCREMENTAL_PATTERN_SIZE = 6
-
-
-def _best_of(fn: Callable[[], object], reps: int = TIMING_REPS) -> float:
-    best = float("inf")
-    for _ in range(reps):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
 
 
 def _canonical(result) -> frozenset:
@@ -106,21 +96,23 @@ def test_kernel_vs_python_engines(scale):
             assert _canonical(kernel_result) == _canonical(reference), (
                 f"match_plus results diverged at |V|={n}, repeat={repeat}"
             )
-            times["match_plus"]["python"] += _best_of(
-                lambda: match_plus(pattern, data, engine="python")
+            times["match_plus"]["python"] += best_of(
+                lambda: match_plus(pattern, data, engine="python"),
+                TIMING_REPS,
             )
-            times["match_plus"]["kernel"] += _best_of(
-                lambda: match_plus(pattern, data, engine="kernel")
+            times["match_plus"]["kernel"] += best_of(
+                lambda: match_plus(pattern, data, engine="kernel"),
+                TIMING_REPS,
             )
 
             assert _relation_canonical(
                 dual_simulation_kernel(pattern, data)
             ) == _relation_canonical(dual_simulation(pattern, data))
-            times["dual"]["python"] += _best_of(
-                lambda: dual_simulation(pattern, data)
+            times["dual"]["python"] += best_of(
+                lambda: dual_simulation(pattern, data), TIMING_REPS
             )
-            times["dual"]["kernel"] += _best_of(
-                lambda: dual_simulation_kernel(pattern, data)
+            times["dual"]["kernel"] += best_of(
+                lambda: dual_simulation_kernel(pattern, data), TIMING_REPS
             )
 
             if n in match_sizes:
@@ -129,10 +121,10 @@ def test_kernel_vs_python_engines(scale):
                 ) == _canonical(match(pattern, data, engine="python")), (
                     f"match results diverged at |V|={n}, repeat={repeat}"
                 )
-                times["match"]["python"] += _best_of(
+                times["match"]["python"] += best_of(
                     lambda: match(pattern, data, engine="python"), 1
                 )
-                times["match"]["kernel"] += _best_of(
+                times["match"]["kernel"] += best_of(
                     lambda: match(pattern, data, engine="kernel"), 1
                 )
 
@@ -192,7 +184,10 @@ def test_kernel_vs_python_engines(scale):
     dist_data_units = reports["kernel"].data_shipment_units
     dist_per_site = dict(reports["kernel"].per_site_subgraphs)
     dist_times = {
-        engine: _best_of(lambda engine=engine: clusters[engine].run(dist_pattern))
+        engine: best_of(
+            lambda engine=engine: clusters[engine].run(dist_pattern),
+            TIMING_REPS,
+        )
         for engine in ("python", "kernel")
     }
     dist_speedup = (

@@ -65,6 +65,22 @@ def scale() -> Dict:
     return _SCALES[name]
 
 
+def best_of(fn: Callable[[], object], reps: int = 3) -> float:
+    """Minimum wall-clock seconds over ``reps`` runs of ``fn``.
+
+    The one timing loop shared by every benchmark module, so a change
+    to the measurement protocol (warm-up, clock source) lands once.
+    """
+    import time
+
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
 def emit(name: str, text: str) -> None:
     """Print a rendered table and persist it under benchmarks/results/."""
     print()

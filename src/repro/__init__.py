@@ -61,12 +61,20 @@ from repro.exceptions import (
     PatternError,
     ReproError,
 )
+from repro.service import (
+    CacheStats,
+    MatchService,
+    Query,
+    ResultCache,
+    pattern_fingerprint,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Ball",
     "BoundedPattern",
+    "CacheStats",
     "DatasetError",
     "DiGraph",
     "DistributedError",
@@ -74,11 +82,14 @@ __all__ = [
     "MatchPlusOptions",
     "MatchRelation",
     "MatchResult",
+    "MatchService",
     "MatchingError",
     "Pattern",
     "PatternError",
     "PerfectSubgraph",
+    "Query",
     "ReproError",
+    "ResultCache",
     "__version__",
     "bounded_simulation",
     "dual_simulation",
@@ -90,4 +101,5 @@ __all__ = [
     "matches_via_simulation",
     "matches_via_strong_simulation",
     "minimize_pattern",
+    "pattern_fingerprint",
 ]

@@ -5,6 +5,8 @@ Usage (after ``pip install -e .``)::
     python -m repro match --data graph.json --pattern pattern.json
     python -m repro match --data graph.txt --pattern p.json \
         --algorithm sim --format edgelist
+    python -m repro workload --data graph.json --queries stream.json \
+        --workers 4
     python -m repro generate --kind amazon --nodes 1000 --out g.json
     python -m repro info --data graph.json
 
@@ -106,7 +108,10 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     data = _load_graph(args.data, args.format)
     pattern = _load_pattern(args.pattern)
     assignment = PARTITIONERS[args.partitioner](data, args.sites)
-    cluster = Cluster(data, assignment, args.sites, engine=args.engine)
+    cluster = Cluster(
+        data, assignment, args.sites, engine=args.engine,
+        parallel=args.parallel,
+    )
     report = cluster.run(pattern)
 
     print(f"{len(report.result)} perfect subgraph(s) across "
@@ -127,6 +132,73 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
         bound = crossing_ball_bound(data, assignment, pattern.diameter)
         print(f"locality bound (boundary-crossing balls): {bound} units")
     return 0 if report.result else 1
+
+
+#: Accepted spellings in workload streams -> service algorithm names.
+#: The `match` subcommand calls the strong-simulation algorithms
+#: "strong"/"strong-plus"; both vocabularies work here.
+_WORKLOAD_ALGORITHM_ALIASES = {
+    "strong": "match",
+    "strong-plus": "match-plus",
+}
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    """Replay a query-stream file against a :class:`MatchService`."""
+    from repro.service import (
+        SERVICE_ALGORITHMS,
+        MatchService,
+        Query,
+        replay_workload,
+    )
+
+    data = _load_graph(args.data, args.format)
+    with open(args.queries, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    entries = payload["queries"] if isinstance(payload, dict) else payload
+
+    queries = []
+    for entry in entries:
+        pattern = pattern_from_dict(entry["pattern"])
+        name = entry.get("algorithm", "match-plus")
+        algorithm = _WORKLOAD_ALGORITHM_ALIASES.get(name, name)
+        if algorithm not in SERVICE_ALGORITHMS:
+            known = sorted(
+                set(SERVICE_ALGORITHMS) | set(_WORKLOAD_ALGORITHM_ALIASES)
+            )
+            print(f"unknown algorithm {name!r} in query stream; "
+                  f"known: {', '.join(known)}")
+            return 2
+        for _ in range(int(entry.get("count", 1))):
+            queries.append(Query(pattern, data, algorithm, args.engine))
+    queries = queries * max(1, args.repeat)
+    if not queries:
+        print("empty query stream")
+        return 1
+
+    cache_size = 0 if args.no_cache else args.cache_size
+    with MatchService(max_workers=args.workers, cache_size=cache_size) as svc:
+        report, results = replay_workload(svc, queries)
+
+    matched = sum(1 for r in results if len(r) > 0)
+    print(f"served {report.queries} queries in {report.seconds:.3f}s "
+          f"({report.throughput:.1f} q/s) on {args.workers} worker(s) "
+          f"[engine={args.engine}]")
+    print("algorithms: " + ", ".join(
+        f"{name}={count}" for name, count in sorted(report.by_algorithm.items())
+    ))
+    print(f"non-empty results: {matched}/{report.queries}")
+    cache = report.stats.cache
+    if cache_size <= 0:  # --no-cache or an explicit --cache-size 0
+        print("cache: disabled")
+    else:
+        print(f"cache: {cache.hits} hits / {cache.misses} misses "
+              f"(hit rate {cache.hit_rate:.1%}), {cache.stores} stores, "
+              f"{cache.invalidations} invalidations, "
+              f"{cache.evictions} evictions")
+    print(f"executed: {report.stats.computed} computed, "
+          f"{report.stats.replayed} replayed from cache")
+    return 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -248,7 +320,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="also compute and print the Section 4.3 locality bound "
              "(walks every boundary-crossing ball; slow on large graphs)",
     )
+    p_dist.add_argument(
+        "--parallel", action="store_true",
+        help="evaluate the sites concurrently (one thread per site); "
+             "results and traffic accounting are identical to a serial "
+             "run",
+    )
     p_dist.set_defaults(func=_cmd_distributed)
+
+    p_work = sub.add_parser(
+        "workload",
+        help="serve a query-stream file through the concurrent "
+             "MatchService and report throughput + cache stats",
+    )
+    p_work.add_argument("--data", required=True, help="data graph file")
+    p_work.add_argument(
+        "--queries", required=True,
+        help="query-stream JSON: {\"queries\": [{\"pattern\": <pattern "
+             "dict>, \"algorithm\": \"match-plus\", \"count\": 1}, ...]}",
+    )
+    p_work.add_argument("--format", choices=("json", "edgelist"),
+                        default="json", help="data graph file format")
+    p_work.add_argument("--workers", type=int, default=4,
+                        help="thread-pool width (default: 4)")
+    p_work.add_argument("--engine", choices=ENGINES, default="auto",
+                        help="execution engine (default: auto)")
+    p_work.add_argument("--repeat", type=int, default=1,
+                        help="replay the whole stream N times")
+    p_work.add_argument("--cache-size", type=int, default=256,
+                        help="result-cache LRU bound (default: 256)")
+    p_work.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache (baseline mode)")
+    p_work.set_defaults(func=_cmd_workload)
 
     p_gen = sub.add_parser("generate", help="generate a dataset")
     p_gen.add_argument("--kind", choices=("synthetic", "amazon", "youtube"),

@@ -149,7 +149,14 @@ class DiGraph:
         self._listeners.append(weakref.ref(listener))
 
     def unsubscribe(self, listener: object) -> None:
-        """Remove ``listener`` (no-op if it was never subscribed)."""
+        """Remove ``listener`` (idempotent; dead weakrefs pruned too).
+
+        Safe to call for a listener that was never subscribed, or twice
+        for the same listener — both are no-ops.  Dead weakrefs
+        encountered along the way are pruned as a side effect, so a
+        subscriber that was garbage-collected without unsubscribing never
+        lingers in the list.
+        """
         self._listeners = [
             ref for ref in self._listeners
             if ref() is not None and ref() is not listener
@@ -185,16 +192,22 @@ class DiGraph:
             self._deliver((delta,))
 
     def _deliver(self, deltas: Tuple[GraphDelta, ...]) -> None:
-        listeners = self._listeners
+        # Iterate over a snapshot: a callback may subscribe/unsubscribe
+        # (mutating self._listeners) without disturbing this delivery.
         dead = False
-        for ref in listeners:
+        for ref in tuple(self._listeners):
             target = ref()
             if target is None:
                 dead = True
             else:
                 target.on_graph_deltas(deltas)
         if dead:
-            self._listeners = [ref for ref in listeners if ref() is not None]
+            # Prune dead weakrefs from the *current* list, not the
+            # snapshot — rebuilding from the snapshot would resurrect a
+            # listener that unsubscribed during delivery.
+            self._listeners = [
+                ref for ref in self._listeners if ref() is not None
+            ]
 
     # ------------------------------------------------------------------
     # Construction

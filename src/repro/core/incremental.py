@@ -450,7 +450,7 @@ class IncrementalMatcher:
             for endpoint in endpoints:
                 endpoint_id = gi.index_of.get(endpoint)
                 if endpoint_id is not None:
-                    order, _, _ = _ball_bfs(gi, endpoint_id, self.radius)
+                    order, _, _, _ = _ball_bfs(gi, endpoint_id, self.radius)
                     nodes = gi.nodes
                     affected.update(nodes[v] for v in order)
             return affected

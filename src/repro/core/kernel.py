@@ -74,6 +74,7 @@ Callers normally do not import this module directly: ``match`` and
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import deque
 from contextlib import contextmanager
@@ -143,6 +144,30 @@ def resolve_engine(engine: str, data: Optional[DiGraph] = None) -> str:
 # ======================================================================
 # Graph compilation
 # ======================================================================
+class _VisitState:
+    """One thread's epoch-stamped visited buffer for ball BFS.
+
+    ``stamp[v] == epoch`` marks node ``v`` visited in the current epoch;
+    bumping the epoch invalidates the whole buffer in O(1).  Each thread
+    querying an index gets its *own* state (see
+    :meth:`GrowableCSRIndex.visit_state`), which is what makes the kernel
+    read path safe under concurrent queries: the CSR rows and label
+    groups are read-only during a query, so the visited buffer was the
+    only shared mutable state on the path.
+    """
+
+    __slots__ = ("stamp", "epoch")
+
+    def __init__(self) -> None:
+        self.stamp: List[int] = []
+        self.epoch = 0
+
+    def new_epoch(self) -> int:
+        """Invalidate this thread's stamp buffer in O(1)."""
+        self.epoch += 1
+        return self.epoch
+
+
 class GrowableCSRIndex:
     """Shared growable-CSR substrate for compiled graph indexes.
 
@@ -156,9 +181,12 @@ class GrowableCSRIndex:
     maintenance) and the distributed ``SiteGraphIndex`` (remote-stub
     materialization) stay warm instead of recompiling.
 
-    ``_stamp`` plus ``_epoch`` implement epoch-stamped visited marking:
-    bumping the epoch invalidates the whole buffer in O(1), so per-ball
-    BFS allocates nothing proportional to |V|.
+    Visited marking for ball BFS lives in per-thread :class:`_VisitState`
+    buffers (:meth:`visit_state`): bumping an epoch invalidates a whole
+    buffer in O(1), so per-ball BFS allocates nothing proportional to
+    |V|, and concurrent queries on different threads never share a
+    buffer — the read path (CSR rows, label groups) is immutable during
+    a query, so queries are thread-safe.
     """
 
     __slots__ = (
@@ -168,8 +196,7 @@ class GrowableCSRIndex:
         "fwd_rows",
         "rev_rows",
         "und_rows",
-        "_stamp",
-        "_epoch",
+        "_visit_tls",
         "__weakref__",
     )
 
@@ -180,8 +207,7 @@ class GrowableCSRIndex:
         self.fwd_rows: List[List[int]] = []
         self.rev_rows: List[List[int]] = []
         self.und_rows: List[List[int]] = []
-        self._stamp: List[int] = []
-        self._epoch = 0
+        self._visit_tls = threading.local()
 
     def _new_slot(self, node: Node) -> int:
         """Append an empty slot for ``node``; returns its (stable) id."""
@@ -192,7 +218,6 @@ class GrowableCSRIndex:
         self.fwd_rows.append([])
         self.rev_rows.append([])
         self.und_rows.append([])
-        self._stamp.append(0)
         return i
 
     def _csr_add_edge(self, s: int, t: int) -> None:
@@ -223,10 +248,26 @@ class GrowableCSRIndex:
             if s != t:
                 self.und_rows[t].remove(s)
 
+    def visit_state(self) -> _VisitState:
+        """This thread's visited buffer, grown to cover every slot.
+
+        Buffers are thread-local, so concurrent queries never race on
+        visited marks; a buffer only ever grows (a recompile that shrinks
+        the slot count leaves the tail unused, which is harmless — epochs
+        make stale entries invisible).
+        """
+        state = getattr(self._visit_tls, "state", None)
+        if state is None:
+            state = _VisitState()
+            self._visit_tls.state = state
+        shortfall = len(self.nodes) - len(state.stamp)
+        if shortfall > 0:
+            state.stamp.extend([0] * shortfall)
+        return state
+
     def new_epoch(self) -> int:
-        """Invalidate the stamp buffer in O(1) and return the new epoch."""
-        self._epoch += 1
-        return self._epoch
+        """Invalidate this thread's stamp buffer in O(1)."""
+        return self.visit_state().new_epoch()
 
 
 @dataclass
@@ -244,11 +285,18 @@ class IndexStats:
         ``sync`` calls that applied pending deltas in place.
     deltas_applied:
         Total mutation events applied incrementally.
+    label_moves:
+        Label-group entries actually moved by relabel maintenance.
+        Relabels are coalesced per sync group — a node relabeled k times
+        in one :meth:`~repro.core.digraph.DiGraph.batch` costs at most
+        one move (zero when it returns to its initial label) — so this
+        can be far below the number of ``relabel`` deltas applied.
     """
 
     full_compiles: int = 0
     incremental_syncs: int = 0
     deltas_applied: int = 0
+    label_moves: int = 0
 
 
 class GraphIndex(GrowableCSRIndex):
@@ -303,8 +351,13 @@ class GraphIndex(GrowableCSRIndex):
         return len(self.index_of)
 
     def _compile(self, graph: DiGraph) -> None:
-        """(Re)build every array from scratch; resets deletion debt."""
-        self.graph_version = graph.version
+        """(Re)build every array from scratch; resets deletion debt.
+
+        ``graph_version`` is stamped *last*: the lock-free fast path of
+        :func:`get_index` treats a current version with no pending
+        deltas as "safe to use without the lock", so the stamp must not
+        become visible to other threads until every array is rebuilt.
+        """
         nodes: List[Node] = list(graph.nodes())
         self.nodes = nodes
         n = len(nodes)
@@ -338,10 +391,9 @@ class GraphIndex(GrowableCSRIndex):
         self.rev_rows = rev_rows
         self.und_rows = und_rows
 
-        self._stamp = [0] * n
-        self._epoch = 0
         self._removed_weight = 0
         self.stats.full_compiles += 1
+        self.graph_version = graph.version
 
     # ------------------------------------------------------------------
     # Delta maintenance
@@ -398,11 +450,68 @@ class GraphIndex(GrowableCSRIndex):
         ):
             self._compile(graph)
             return
-        for delta in deltas:
-            self._apply_delta(delta)
+        self._apply_delta_group(deltas)
         self.graph_version = graph.version
         self.stats.incremental_syncs += 1
         self.stats.deltas_applied += len(deltas)
+
+    def _apply_delta_group(self, deltas: Iterable[GraphDelta]) -> None:
+        """Apply one synced delta group with coalesced label-group moves.
+
+        Edge and node-lifecycle events apply in stream order — CSR row
+        patches are inherently per-edge, and order matters (an edge delta
+        may reference a node added earlier in the same group).  Relabels
+        are *batched* instead: each slot's net first-old -> latest-new
+        transition is collected while streaming, and the group ends with
+        one label-group pass — ``difference_update`` per vacated label,
+        ``update`` per gained label — so a node relabeled k times inside
+        one :meth:`~repro.core.digraph.DiGraph.batch` moves at most one
+        label-group entry (zero when the labels round-trip).
+        """
+        pending_relabel: Dict[int, Tuple[Label, Label]] = {}
+        for delta in deltas:
+            kind = delta.kind
+            if kind == RELABEL:
+                i = self.index_of[delta.node]
+                first = pending_relabel.get(i)
+                old = delta.old_label if first is None else first[0]
+                pending_relabel[i] = (old, delta.label)
+                continue
+            if kind == REMOVE_NODE:
+                # The removal delta carries the node's *latest* label; a
+                # deferred relabel would leave the group lookup pointing
+                # at the stale one, so settle this slot first.
+                i = self.index_of[delta.node]
+                net = pending_relabel.pop(i, None)
+                if net is not None:
+                    self._move_label_groups({i: net})
+            self._apply_delta(delta)
+        if pending_relabel:
+            self._move_label_groups(pending_relabel)
+
+    def _move_label_groups(
+        self, transitions: Dict[int, Tuple[Label, Label]]
+    ) -> None:
+        """One label-group pass applying net ``old -> new`` transitions."""
+        by_old: Dict[Label, List[int]] = {}
+        by_new: Dict[Label, List[int]] = {}
+        labels = self.labels
+        for i, (old, new) in transitions.items():
+            if old == new:
+                continue  # round-tripped inside the group: net no-op
+            labels[i] = new
+            by_old.setdefault(old, []).append(i)
+            by_new.setdefault(new, []).append(i)
+        moved = 0
+        for old, ids in by_old.items():
+            group = self.label_groups[old]
+            group.difference_update(ids)
+            if not group:
+                del self.label_groups[old]
+            moved += len(ids)
+        for new, ids in by_new.items():
+            self.label_groups.setdefault(new, set()).update(ids)
+        self.stats.label_moves += moved
 
     def _apply_delta(self, delta: GraphDelta) -> None:
         kind = delta.kind
@@ -434,13 +543,10 @@ class GraphIndex(GrowableCSRIndex):
             self.nodes[i] = None
             self._removed_weight += 1
         elif kind == RELABEL:
+            # Normally coalesced by _apply_delta_group; kept for callers
+            # applying single deltas.
             i = self.index_of[delta.node]
-            group = self.label_groups[delta.old_label]
-            group.discard(i)
-            if not group:
-                del self.label_groups[delta.old_label]
-            self.labels[i] = delta.label
-            self.label_groups.setdefault(delta.label, set()).add(i)
+            self._move_label_groups({i: (delta.old_label, delta.label)})
         else:  # pragma: no cover - the kinds above are exhaustive
             raise MatchingError(f"unknown graph delta kind {kind!r}")
 
@@ -460,12 +566,15 @@ class GraphIndex(GrowableCSRIndex):
                 "using a held index across mutations"
             )
 
-    def new_epoch(self) -> int:
-        """Invalidate the stamp buffer in O(1) and return the new epoch."""
+    def visit_state(self) -> _VisitState:
+        """This thread's visited buffer; refuses to serve a stale index."""
         if self._pending or self._overflowed:
             self.ensure_current()
-        self._epoch += 1
-        return self._epoch
+        return super().visit_state()
+
+    def new_epoch(self) -> int:
+        """Invalidate this thread's stamp buffer in O(1)."""
+        return self.visit_state().new_epoch()
 
     def __repr__(self) -> str:
         return (
@@ -477,6 +586,29 @@ class GraphIndex(GrowableCSRIndex):
 _INDEX_CACHE: "weakref.WeakKeyDictionary[DiGraph, GraphIndex]" = (
     weakref.WeakKeyDictionary()
 )
+
+#: Per-graph locks serializing compile/sync in :func:`get_index`.
+#: Concurrent *queries* against an up-to-date index are lock-free reads;
+#: a lock only guards the acquire path so two threads never compile or
+#: sync the same graph simultaneously (the thread-safety contract of the
+#: service layer).  Locks are per graph — one graph's O(|V|+|E|) compile
+#: must not convoy an unrelated graph's cheap sync — with a tiny global
+#: guard only around lock creation.
+_INDEX_LOCKS: "weakref.WeakKeyDictionary[DiGraph, threading.Lock]" = (
+    weakref.WeakKeyDictionary()
+)
+_INDEX_LOCKS_GUARD = threading.Lock()
+
+
+def _index_lock(graph: DiGraph) -> threading.Lock:
+    lock = _INDEX_LOCKS.get(graph)
+    if lock is None:
+        with _INDEX_LOCKS_GUARD:
+            lock = _INDEX_LOCKS.get(graph)
+            if lock is None:
+                lock = threading.Lock()
+                _INDEX_LOCKS[graph] = lock
+    return lock
 
 #: Whether cached indexes maintain themselves from the delta stream
 #: (default) or are replaced wholesale on mutation (the pre-pipeline
@@ -520,15 +652,21 @@ def get_index(graph: DiGraph) -> GraphIndex:
     index, the pre-pipeline behavior.
     """
     index = _INDEX_CACHE.get(graph)
-    if index is not None:
-        if index.graph_version == graph.version and not index._pending:
-            return index
-        if _MAINTENANCE_ENABLED:
-            index.sync(graph)
-            return index
-    index = GraphIndex(graph)
-    _INDEX_CACHE[graph] = index
-    return index
+    if index is not None and (
+        index.graph_version == graph.version and not index._pending
+    ):
+        return index  # fast path: current index, lock-free
+    with _index_lock(graph):
+        index = _INDEX_CACHE.get(graph)  # re-check under the lock
+        if index is not None:
+            if index.graph_version == graph.version and not index._pending:
+                return index
+            if _MAINTENANCE_ENABLED:
+                index.sync(graph)
+                return index
+        index = GraphIndex(graph)
+        _INDEX_CACHE[graph] = index
+        return index
 
 
 class _CompiledPattern:
@@ -913,16 +1051,18 @@ def graph_simulation_kernel(pattern: Pattern, data: DiGraph) -> MatchRelation:
 # ======================================================================
 def _ball_bfs(
     gi: GraphIndex, center: int, radius: int
-) -> Tuple[List[int], List[int], int]:
+) -> Tuple[List[int], List[int], List[int], int]:
     """Bounded undirected layered BFS from ``center``.
 
-    Returns ``(order, border, epoch)``: ball nodes in BFS order (center
-    first), the border layer (nodes at distance exactly ``radius``; empty
-    when the ball exhausts its component earlier), and the epoch under
-    which ``gi._stamp[v] == epoch`` marks ball membership.
+    Returns ``(order, border, stamp, epoch)``: ball nodes in BFS order
+    (center first), the border layer (nodes at distance exactly
+    ``radius``; empty when the ball exhausts its component earlier), and
+    the calling thread's stamp buffer plus the epoch under which
+    ``stamp[v] == epoch`` marks ball membership.
     """
-    epoch = gi.new_epoch()
-    stamp = gi._stamp
+    visit = gi.visit_state()
+    epoch = visit.new_epoch()
+    stamp = visit.stamp
     rows = gi.und_rows
     stamp[center] = epoch
     order = [center]
@@ -947,7 +1087,7 @@ def _ball_bfs(
         depth += 1
         if depth == radius:
             border = nxt
-    return order, border, epoch
+    return order, border, stamp, epoch
 
 
 def _center_component(
@@ -1074,8 +1214,7 @@ def _match_ball(
     Candidate seeds are the ball-restricted label classes; the eager
     counter fixpoint then computes the ball's maximum dual simulation.
     """
-    order, _, epoch = _ball_bfs(gi, center, radius)
-    stamp = gi._stamp
+    order, _, stamp, epoch = _ball_bfs(gi, center, radius)
     groups = gi.label_groups
     sim: List[Set[int]] = []
     for u in range(cp.size):
@@ -1115,8 +1254,7 @@ def _refine_ball(
     Connectivity-pruning removals feed the same cascade, exactly like the
     reference path's ``extra_removals``.
     """
-    _, border, epoch = _ball_bfs(gi, center, radius)
-    stamp = gi._stamp
+    _, border, stamp, epoch = _ball_bfs(gi, center, radius)
     sim: List[Set[int]] = []
     for s in sim_global:
         projected = {v for v in s if stamp[v] == epoch}

@@ -32,7 +32,7 @@ class Pattern:
     ['v']
     """
 
-    __slots__ = ("_graph", "_diameter")
+    __slots__ = ("_graph", "_diameter", "_canonical_cache", "_quotient_cache")
 
     def __init__(self, graph: DiGraph) -> None:
         if graph.num_nodes == 0:
@@ -44,6 +44,12 @@ class Pattern:
             )
         self._graph = graph
         self._diameter = diameter_undirected(graph)
+        # Memo slots, valid because patterns are immutable after
+        # construction (like the cached diameter): the canonical form is
+        # computed and owned by repro.service.fingerprint, the minimized
+        # quotient by repro.core.minimize.
+        self._canonical_cache = None
+        self._quotient_cache = None
 
     @classmethod
     def build(
@@ -103,6 +109,25 @@ class Pattern:
     def predecessors(self, node: Node):
         """Parents of a pattern node."""
         return self._graph.predecessors(node)
+
+    def canonical(self):
+        """The pattern's canonical form (label-refined iso invariant).
+
+        Computed once and cached — patterns are immutable after
+        construction.  See :func:`repro.service.fingerprint.canonical_form`
+        for the guarantees: equal canonical keys imply isomorphism, so
+        the query-service cache can safely share results between
+        structurally identical patterns.
+        """
+        if self._canonical_cache is None:
+            from repro.service.fingerprint import canonical_form
+
+            self._canonical_cache = canonical_form(self)
+        return self._canonical_cache
+
+    def fingerprint(self) -> str:
+        """Hex digest of the canonical form (stable within a process)."""
+        return self.canonical().fingerprint
 
     def __len__(self) -> int:
         return self._graph.num_nodes

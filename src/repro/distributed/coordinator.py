@@ -28,6 +28,7 @@ Section 4.3 bound holds unchanged (enforced by
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -91,9 +92,12 @@ class Cluster:
         assignment: Assignment,
         num_sites: int,
         engine: str = "auto",
+        parallel: bool = False,
     ) -> None:
         resolve_engine(engine)  # validate before building any worker
         self.engine = engine
+        self.parallel = parallel
+        self._site_pool: Optional[ThreadPoolExecutor] = None
         self.bus = MessageBus()
         self.assignment: Assignment = dict(assignment)
         self.fragments: List[Fragment] = fragment_graph(
@@ -227,12 +231,24 @@ class Cluster:
         pattern: Pattern,
         radius: Optional[int] = None,
         engine: Optional[str] = None,
+        parallel: Optional[bool] = None,
     ) -> DistributedRunReport:
         """Run the Section 4.3 protocol for one pattern.
 
         ``engine`` overrides the cluster default for this query only;
         the result, per-site counts and traffic accounting are identical
         for every engine choice.
+
+        ``parallel`` (default: the cluster's ``parallel`` setting)
+        evaluates the sites concurrently, one thread per
+        :class:`~repro.distributed.worker.SiteWorker`.  Per-site state is
+        self-contained (each worker owns its fragment, remote cache and
+        compiled index, with thread-local visited buffers), cross-site
+        fetches only *read* the owning peer's fragment, and the bus
+        serializes its accounting, so the protocol observation — result
+        set, per-site partial counts, every per-link/per-kind traffic
+        total — is identical to a serial run; partials are unioned in
+        site order either way, keeping the dedup order deterministic.
         """
         if radius is None:
             radius = pattern.diameter
@@ -241,16 +257,42 @@ class Cluster:
         for site in self.workers:
             self.bus.send(COORDINATOR_ID, site, "query", query_units)
 
-        # Steps 2-3: each site matches its own centers and ships partials.
+        # Step 2: each site matches the balls of its own centers.
+        def evaluate(worker: SiteWorker) -> List:
+            worker.clear_cache()
+            return worker.match_local(pattern, radius, engine=engine)
+
+        use_parallel = self.parallel if parallel is None else parallel
+        if use_parallel and len(self.workers) > 1:
+            # One pool per cluster, created lazily and reused across
+            # queries: repeated parallel runs keep their threads (and
+            # with them each site index's warm thread-local visited
+            # buffers) instead of respawning per query.
+            pool = self._site_pool
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=len(self.workers),
+                    thread_name_prefix="repro-site",
+                )
+                self._site_pool = pool
+            futures = {
+                site: pool.submit(evaluate, worker)
+                for site, worker in self.workers.items()
+            }
+            partials = {site: f.result() for site, f in futures.items()}
+        else:
+            partials = {
+                site: evaluate(worker)
+                for site, worker in self.workers.items()
+            }
+
+        # Steps 3-4: ship partials and union with dedup, in site order.
         result = MatchResult(pattern)
         per_site: Dict[int, int] = {}
-        for site, worker in self.workers.items():
-            worker.clear_cache()
-            partial = worker.match_local(pattern, radius, engine=engine)
+        for site, partial in partials.items():
             per_site[site] = len(partial)
             units = sum(sg.graph.size for sg in partial)
             self.bus.send(site, COORDINATOR_ID, "result", units)
-            # Step 4: union with dedup at the coordinator.
             for subgraph in partial:
                 result.add(subgraph)
         return DistributedRunReport(result, self.bus, per_site)
@@ -263,6 +305,23 @@ class Cluster:
     ) -> DistributedRunReport:
         """Alias of :meth:`run` (the original Section 4.3 entry point)."""
         return self.run(pattern, radius, engine=engine)
+
+    def close(self) -> None:
+        """Shut the (lazily created) site pool down, if any.
+
+        Optional — an unreferenced cluster's pool threads exit on their
+        own when the executor is collected — but deterministic teardown
+        is nicer in long-lived processes.
+        """
+        pool, self._site_pool = self._site_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def distributed_match(

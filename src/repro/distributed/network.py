@@ -11,6 +11,7 @@ and shipped volume, and tests can assert the bound.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
@@ -38,13 +39,22 @@ class MessageBus:
         self.messages: List[Message] = []
         self._units_by_link: Dict[Tuple[int, int], int] = defaultdict(int)
         self._units_by_kind: Dict[str, int] = defaultdict(int)
+        self._lock = threading.Lock()
 
     def send(self, sender: int, receiver: int, kind: str, units: int) -> None:
-        """Record one message of ``units`` size on the (sender, receiver) link."""
+        """Record one message of ``units`` size on the (sender, receiver) link.
+
+        Thread-safe: parallel site evaluation charges the bus from
+        several worker threads at once.  The per-link and per-kind totals
+        are deterministic either way (each worker's charges are), only
+        the interleaving of ``messages`` varies — which no accounting
+        observation depends on.
+        """
         message = Message(sender, receiver, kind, units)
-        self.messages.append(message)
-        self._units_by_link[(sender, receiver)] += units
-        self._units_by_kind[kind] += units
+        with self._lock:
+            self.messages.append(message)
+            self._units_by_link[(sender, receiver)] += units
+            self._units_by_kind[kind] += units
 
     @property
     def total_messages(self) -> int:

@@ -275,16 +275,27 @@ def site_ball_bfs(
     shipment bound).
 
     Returns ``(order, epoch)``: ball node ids in BFS order (center
-    first) and the epoch under which ``index._stamp[v] == epoch`` marks
-    membership.
+    first) and the epoch under which the calling thread's stamp buffer
+    marks membership (per-thread, so parallel site evaluation is safe —
+    each site owns its index, and the visited buffer is thread-local).
     """
-    epoch = index.new_epoch()
-    stamp = index._stamp
+    visit = index.visit_state()
+    epoch = visit.new_epoch()
+    stamp = visit.stamp
     materialized = index.materialized
     nodes = index.nodes
     rows = index.und_rows
+    # Materializing a stub can intern *new* stub slots (the fetched
+    # record's neighbors), growing the index mid-BFS; the thread-local
+    # stamp buffer must keep covering every slot before its id is read.
+    def grow_stamp() -> None:
+        shortfall = len(nodes) - len(stamp)
+        if shortfall > 0:
+            stamp.extend([0] * shortfall)
+
     if not materialized[center]:
         index.materialize(center, fetch(nodes[center]))
+        grow_stamp()
     stamp[center] = epoch
     order = [center]
     frontier = [center]
@@ -297,6 +308,7 @@ def site_ball_bfs(
                     stamp[w] = epoch
                     if not materialized[w]:
                         index.materialize(w, fetch(nodes[w]))
+                        grow_stamp()
                     nxt.append(w)
         order.extend(nxt)
         frontier = nxt

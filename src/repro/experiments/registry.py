@@ -157,6 +157,42 @@ def incremental_updates(scale: int) -> str:
     )
 
 
+def service_throughput(scale: int) -> str:
+    """Query service: throughput and cache hit rate on a repeated stream."""
+    from repro.service import MatchService, replay_workload, skewed_stream
+
+    data = generate_graph(scale * 2, alpha=1.2, num_labels=20, seed=53)
+    patterns = []
+    for i, vq in enumerate((4, 6, 8)):
+        pattern = sample_pattern_from_data(data, vq, seed=701 + i)
+        if pattern is not None:
+            patterns.append(pattern)
+    if not patterns:
+        return "could not sample patterns at this scale"
+    stream = skewed_stream(patterns, data, rounds=3)
+
+    rows = {"queries": [], "seconds": [], "throughput (q/s)": [],
+            "cache hit rate": []}
+    modes = ("cache off", "cache on")
+    for mode in modes:
+        cache_size = 0 if mode == "cache off" else 256
+        with MatchService(max_workers=4, cache_size=cache_size) as svc:
+            report, _ = replay_workload(svc, stream)
+        rows["queries"].append(report.queries)
+        rows["seconds"].append(round(report.seconds, 4))
+        rows["throughput (q/s)"].append(round(report.throughput, 1))
+        rows["cache hit rate"].append(
+            f"{report.stats.cache.hit_rate:.0%}" if cache_size else "-"
+        )
+    return render_table(
+        f"query service: {len(stream)} queries over {len(patterns)} "
+        f"distinct patterns (|V|={data.num_nodes})",
+        "mode",
+        list(modes),
+        rows,
+    )
+
+
 def distributed(scale: int) -> str:
     """Section 4.3: shipped units vs site count."""
     from repro.distributed import (
@@ -195,6 +231,7 @@ EXPERIMENTS: Dict[str, Renderer] = {
     "fig8-time-v": fig8_time_v,
     "incremental-updates": incremental_updates,
     "distributed": distributed,
+    "service-throughput": service_throughput,
 }
 
 

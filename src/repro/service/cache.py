@@ -1,0 +1,379 @@
+"""Delta-invalidated LRU result cache for the query service.
+
+Entries are keyed by ``(data graph, canonical pattern key, algorithm,
+engine)`` and hold results in a *canonical-position-indexed* encoding
+(see :mod:`repro.service.executor` for the encoders), so one entry
+serves every pattern isomorphic to the one that populated it.
+
+Freshness is enforced two ways, belt and suspenders:
+
+* every entry records the ``DiGraph.version`` it is valid for, and a
+  lookup only hits when that matches the graph's current version —
+  a mutation the cache never heard about (or one inside a still-open
+  ``batch()``) can therefore never serve a stale result; and
+  :meth:`ResultCache.store` refuses a payload whose pre-compute version
+  no longer matches, so a mutation racing a long-running query cannot
+  plant an entry that later deliveries would never know to invalidate;
+* the cache *subscribes* to each graph's
+  :class:`~repro.core.digraph.GraphDelta` stream and, instead of
+  flushing the graph's entries on every mutation, keeps an entry live —
+  advancing its valid version — when the delta group **provably cannot
+  affect it**:
+
+  ===============  ====================================================
+  delta            keeps an entry with pattern label set ``L`` live iff
+  ===============  ====================================================
+  ``add_node``     its label is outside ``L`` (the node is isolated at
+                   that point: it can seed no candidate set, and a ball
+                   centered on it matches nothing)
+  ``remove_node``  its label is outside ``L`` (incident-edge deltas
+                   precede it in the same batch and are judged
+                   separately; the node itself is already isolated)
+  ``relabel``      both the old and the new label are outside ``L``
+                   (candidacy is unchanged on both sides; edges — and
+                   hence every ball — are untouched)
+  ``add_edge`` /   **global relations** (``dual``, ``sim``): either
+  ``remove_edge``  endpoint's label is outside ``L`` — an edge is only
+                   ever consulted as a witness between two candidates,
+                   and a node whose label is outside ``L`` is never a
+                   candidate.  **Ball-based algorithms** (``match``,
+                   ``match-plus``): never — an edge between any two
+                   nodes can rewire undirected distances and pull new
+                   candidates into a ball, label-disjoint or not.
+  ===============  ====================================================
+
+Everything else invalidates the entry.  The rules err on the side of
+dropping (e.g. an edge delta whose endpoint labels cannot be recovered
+invalidates unconditionally), so a hit is always exactly what a fresh
+computation would produce — the property the differential tests assert.
+
+:class:`CacheStats` exposes hit/miss/store/invalidation counters; all
+cache operations are thread-safe (one lock, held only for dict work).
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.digraph import (
+    ADD_EDGE,
+    ADD_NODE,
+    REMOVE_EDGE,
+    REMOVE_NODE,
+    RELABEL,
+    DiGraph,
+    GraphDelta,
+    Label,
+)
+
+#: Algorithms whose results depend on ball topology: edge deltas always
+#: invalidate their entries (see the module docstring's rule table).
+BALL_BASED_ALGORITHMS = frozenset({"match", "match-plus"})
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ResultCache`.
+
+    Attributes
+    ----------
+    hits / misses:
+        Lookup outcomes.
+    stores:
+        Entries written (one per computed miss).
+    invalidations:
+        Entries dropped because a delta could have affected them.
+    retained:
+        Entry×delta-group combinations that *survived* invalidation —
+        the precision the label rules buy over flush-on-any-mutation.
+    evictions:
+        Entries dropped by the LRU bound.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+    retained: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class _Entry:
+    """One cached result."""
+
+    __slots__ = ("payload", "label_set", "ball_based", "valid_version")
+
+    def __init__(
+        self,
+        payload: object,
+        label_set: FrozenSet[Label],
+        ball_based: bool,
+        valid_version: int,
+    ) -> None:
+        self.payload = payload
+        self.label_set = label_set
+        self.ball_based = ball_based
+        self.valid_version = valid_version
+
+
+class _GraphSubscription:
+    """The cache's listener on one data graph's delta stream.
+
+    Held strongly by the cache (the graph itself only holds a weakref),
+    and holding the graph weakly in turn, so neither keeps the other
+    alive.  When the graph dies, the weakref callback purges its
+    entries.
+    """
+
+    __slots__ = ("token", "graph_ref", "keys", "_cache_ref", "__weakref__")
+
+    def __init__(self, token: int, graph: DiGraph, cache: "ResultCache") -> None:
+        self.token = token
+        self._cache_ref = weakref.ref(cache)
+        self.keys: Set[tuple] = set()
+        self.graph_ref = weakref.ref(
+            graph, lambda _ref, t=token: self._purge(t)
+        )
+        graph.subscribe(self)
+
+    def _purge(self, token: int) -> None:
+        cache = self._cache_ref()
+        if cache is not None:
+            cache._drop_graph(token)
+
+    def on_graph_deltas(self, deltas: Tuple[GraphDelta, ...]) -> None:
+        cache = self._cache_ref()
+        if cache is not None:
+            cache._on_deltas(self, deltas)
+
+
+class ResultCache:
+    """LRU cache of canonical-position-encoded matching results."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
+        self._subscriptions: "weakref.WeakKeyDictionary[DiGraph, _GraphSubscription]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._by_token: Dict[int, _GraphSubscription] = {}
+        self._next_token = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        graph: DiGraph,
+        canonical_key: tuple,
+        algorithm: str,
+        engine: str,
+    ) -> Optional[object]:
+        """The cached payload, or ``None`` on a miss.
+
+        A hit requires the entry's valid version to equal the graph's
+        *current* version — mutations buffered in an open ``batch()``
+        (version bumped, deltas undelivered) thus read as misses.
+        """
+        with self._lock:
+            subscription = self._subscriptions.get(graph)
+            if subscription is None:
+                self.stats.misses += 1
+                return None
+            key = (subscription.token, canonical_key, algorithm, engine)
+            entry = self._entries.get(key)
+            if entry is None or entry.valid_version != graph.version:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.payload
+
+    def store(
+        self,
+        graph: DiGraph,
+        canonical_key: tuple,
+        algorithm: str,
+        engine: str,
+        label_set: FrozenSet[Label],
+        payload: object,
+        computed_version: Optional[int] = None,
+    ) -> None:
+        """Insert (or refresh) one computed result.
+
+        ``computed_version`` is the ``graph.version`` the caller read
+        *before* computing ``payload``.  If the graph has moved since,
+        the payload describes a past state — and later delta deliveries
+        would judge only *future* mutations against it, never the missed
+        one — so the store is refused outright rather than inserting an
+        entry that could be resurrected stale.
+        """
+        with self._lock:
+            version = graph.version
+            if computed_version is not None and computed_version != version:
+                return  # raced with a mutation: the payload is already old
+            subscription = self._subscriptions.get(graph)
+            if subscription is None:
+                token = self._next_token
+                self._next_token += 1
+                subscription = _GraphSubscription(token, graph, self)
+                self._subscriptions[graph] = subscription
+                self._by_token[token] = subscription
+            key = (subscription.token, canonical_key, algorithm, engine)
+            self._entries[key] = _Entry(
+                payload,
+                label_set,
+                algorithm in BALL_BASED_ALGORITHMS,
+                version,
+            )
+            self._entries.move_to_end(key)
+            subscription.keys.add(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                evicted_key, _ = self._entries.popitem(last=False)
+                owner = self._by_token.get(evicted_key[0])
+                if owner is not None:
+                    owner.keys.discard(evicted_key)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (subscriptions stay, for their graphs' reuse)."""
+        with self._lock:
+            self._entries.clear()
+            for subscription in self._by_token.values():
+                subscription.keys.clear()
+
+    # ------------------------------------------------------------------
+    # Delta invalidation
+    # ------------------------------------------------------------------
+    def _on_deltas(
+        self,
+        subscription: _GraphSubscription,
+        deltas: Tuple[GraphDelta, ...],
+    ) -> None:
+        with self._lock:
+            if not subscription.keys:
+                return
+            graph = subscription.graph_ref()
+            if graph is None:  # racing with graph teardown
+                self._drop_graph(subscription.token)
+                return
+            digest = self._digest_group(graph, deltas)
+            survivors = []
+            dropped = []
+            for key in subscription.keys:
+                entry = self._entries.get(key)
+                if entry is None:
+                    dropped.append(key)  # evicted; tidy the key set
+                    continue
+                if self._group_harmless(digest, entry):
+                    survivors.append(entry)
+                else:
+                    del self._entries[key]
+                    dropped.append(key)
+                    self.stats.invalidations += 1
+            for key in dropped:
+                subscription.keys.discard(key)
+            version = graph.version
+            for entry in survivors:
+                entry.valid_version = version
+            self.stats.retained += len(survivors)
+
+    @staticmethod
+    def _digest_group(
+        graph: DiGraph, deltas: Tuple[GraphDelta, ...]
+    ) -> Tuple[Set[Label], bool, List[Tuple[object, object]], bool]:
+        """Resolve one delta group's touched labels, once for all entries.
+
+        Returns ``(node_labels, any_edge, edge_label_pairs, unjudgeable)``:
+        every label a node-lifecycle/relabel delta touches, whether any
+        edge delta occurred, the (source label, target label) pair of
+        each edge delta, and whether anything defied classification
+        (unknown kind or unrecoverable endpoint — drops every entry).
+        Endpoint labels resolve against the graph, falling back to the
+        group's own ``remove_node`` deltas: a removed endpoint has left
+        the label map by delivery time, but its removal delta (always in
+        the same batch) still carries the label.
+        """
+        removed_labels: Dict[object, Label] = {
+            delta.node: delta.label
+            for delta in deltas
+            if delta.kind == REMOVE_NODE
+        }
+        node_labels: Set[Label] = set()
+        edge_pairs: List[Tuple[object, object]] = []
+        any_edge = False
+        unjudgeable = False
+        for delta in deltas:
+            kind = delta.kind
+            if kind == ADD_NODE or kind == REMOVE_NODE:
+                node_labels.add(delta.label)
+            elif kind == RELABEL:
+                node_labels.add(delta.label)
+                node_labels.add(delta.old_label)
+            elif kind == ADD_EDGE or kind == REMOVE_EDGE:
+                any_edge = True
+                labels = []
+                for node in (delta.source, delta.target):
+                    if node in graph:
+                        labels.append(graph.label(node))
+                    elif node in removed_labels:
+                        labels.append(removed_labels[node])
+                    else:
+                        unjudgeable = True  # cannot prove anything
+                        break
+                else:
+                    edge_pairs.append((labels[0], labels[1]))
+            else:
+                unjudgeable = True  # unknown delta kind: be safe
+        return node_labels, any_edge, edge_pairs, unjudgeable
+
+    @staticmethod
+    def _group_harmless(digest, entry: _Entry) -> bool:
+        """True iff no delta in the digested group can change ``entry``.
+
+        Implements the rule table in the module docstring as pure set
+        work — the per-group label resolution already happened in
+        :meth:`_digest_group`, so judging an entry is O(group size) with
+        no graph lookups.
+        """
+        node_labels, any_edge, edge_pairs, unjudgeable = digest
+        if unjudgeable:
+            return False
+        labels = entry.label_set
+        if not node_labels.isdisjoint(labels):
+            return False
+        if not any_edge:
+            return True
+        if entry.ball_based:
+            return False  # any edge can rewire ball membership
+        return all(
+            source not in labels or target not in labels
+            for source, target in edge_pairs
+        )
+
+    def _drop_graph(self, token: int) -> None:
+        with self._lock:
+            subscription = self._by_token.pop(token, None)
+            if subscription is None:
+                return
+            for key in subscription.keys:
+                self._entries.pop(key, None)
+            subscription.keys.clear()

@@ -1,0 +1,443 @@
+"""The query service: a concurrent matching façade over the engines.
+
+:class:`MatchService` turns the library's one-shot entry points into a
+serving layer:
+
+* :meth:`MatchService.submit` runs one query on a thread pool and
+  returns a :class:`concurrent.futures.Future`;
+  :meth:`MatchService.submit_batch` fans a query stream out over the
+  pool; :meth:`MatchService.query` is the synchronous convenience.
+* Structurally identical queries share one cache entry: patterns are
+  canonicalized (:mod:`repro.service.fingerprint`) and results are
+  cached **in canonical-position encoding**
+  (:class:`~repro.service.cache.ResultCache`), so a hit can be replayed
+  under any isomorphic pattern's node names.  Replay is sound because
+  matching results are invariant under pattern isomorphism: for any
+  isomorphism ``σ: Q1 -> Q2``, the maximum (dual) simulation satisfies
+  ``sim_Q2(σ(u)) = sim_Q1(u)``, and the canonical position maps provide
+  exactly such a ``σ`` when two canonical keys are equal.
+* The cache subscribes to each data graph's delta stream and keeps
+  entries alive across mutations that provably cannot affect them (see
+  :mod:`repro.service.cache` for the rules), so an update-heavy workload
+  retains its warm entries for untouched label classes.
+
+Thread-safety contract of the kernel read path (audited for this layer):
+a compiled :class:`~repro.core.kernel.GraphIndex` is **safe for
+concurrent queries** — CSR rows and label groups are only mutated by
+``get_index`` syncs (serialized by the kernel's per-graph index locks),
+and the per-ball visited epochs live in per-thread buffers
+(:meth:`~repro.core.kernel.GrowableCSRIndex.visit_state`).  What is
+*not* supported is mutating a data graph **while queries on it are in
+flight**: quiesce the graph's queries around mutations (mutating
+*between* queries is the designed, cache-invalidation-tested path).  A
+query whose own thread observes the mutation mid-flight fails loud with
+:class:`~repro.exceptions.MatchingError`; but if *another* thread's
+``get_index`` call syncs the shared index while a query is still
+reading it, the outcome is undefined — the guard cannot see a sync it
+did not trigger.  (The result *cache* stays sound regardless: lookups
+are version-gated and a store whose pre-compute version has moved is
+refused.)
+
+Results are observation-identical to direct engine calls — with the
+cache hot or cold, across engines, and under interleaved mutations —
+asserted by ``tests/test_service.py`` in the ``tests/engines.py``
+differential style.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.digraph import DiGraph
+from repro.core.dualsim import dual_simulation
+from repro.core.kernel import dual_simulation_kernel, resolve_engine
+from repro.core.matchplus import match_plus
+from repro.core.matchrel import MatchRelation
+from repro.core.minimize import minimize_pattern
+from repro.core.pattern import Pattern
+from repro.core.result import MatchResult, PerfectSubgraph
+from repro.core.simulation import graph_simulation
+from repro.core.strong import match
+from repro.exceptions import MatchingError
+from repro.service.cache import CacheStats, ResultCache
+from repro.service.fingerprint import CanonicalPattern, canonical_form
+
+#: The algorithms the service can execute, by CLI-compatible name.
+SERVICE_ALGORITHMS = ("match-plus", "match", "dual", "sim")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One unit of work for :meth:`MatchService.submit_batch`."""
+
+    pattern: Pattern
+    data: DiGraph
+    algorithm: str = "match-plus"
+    engine: str = "auto"
+
+
+@dataclass
+class ServiceStats:
+    """Aggregated service counters (cache stats plus execution counts)."""
+
+    queries: int = 0
+    computed: int = 0
+    replayed: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+
+# ======================================================================
+# Canonical-position result encoding
+# ======================================================================
+# Payload shapes (all hashable / immutable, safe to share across
+# threads):
+#   relation algorithms ("dual", "sim"):
+#       tuple[frozenset[data node]] indexed by canonical position
+#   "match": tuple of subgraph entries
+#       (nodes: tuple[(node, label)], edges: tuple[(node, node)],
+#        center, relation: tuple[frozenset] by canonical position)
+#   "match-plus": same as "match"; the per-subgraph relation is
+#       positions -> matches of *the position's node's quotient class*
+#       (members of one dual-equivalence class share their match set,
+#        so any member's position reproduces the class's entry).
+
+
+def _encode_relation(
+    relation: MatchRelation, canonical: CanonicalPattern
+) -> tuple:
+    slots: List[Optional[frozenset]] = [None] * canonical.num_nodes
+    for node, position in canonical.order.items():
+        slots[position] = frozenset(relation.matches_of_raw(node))
+    return tuple(slots)
+
+
+def _decode_relation(
+    payload: tuple, canonical: CanonicalPattern
+) -> MatchRelation:
+    return MatchRelation(
+        {
+            node: set(payload[position])
+            for node, position in canonical.order.items()
+        }
+    )
+
+
+def _encode_match_result(
+    result: MatchResult,
+    canonical: CanonicalPattern,
+    class_of: Optional[Dict] = None,
+) -> tuple:
+    """Encode a ``MatchResult`` by canonical position.
+
+    ``class_of`` maps original pattern nodes to the relation's keys when
+    they differ (the minimized quotient of ``match_plus``); ``None``
+    means the relation is keyed by the original nodes (plain ``match``).
+    """
+    entries = []
+    for subgraph in result:
+        graph = subgraph.graph
+        nodes = tuple(
+            (node, graph.label(node)) for node in graph.nodes()
+        )
+        edges = tuple(graph.edges())
+        slots: List[Optional[frozenset]] = [None] * canonical.num_nodes
+        for node, position in canonical.order.items():
+            relation_key = node if class_of is None else class_of[node]
+            slots[position] = frozenset(
+                subgraph.relation.matches_of_raw(relation_key)
+            )
+        entries.append((nodes, edges, subgraph.center, tuple(slots)))
+    return tuple(entries)
+
+
+def _decode_match_result(
+    payload: tuple,
+    pattern: Pattern,
+    canonical: CanonicalPattern,
+    minimized: bool,
+) -> MatchResult:
+    """Replay an encoded result under ``pattern``'s own node names.
+
+    For ``match-plus`` the relation keys are the quotient class ids of
+    *this* pattern's minimization — recomputed here (pattern-side work,
+    engine-independent and cheap on the paper's small patterns) so a hit
+    returns exactly what a direct ``match_plus`` call would have.
+    """
+    if minimized:
+        quotient = minimize_pattern(pattern)
+        result_pattern = quotient.pattern
+        key_of = quotient.node_to_class
+    else:
+        result_pattern = pattern
+        key_of = None
+    result = MatchResult(result_pattern)
+    for nodes, edges, center, slots in payload:
+        graph = DiGraph._build_unchecked(nodes, edges)
+        sim: Dict[object, set] = {}
+        for node, position in canonical.order.items():
+            key = node if key_of is None else key_of[node]
+            matches = slots[position]
+            previous = sim.get(key)
+            if previous is None:
+                sim[key] = set(matches)
+            elif previous != matches:  # pragma: no cover - defensive
+                raise MatchingError(
+                    "cached relation disagrees across a quotient class; "
+                    "refusing to replay an inconsistent entry"
+                )
+        result.add(PerfectSubgraph(graph, MatchRelation(sim), center))
+    return result
+
+
+# ======================================================================
+# Compute paths (direct engine calls, one per algorithm)
+# ======================================================================
+def _compute_match_plus(pattern: Pattern, data: DiGraph, engine: str):
+    return match_plus(pattern, data, engine=engine)
+
+
+def _compute_match(pattern: Pattern, data: DiGraph, engine: str):
+    return match(pattern, data, engine=engine)
+
+
+def _compute_dual(pattern: Pattern, data: DiGraph, engine: str):
+    if engine == "kernel":
+        return dual_simulation_kernel(pattern, data)
+    return dual_simulation(pattern, data)
+
+
+def _compute_sim(pattern: Pattern, data: DiGraph, engine: str):
+    return graph_simulation(pattern, data, engine=engine)
+
+
+_COMPUTE: Dict[str, Callable] = {
+    "match-plus": _compute_match_plus,
+    "match": _compute_match,
+    "dual": _compute_dual,
+    "sim": _compute_sim,
+}
+
+
+class MatchService:
+    """A concurrent matching service over one or many data graphs.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread-pool width for :meth:`submit` / :meth:`submit_batch`.
+    cache_size:
+        LRU bound of the shared result cache (``0`` disables caching).
+    cache:
+        An externally owned :class:`ResultCache` to share between
+        services; overrides ``cache_size``.
+
+    Use as a context manager (or call :meth:`close`) to shut the pool
+    down.  The service itself is thread-safe; see the module docstring
+    for the mutation contract.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        cache_size: int = 256,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        if cache is not None:
+            self.cache: Optional[ResultCache] = cache
+        elif cache_size > 0:
+            self.cache = ResultCache(cache_size)
+        else:
+            self.cache = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-match"
+        )
+        self._stats_lock = threading.Lock()
+        # NB: "is not None" matters — an empty ResultCache is falsy.
+        self.stats = ServiceStats(
+            cache=self.cache.stats if self.cache is not None else CacheStats()
+        )
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        pattern: Pattern,
+        data: DiGraph,
+        algorithm: str = "match-plus",
+        engine: str = "auto",
+    ) -> "Future":
+        """Enqueue one query; the future resolves to the engine result.
+
+        ``algorithm`` is one of :data:`SERVICE_ALGORITHMS` —
+        ``match-plus`` / ``match`` return a
+        :class:`~repro.core.result.MatchResult`, ``dual`` / ``sim`` a
+        :class:`~repro.core.matchrel.MatchRelation` — exactly what the
+        corresponding direct call returns.
+        """
+        if algorithm not in _COMPUTE:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; "
+                f"expected one of {SERVICE_ALGORITHMS}"
+            )
+        resolved = resolve_engine(engine, data)
+        return self._pool.submit(
+            self._execute, pattern, data, algorithm, resolved
+        )
+
+    def submit_batch(
+        self, queries: Iterable[Query]
+    ) -> List["Future"]:
+        """Enqueue a query stream; one future per query, input order."""
+        return [
+            self.submit(q.pattern, q.data, q.algorithm, q.engine)
+            for q in queries
+        ]
+
+    def query(
+        self,
+        pattern: Pattern,
+        data: DiGraph,
+        algorithm: str = "match-plus",
+        engine: str = "auto",
+    ):
+        """Synchronous convenience: submit and wait."""
+        return self.submit(pattern, data, algorithm, engine).result()
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self, pattern: Pattern, data: DiGraph, algorithm: str, engine: str
+    ):
+        with self._stats_lock:
+            self.stats.queries += 1
+        cache = self.cache
+        if cache is None:
+            with self._stats_lock:
+                self.stats.computed += 1
+            return _COMPUTE[algorithm](pattern, data, engine)
+        canonical = canonical_form(pattern)
+        payload = cache.lookup(data, canonical.key, algorithm, engine)
+        if payload is not None:
+            with self._stats_lock:
+                self.stats.replayed += 1
+            return self._decode(payload, pattern, canonical, algorithm)
+        # Miss: compute directly and hand the *engine's own* result back
+        # (byte-for-byte what a direct call returns); the cache stores
+        # the canonical encoding for future isomorphic queries.  The
+        # version is read BEFORE computing: if a mutation lands while the
+        # query runs, store() sees the gap and refuses to cache a result
+        # that no future delta delivery would know to invalidate.
+        computed_version = data.version
+        result = _COMPUTE[algorithm](pattern, data, engine)
+        cache.store(
+            data,
+            canonical.key,
+            algorithm,
+            engine,
+            canonical.label_set,
+            self._encode(result, pattern, canonical, algorithm),
+            computed_version=computed_version,
+        )
+        with self._stats_lock:
+            self.stats.computed += 1
+        return result
+
+    @staticmethod
+    def _encode(
+        result, pattern: Pattern, canonical: CanonicalPattern, algorithm: str
+    ):
+        if algorithm in ("dual", "sim"):
+            return _encode_relation(result, canonical)
+        if algorithm == "match":
+            return _encode_match_result(result, canonical)
+        # match-plus: relations are keyed by the minimized quotient's
+        # class ids; recompute the (deterministic) node -> class map.
+        class_of = minimize_pattern(pattern).node_to_class
+        return _encode_match_result(result, canonical, class_of)
+
+    @staticmethod
+    def _decode(
+        payload, pattern: Pattern, canonical: CanonicalPattern, algorithm: str
+    ):
+        if algorithm in ("dual", "sim"):
+            return _decode_relation(payload, canonical)
+        return _decode_match_result(
+            payload, pattern, canonical, minimized=(algorithm == "match-plus")
+        )
+
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Shut the worker pool down."""
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "MatchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ======================================================================
+# Workload replay (shared by the CLI, the experiment and the benchmark)
+# ======================================================================
+@dataclass
+class WorkloadReport:
+    """Outcome of replaying a query stream against a service."""
+
+    queries: int
+    seconds: float
+    by_algorithm: Dict[str, int]
+    stats: ServiceStats
+
+    @property
+    def throughput(self) -> float:
+        """Completed queries per second."""
+        return self.queries / self.seconds if self.seconds else float("inf")
+
+
+def skewed_stream(
+    patterns: Sequence[Pattern],
+    data: DiGraph,
+    algorithm: str = "match-plus",
+    engine: str = "auto",
+    rounds: int = 3,
+) -> List[Query]:
+    """A repetition-skewed query stream over ``patterns``.
+
+    Each round submits every pattern ``2 * (len(patterns) - rank)``
+    times — hot patterns repeat most, the workload shape a result cache
+    is for.  The one shared stream builder used by the
+    ``service-throughput`` experiment and ``benchmarks/bench_service.py``
+    so both measure the same distribution.
+    """
+    return [
+        Query(pattern, data, algorithm, engine)
+        for _ in range(rounds)
+        for rank, pattern in enumerate(patterns)
+        for _ in range(2 * (len(patterns) - rank))
+    ]
+
+
+def replay_workload(
+    service: MatchService, queries: Sequence[Query]
+) -> Tuple[WorkloadReport, List]:
+    """Replay ``queries`` through the pool; returns (report, results).
+
+    Results come back in input order.  One shared implementation so the
+    CLI ``workload`` subcommand, the ``service-throughput`` experiment
+    and ``benchmarks/bench_service.py`` measure the same loop.
+    """
+    import time
+
+    by_algorithm: Dict[str, int] = {}
+    for q in queries:
+        by_algorithm[q.algorithm] = by_algorithm.get(q.algorithm, 0) + 1
+    start = time.perf_counter()
+    futures = service.submit_batch(queries)
+    results = [future.result() for future in futures]
+    elapsed = time.perf_counter() - start
+    return (
+        WorkloadReport(len(queries), elapsed, by_algorithm, service.stats),
+        results,
+    )

@@ -296,6 +296,125 @@ def assert_centralized_update_step_identical(
         )
 
 
+# ----------------------------------------------------------------------
+# Query-service differential harness
+# ----------------------------------------------------------------------
+def permuted_pattern(pattern: Pattern, seed: int) -> Pattern:
+    """An isomorphic copy with renamed nodes and shuffled insertion order.
+
+    The adversarial twin for fingerprint tests and the service cache:
+    structurally identical to ``pattern`` but sharing no node names, with
+    node/edge insertion order reshuffled so nothing about iteration
+    order survives either.
+    """
+    rng = random.Random(seed)
+    nodes = list(pattern.nodes())
+    names = [f"perm{i}" for i in range(len(nodes))]
+    rng.shuffle(names)
+    rename = dict(zip(nodes, names))
+    entries = [(rename[u], pattern.label(u)) for u in nodes]
+    rng.shuffle(entries)
+    graph = DiGraph()
+    for node, label in entries:
+        graph.add_node(node, label)
+    edges = [(rename[a], rename[b]) for a, b in pattern.edges()]
+    rng.shuffle(edges)
+    for a, b in edges:
+        graph.add_edge(a, b)
+    return Pattern(graph)
+
+
+
+#: algorithm name -> (direct runner(pattern, data, engine), canonicalizer).
+#: The service contract: MatchService.query(pattern, data, algorithm,
+#: engine) observes identically to the direct runner — cache cold, warm,
+#: or hit through an isomorphic pattern's fingerprint.
+SERVICE_ALGORITHM_RUNNERS = {
+    "match-plus": (
+        lambda p, g, e: match_plus(p, g, engine=e),
+        canonical_result,
+    ),
+    "match": (lambda p, g, e: match(p, g, engine=e), canonical_result),
+    "dual": (
+        lambda p, g, e: (
+            dual_simulation_kernel(p, g) if e == "kernel"
+            else dual_simulation(p, g)
+        ),
+        canonical_relation,
+    ),
+    "sim": (
+        lambda p, g, e: graph_simulation(p, g, engine=e),
+        canonical_relation,
+    ),
+}
+
+
+def assert_service_identical(
+    service,
+    pattern: Pattern,
+    graph: DiGraph,
+    *,
+    algorithms: Optional[Tuple[str, ...]] = None,
+    engines: Tuple[str, ...] = ENGINES,
+) -> None:
+    """Assert the service observes identically to direct engine calls.
+
+    Runs every (algorithm, engine) combination through ``service`` and
+    compares against the direct entry point — which also cross-checks
+    cache hits (second and later submissions of one fingerprint replay
+    the stored encoding) against fresh computations.
+    """
+    for algorithm in algorithms or tuple(SERVICE_ALGORITHM_RUNNERS):
+        direct, canonicalize = SERVICE_ALGORITHM_RUNNERS[algorithm]
+        for engine in engines:
+            expected = canonicalize(direct(pattern, graph, engine))
+            observed = canonicalize(
+                service.query(pattern, graph, algorithm, engine)
+            )
+            assert observed == expected, (
+                f"service diverged from direct {algorithm} on engine "
+                f"{engine!r}"
+            )
+
+
+def assert_service_update_workload_identical(
+    service,
+    pattern: Pattern,
+    graph: DiGraph,
+    num_ops: int,
+    op_seed: int,
+    *,
+    algorithms: Optional[Tuple[str, ...]] = None,
+    check_every: int = 1,
+) -> None:
+    """Drive mutations against a graph the service has cached results on.
+
+    After every ``check_every``-th applied mutation the service — whose
+    cache heard the deltas and either invalidated or provably retained
+    each entry — must still observe identically to direct calls.  This
+    is the soundness gate of the delta-invalidation rules: a wrongly
+    retained entry would surface here as a stale hit.
+    """
+    assert_service_identical(
+        service, pattern, graph, algorithms=algorithms
+    )  # warm the cache before the first mutation
+    rng = random.Random(op_seed)
+    fresh_node = 20_000 + op_seed
+    applied = 0
+    for _ in range(num_ops):
+        op = random_mutation(rng, graph, fresh_node)
+        if op is None:
+            continue
+        if op[0] == "add_node":
+            fresh_node += 1
+        applied += 1
+        if applied % check_every:
+            continue
+        assert_service_identical(
+            service, pattern, graph, algorithms=algorithms
+        )
+
+
 def assert_update_workload_identical(
     pattern: Pattern,
     graph: DiGraph,

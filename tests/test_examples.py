@@ -17,6 +17,11 @@ LIGHT_EXAMPLES = {
     "quickstart.py": ["Bio4", "strong simulation"],
     "regex_paths.py": ["regex constraint", "en1"],
     "streaming_updates.py": ["initial matches", "balls recomputed"],
+    "concurrent_service.py": [
+        "structurally identical: True",
+        "entry retained",
+        "entry invalidated, recomputed",
+    ],
 }
 
 

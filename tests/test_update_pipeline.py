@@ -142,6 +142,54 @@ class TestGraphDeltas:
         assert graph.num_nodes == 2
 
 
+class TestSubscriberCleanup:
+    def test_collected_subscriber_never_blocks_delivery(self):
+        """Regression: a garbage-collected subscriber must be pruned on
+        the next emit and meanwhile never stop live subscribers from
+        hearing deltas."""
+        graph = DiGraph.from_parts({1: "A"}, [])
+        dead = DeltaRecorder(graph)
+        live = DeltaRecorder(graph)
+        del dead
+        gc.collect()
+        graph.add_node(2, "B")
+        assert [d.kind for d in live.deltas] == [ADD_NODE]
+        # The dead weakref is gone after the emit, not retained forever.
+        assert len(graph._listeners) == 1
+
+    def test_unsubscribe_is_idempotent(self):
+        graph = DiGraph.from_parts({1: "A"}, [])
+        recorder = DeltaRecorder(graph)
+        graph.unsubscribe(recorder)
+        graph.unsubscribe(recorder)  # second call: clean no-op
+        graph.unsubscribe(object())  # never-subscribed: clean no-op
+        graph.add_node(2, "B")
+        assert recorder.deltas == []
+
+    def test_unsubscribe_during_delivery_sticks(self):
+        """Regression: pruning dead weakrefs used to rebuild the
+        listener list from a pre-delivery snapshot, resurrecting a
+        listener that unsubscribed inside its own callback."""
+        graph = DiGraph.from_parts({1: "A"}, [])
+
+        class OneShot:
+            def __init__(self):
+                self.heard = 0
+
+            def on_graph_deltas(self, deltas):
+                self.heard += 1
+                graph.unsubscribe(self)
+
+        dead = DeltaRecorder(graph)  # a dead ref forces the prune path
+        one_shot = OneShot()
+        graph.subscribe(one_shot)
+        del dead
+        gc.collect()
+        graph.add_node(2, "B")
+        graph.add_node(3, "C")
+        assert one_shot.heard == 1  # not resurrected by the prune
+
+
 # ----------------------------------------------------------------------
 # Layer 2: incremental index maintenance
 # ----------------------------------------------------------------------
@@ -246,6 +294,74 @@ class TestIncrementalIndexMaintenance:
             first = get_index(data)
             data.add_node(2, "B")
             assert get_index(data) is not first
+
+
+class TestBatchLevelIndexSync:
+    def test_relabel_storm_coalesces_to_one_label_move(self):
+        """The open ROADMAP item: a whole batch() group applies with one
+        label-group pass — k relabels of one node cost at most one
+        label-group move, while deltas_applied still counts every event."""
+        data = random_digraph(43, max_nodes=10, edge_prob=0.3)
+        index = get_index(data)
+        node = next(iter(data.nodes()))
+        before = index.stats.label_moves
+        applied_before = index.stats.deltas_applied
+        with data.batch():
+            for step in range(5):
+                data.relabel_node(node, f"spin{step}")
+        get_index(data)
+        assert index.stats.deltas_applied == applied_before + 5
+        assert index.stats.label_moves == before + 1  # one net move
+        assert index.labels[index.index_of[node]] == "spin4"
+        assert index.index_of[node] in index.label_groups["spin4"]
+
+    def test_round_trip_relabel_moves_nothing(self):
+        data = random_digraph(47, max_nodes=8, edge_prob=0.3)
+        index = get_index(data)
+        node = next(iter(data.nodes()))
+        original = data.label(node)
+        before = index.stats.label_moves
+        with data.batch():
+            data.relabel_node(node, "elsewhere")
+            data.relabel_node(node, original)  # net no-op
+        get_index(data)
+        assert index.stats.label_moves == before  # zero group churn
+        assert index.labels[index.index_of[node]] == original
+
+    def test_relabel_then_remove_in_one_batch(self):
+        """A deferred relabel must settle before the node's removal so
+        the removal finds the node under its latest label."""
+        data = random_digraph(53, max_nodes=8, edge_prob=0.4)
+        pattern = random_connected_pattern(19, max_nodes=3)
+        index = get_index(data)
+        victim = next(iter(data.nodes()))
+        with data.batch():
+            data.relabel_node(victim, "doomed")
+            data.remove_node(victim)
+        assert _canonical(match_plus(pattern, data, engine="kernel")) == (
+            _canonical(match_plus(pattern, data, engine="python"))
+        )
+        assert get_index(data) is index
+        assert victim not in index.index_of
+        assert "doomed" not in index.label_groups
+
+    def test_mixed_batch_stays_output_identical(self):
+        data = random_digraph(59, max_nodes=10, edge_prob=0.3)
+        pattern = random_connected_pattern(29, max_nodes=3)
+        index = get_index(data)
+        nodes = list(data.nodes())
+        with data.batch():
+            data.add_node("fresh1", "l0")
+            data.add_edge("fresh1", nodes[0])
+            data.relabel_node(nodes[0], "l2")
+            data.relabel_node(nodes[0], "l1")
+            if data.num_edges:
+                data.remove_edge(*next(iter(data.edges())))
+        get_index(data)
+        assert index.stats.full_compiles == 1  # synced in place
+        assert _canonical(match_plus(pattern, data, engine="kernel")) == (
+            _canonical(match_plus(pattern, data, engine="python"))
+        )
 
 
 class TestAutoEngineHeuristic:
