@@ -103,19 +103,30 @@ def _cmd_match(args: argparse.Namespace) -> int:
 
 
 def _cmd_distributed(args: argparse.Namespace) -> int:
-    from repro.distributed import Cluster, crossing_ball_bound
+    from repro.distributed import (
+        Cluster,
+        crossing_ball_bound,
+        process_backend_available,
+    )
 
     data = _load_graph(args.data, args.format)
     pattern = _load_pattern(args.pattern)
     assignment = PARTITIONERS[args.partitioner](data, args.sites)
-    cluster = Cluster(
-        data, assignment, args.sites, engine=args.engine,
-        parallel=args.parallel,
-    )
-    report = cluster.run(pattern)
+    # --parallel predates --backend and still means "threads"; an
+    # explicit --backend wins over it.
+    backend = args.backend or ("threads" if args.parallel else "inproc")
+    if backend == "processes" and not process_backend_available():
+        print("the 'processes' backend is unavailable on this platform "
+              "(no fork/forkserver/spawn support)")
+        return 2
+    with Cluster(
+        data, assignment, args.sites, engine=args.engine, backend=backend,
+    ) as cluster:
+        report = cluster.run(pattern)
 
     print(f"{len(report.result)} perfect subgraph(s) across "
-          f"{cluster.num_sites} site(s) [engine={args.engine}]")
+          f"{cluster.num_sites} site(s) [engine={args.engine}, "
+          f"backend={backend}]")
     for site in sorted(report.per_site_subgraphs):
         count = report.per_site_subgraphs[site]
         fragment = cluster.workers[site].fragment
@@ -324,7 +335,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel", action="store_true",
         help="evaluate the sites concurrently (one thread per site); "
              "results and traffic accounting are identical to a serial "
-             "run",
+             "run (shorthand for --backend threads)",
+    )
+    p_dist.add_argument(
+        "--backend", choices=("inproc", "threads", "processes"),
+        default=None,
+        help="runtime substrate hosting the site workers: 'inproc' "
+             "evaluates serially in this interpreter, 'threads' runs one "
+             "thread per site, 'processes' one OS process per site "
+             "(off-GIL, multi-core); the protocol observation is "
+             "byte-identical across backends (default: inproc, or "
+             "threads with --parallel)",
     )
     p_dist.set_defaults(func=_cmd_distributed)
 

@@ -25,10 +25,16 @@ from repro.distributed.partition import (
     greedy_edge_cut_partition,
     hash_partition,
 )
+from repro.distributed.runtime import (
+    BACKENDS,
+    process_backend_available,
+    resolve_backend,
+)
 from repro.distributed.sitekernel import SiteGraphIndex
 from repro.distributed.worker import SiteWorker
 
 __all__ = [
+    "BACKENDS",
     "Cluster",
     "DistributedRunReport",
     "Fragment",
@@ -44,4 +50,6 @@ __all__ = [
     "fragment_graph",
     "greedy_edge_cut_partition",
     "hash_partition",
+    "process_backend_available",
+    "resolve_backend",
 ]

@@ -24,11 +24,17 @@ remote records arrive over the bus; the result set, the per-site partial
 counts and the full traffic accounting are engine-independent, so the
 Section 4.3 bound holds unchanged (enforced by
 ``tests/test_distributed_kernel_equivalence.py``).
+
+Orthogonally to the engine, ``Cluster`` accepts a runtime ``backend``
+(``"inproc"`` | ``"threads"`` | ``"processes"``, see
+:mod:`repro.distributed.runtime`) choosing *where* the site workers
+live; the protocol observation is byte-identical across backends
+(enforced by ``tests/test_runtime.py``).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -48,6 +54,11 @@ from repro.core.pattern import Pattern
 from repro.core.result import MatchResult
 from repro.distributed.fragment import Assignment, Fragment, fragment_graph
 from repro.distributed.network import MessageBus
+from repro.distributed.runtime.transport import (
+    BACKENDS,
+    make_transport,
+    resolve_backend,
+)
 from repro.distributed.worker import SiteWorker
 from repro.exceptions import (
     DistributedError,
@@ -84,7 +95,29 @@ class DistributedRunReport:
 
 
 class Cluster:
-    """An in-process simulated cluster over a partitioned graph."""
+    """A simulated cluster over a partitioned graph.
+
+    ``backend`` picks the runtime substrate hosting the site workers
+    (see :mod:`repro.distributed.runtime`):
+
+    * ``"inproc"`` — serial in-process evaluation (the default, and the
+      reference for every observation);
+    * ``"threads"`` — one thread per site (what ``parallel=True``
+      selected before backends existed; the two spellings are aliases);
+    * ``"processes"`` — one OS process per site behind a
+      :class:`~repro.distributed.runtime.transport.ProcessTransport`:
+      site evaluation runs off-GIL on real cores, queries/updates are
+      broadcast in wire form, and cross-site fetches are request/reply
+      through the coordinator.  Node ids and labels must be picklable on
+      this backend (they cross a process boundary).
+
+    The protocol observation — result set, per-site partial counts and
+    the complete bus accounting — is byte-identical across all three.
+    In every backend ``cluster.workers`` holds coordinator-side workers
+    over the live fragments; on the process backend they are the fetch
+    directory and introspection mirror while evaluation happens in the
+    worker processes.
+    """
 
     def __init__(
         self,
@@ -93,11 +126,12 @@ class Cluster:
         num_sites: int,
         engine: str = "auto",
         parallel: bool = False,
+        backend: Optional[str] = None,
     ) -> None:
         resolve_engine(engine)  # validate before building any worker
         self.engine = engine
-        self.parallel = parallel
-        self._site_pool: Optional[ThreadPoolExecutor] = None
+        self.backend = resolve_backend(backend, parallel)
+        self.parallel = self.backend != "inproc"
         self.bus = MessageBus()
         self.assignment: Assignment = dict(assignment)
         self.fragments: List[Fragment] = fragment_graph(
@@ -109,6 +143,14 @@ class Cluster:
         }
         for worker in self.workers.values():
             worker.connect(self.workers)
+        # One query/update at a time per cluster: the protocol reads and
+        # resets per-query worker state, so interleaved runs (e.g. two
+        # service threads sharing one cluster) must serialize to keep
+        # the observation well-defined.
+        self._protocol_lock = threading.Lock()
+        self._transport = make_transport(
+            self.backend, self.workers, self.assignment, self.bus, engine
+        )
 
     @property
     def num_sites(self) -> int:
@@ -137,39 +179,41 @@ class Cluster:
         mutators below (:meth:`remove_node` etc.) produce well-formed
         streams for callers not mirroring a master graph.
         """
-        kind = delta.kind
-        if kind == ADD_EDGE or kind == REMOVE_EDGE:
-            source_site = self._site_of(delta.source)
-            target_site = self._site_of(delta.target)
-            for site_id in sorted({source_site, target_site}):
-                self.bus.send(COORDINATOR_ID, site_id, "update", 1)
-                self.workers[site_id].apply_update(delta, self.assignment)
-        elif kind == ADD_NODE:
-            if delta.node in self.assignment:
-                raise DuplicateNode(delta.node)
-            if site is None:
-                site = min(
-                    self.workers,
-                    key=lambda s: (self.workers[s].fragment.num_nodes, s),
-                )
-            elif site not in self.workers:
-                raise DistributedError(f"unknown site {site!r}")
-            self.assignment[delta.node] = site
-            self.bus.send(COORDINATOR_ID, site, "update", 1)
-            self.workers[site].apply_update(delta, self.assignment)
-        elif kind == REMOVE_NODE:
-            owner = self._site_of(delta.node)
-            del self.assignment[delta.node]
-            self.bus.send(COORDINATOR_ID, owner, "update", 1)
-            self.workers[owner].apply_update(delta, self.assignment)
-            for worker in self.workers.values():
-                worker.forget_remote(delta.node)
-        elif kind == RELABEL:
-            owner = self._site_of(delta.node)
-            self.bus.send(COORDINATOR_ID, owner, "update", 1)
-            self.workers[owner].apply_update(delta, self.assignment)
-        else:
-            raise DistributedError(f"unknown graph delta kind {kind!r}")
+        with self._protocol_lock:
+            kind = delta.kind
+            if kind == ADD_EDGE or kind == REMOVE_EDGE:
+                source_site = self._site_of(delta.source)
+                target_site = self._site_of(delta.target)
+                for site_id in sorted({source_site, target_site}):
+                    self.bus.send(COORDINATOR_ID, site_id, "update", 1)
+                    self._transport.apply_update(
+                        site_id, delta, self.assignment
+                    )
+            elif kind == ADD_NODE:
+                if delta.node in self.assignment:
+                    raise DuplicateNode(delta.node)
+                if site is None:
+                    site = min(
+                        self.workers,
+                        key=lambda s: (self.workers[s].fragment.num_nodes, s),
+                    )
+                elif site not in self.workers:
+                    raise DistributedError(f"unknown site {site!r}")
+                self.assignment[delta.node] = site
+                self.bus.send(COORDINATOR_ID, site, "update", 1)
+                self._transport.apply_update(site, delta, self.assignment)
+            elif kind == REMOVE_NODE:
+                owner = self._site_of(delta.node)
+                del self.assignment[delta.node]
+                self.bus.send(COORDINATOR_ID, owner, "update", 1)
+                self._transport.apply_update(owner, delta, self.assignment)
+                self._transport.forget_remote(delta.node)
+            elif kind == RELABEL:
+                owner = self._site_of(delta.node)
+                self.bus.send(COORDINATOR_ID, owner, "update", 1)
+                self._transport.apply_update(owner, delta, self.assignment)
+            else:
+                raise DistributedError(f"unknown graph delta kind {kind!r}")
 
     def _site_of(self, node: Node) -> int:
         site = self.assignment.get(node)
@@ -240,62 +284,46 @@ class Cluster:
         for every engine choice.
 
         ``parallel`` (default: the cluster's ``parallel`` setting)
-        evaluates the sites concurrently, one thread per
-        :class:`~repro.distributed.worker.SiteWorker`.  Per-site state is
-        self-contained (each worker owns its fragment, remote cache and
-        compiled index, with thread-local visited buffers), cross-site
-        fetches only *read* the owning peer's fragment, and the bus
-        serializes its accounting, so the protocol observation — result
-        set, per-site partial counts, every per-link/per-kind traffic
-        total — is identical to a serial run; partials are unioned in
-        site order either way, keeping the dedup order deterministic.
+        evaluates the sites concurrently on the in-process backends —
+        one thread per :class:`~repro.distributed.worker.SiteWorker`.
+        Per-site state is self-contained (each worker owns its fragment,
+        remote cache and compiled index, with thread-local visited
+        buffers), cross-site fetches only *read* the owning peer's
+        fragment, and the bus serializes its accounting, so the protocol
+        observation — result set, per-site partial counts, every
+        per-link/per-kind traffic total — is identical to a serial run;
+        partials are unioned in site order either way, keeping the dedup
+        order deterministic.  The ``processes`` backend always runs one
+        worker process per site and ignores ``parallel``; its fetch
+        charges are replayed onto the bus in site order, so the full
+        observation is byte-identical there too.
         """
-        if radius is None:
-            radius = pattern.diameter
-        # Step 1: broadcast the query (|Q| units per site).
-        query_units = pattern.size
-        for site in self.workers:
-            self.bus.send(COORDINATOR_ID, site, "query", query_units)
+        if engine is not None:
+            resolve_engine(engine)  # fail before any traffic is charged
+        with self._protocol_lock:
+            if radius is None:
+                radius = pattern.diameter
+            # Step 1: broadcast the query (|Q| units per site).
+            query_units = pattern.size
+            for site in self.workers:
+                self.bus.send(COORDINATOR_ID, site, "query", query_units)
 
-        # Step 2: each site matches the balls of its own centers.
-        def evaluate(worker: SiteWorker) -> List:
-            worker.clear_cache()
-            return worker.match_local(pattern, radius, engine=engine)
+            # Step 2: each site matches the balls of its own centers.
+            use_parallel = self.parallel if parallel is None else parallel
+            partials = self._transport.evaluate(
+                pattern, radius, engine, use_parallel
+            )
 
-        use_parallel = self.parallel if parallel is None else parallel
-        if use_parallel and len(self.workers) > 1:
-            # One pool per cluster, created lazily and reused across
-            # queries: repeated parallel runs keep their threads (and
-            # with them each site index's warm thread-local visited
-            # buffers) instead of respawning per query.
-            pool = self._site_pool
-            if pool is None:
-                pool = ThreadPoolExecutor(
-                    max_workers=len(self.workers),
-                    thread_name_prefix="repro-site",
-                )
-                self._site_pool = pool
-            futures = {
-                site: pool.submit(evaluate, worker)
-                for site, worker in self.workers.items()
-            }
-            partials = {site: f.result() for site, f in futures.items()}
-        else:
-            partials = {
-                site: evaluate(worker)
-                for site, worker in self.workers.items()
-            }
-
-        # Steps 3-4: ship partials and union with dedup, in site order.
-        result = MatchResult(pattern)
-        per_site: Dict[int, int] = {}
-        for site, partial in partials.items():
-            per_site[site] = len(partial)
-            units = sum(sg.graph.size for sg in partial)
-            self.bus.send(site, COORDINATOR_ID, "result", units)
-            for subgraph in partial:
-                result.add(subgraph)
-        return DistributedRunReport(result, self.bus, per_site)
+            # Steps 3-4: ship partials and union with dedup, in site order.
+            result = MatchResult(pattern)
+            per_site: Dict[int, int] = {}
+            for site, partial in partials.items():
+                per_site[site] = len(partial)
+                units = sum(sg.graph.size for sg in partial)
+                self.bus.send(site, COORDINATOR_ID, "result", units)
+                for subgraph in partial:
+                    result.add(subgraph)
+            return DistributedRunReport(result, self.bus, per_site)
 
     def evaluate(
         self,
@@ -306,16 +334,26 @@ class Cluster:
         """Alias of :meth:`run` (the original Section 4.3 entry point)."""
         return self.run(pattern, radius, engine=engine)
 
-    def close(self) -> None:
-        """Shut the (lazily created) site pool down, if any.
+    def worker_stats(self) -> Dict[int, Dict[str, object]]:
+        """Per-site runtime counters, fetched from wherever workers live.
 
-        Optional — an unreferenced cluster's pool threads exit on their
-        own when the executor is collected — but deterministic teardown
-        is nicer in long-lived processes.
+        On the in-process backends this reads the workers directly; on
+        the process backend each worker process reports its own counters
+        — in particular ``index_builds``, which a warm worker holds at 1
+        across queries and updates (the "fragments compile once per
+        site" guarantee, now per OS process).
         """
-        pool, self._site_pool = self._site_pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+        with self._protocol_lock:
+            return self._transport.worker_stats()
+
+    def close(self) -> None:
+        """Release the transport (site thread pool or worker processes).
+
+        Idempotent.  The in-process backends re-create their lazy thread
+        pool on the next parallel run, preserving the old contract; a
+        closed *process* transport is final — its workers have exited.
+        """
+        self._transport.close()
 
     def __enter__(self) -> "Cluster":
         return self
@@ -331,10 +369,21 @@ def distributed_match(
     num_sites: int,
     radius: Optional[int] = None,
     engine: str = "auto",
+    backend: Optional[str] = None,
 ) -> DistributedRunReport:
-    """Convenience wrapper: build a cluster and evaluate one pattern."""
-    cluster = Cluster(graph, assignment, num_sites, engine=engine)
-    return cluster.run(pattern, radius)
+    """Convenience wrapper: build a cluster and evaluate one pattern.
+
+    ``backend`` picks the runtime substrate (``"inproc"`` default,
+    ``"threads"``, ``"processes"``); the observation is identical across
+    backends, so one-shot callers only choose for wall-clock reasons.
+    """
+    cluster = Cluster(graph, assignment, num_sites, engine=engine,
+                      backend=backend)
+    try:
+        return cluster.run(pattern, radius)
+    finally:
+        if cluster.backend == "processes":
+            cluster.close()  # one-shot: don't leak worker processes
 
 
 def crossing_ball_bound(

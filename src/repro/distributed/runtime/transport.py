@@ -1,0 +1,382 @@
+"""Pluggable transports: where a cluster's site workers actually live.
+
+The Section 4.3 protocol is defined over *sites* exchanging messages; it
+never says the sites must share an interpreter.  A
+:class:`~repro.distributed.coordinator.Cluster` therefore delegates the
+"host the workers, evaluate a query, route an update" mechanics to a
+:class:`Transport`:
+
+* :class:`InProcTransport` — today's in-process workers, evaluated
+  serially or on one thread per site.  Zero behavior change: workers
+  charge the cluster's :class:`~repro.distributed.network.MessageBus`
+  directly and cross-site fetches read the owning peer's fragment.
+* :class:`ProcessTransport` — one OS process per site, talking over
+  ``multiprocessing`` pipes.  Queries and updates are *broadcast* in
+  wire form (:mod:`repro.distributed.runtime.wire`); cross-site
+  ``fetch`` is request/reply, answered by the coordinator from its
+  mirror fragments (the same records the owning peer would serve — both
+  are maintained by the same delta stream); per-site fetch charges ship
+  back with the partials and are replayed onto the bus in site order.
+  Site evaluation runs off-GIL on real cores; each worker process keeps
+  its warm ``SiteGraphIndex`` across queries and updates.
+
+Every transport yields byte-identical protocol observations — result
+set, per-site partial counts, message count, units per kind and per
+directed link — enforced by ``tests/test_runtime.py`` through the
+``tests/engines.py`` harness.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional
+
+from repro.core.digraph import Node
+from repro.core.pattern import Pattern
+from repro.core.result import PerfectSubgraph
+from repro.distributed.network import MessageBus
+from repro.distributed.runtime.procworker import worker_main
+from repro.distributed.runtime.wire import (
+    decode_bus_log,
+    decode_partials,
+    encode_deltas,
+    encode_fragment,
+    encode_pattern,
+)
+from repro.distributed.worker import SiteWorker
+from repro.exceptions import DistributedError
+
+#: The cluster backends, in "zero surprises" order: ``inproc`` is the
+#: serial reference, ``threads`` adds concurrency inside one
+#: interpreter, ``processes`` adds real multi-core parallelism.
+BACKENDS = ("inproc", "threads", "processes")
+
+#: Start methods the process backend can run on, in preference order:
+#: ``fork`` reuses the warm parent interpreter (cheap, inherits the hash
+#: seed), the others pay a fresh-interpreter bootstrap per site.
+_START_METHODS = ("fork", "forkserver", "spawn")
+
+
+def resolve_backend(backend: Optional[str], parallel: bool = False) -> str:
+    """Validate ``backend``; ``None`` keeps the legacy ``parallel`` map."""
+    if backend is None:
+        return "threads" if parallel else "inproc"
+    if backend not in BACKENDS:
+        raise DistributedError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def process_backend_available() -> bool:
+    """True when this platform can host one worker process per site."""
+    try:
+        methods = multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms only
+        return False
+    return any(method in methods for method in _START_METHODS)
+
+
+def _make_context():
+    methods = multiprocessing.get_all_start_methods()
+    for method in _START_METHODS:
+        if method in methods:
+            return multiprocessing.get_context(method)
+    raise DistributedError(
+        "the 'processes' backend needs fork/forkserver/spawn support, "
+        "none of which this platform provides"
+    )
+
+
+class Transport:
+    """Hosts a cluster's site workers and routes the protocol to them."""
+
+    def evaluate(
+        self,
+        pattern: Pattern,
+        radius: int,
+        engine: Optional[str],
+        parallel: bool,
+    ) -> Dict[int, List[PerfectSubgraph]]:
+        """Step 2 of the protocol: every site's partial Θ_i, in site order.
+
+        Implementations must charge (or replay) each worker's ``fetch``
+        traffic on the cluster bus exactly as the serial in-process path
+        would, so the full observation stays backend-independent.
+        """
+        raise NotImplementedError
+
+    def apply_update(self, site_id: int, delta, owner_of) -> None:
+        """Apply one owned-fragment delta on ``site_id``'s worker."""
+        raise NotImplementedError
+
+    def forget_remote(self, node: Node) -> None:
+        """Drop a cluster-wide removed node from every routing table."""
+        raise NotImplementedError
+
+    def worker_stats(self) -> Dict[int, Dict[str, object]]:
+        """Per-site runtime counters (see ``SiteWorker.runtime_stats``)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+        raise NotImplementedError
+
+
+class InProcTransport(Transport):
+    """Both single-interpreter backends: serial sites or thread-per-site.
+
+    Wraps the workers exactly as PR 4 left them — they share the
+    cluster's bus and read peers' fragments directly — so the
+    ``inproc`` and ``threads`` backends are today's behavior verbatim.
+    The thread pool is created lazily and reused across queries; a
+    closed transport re-creates it on the next parallel run, preserving
+    the old ``Cluster.close()`` contract.
+    """
+
+    def __init__(self, workers: Dict[int, SiteWorker]) -> None:
+        self._workers = workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def evaluate(self, pattern, radius, engine, parallel):
+        def run_site(worker: SiteWorker) -> List[PerfectSubgraph]:
+            worker.clear_cache()
+            return worker.match_local(pattern, radius, engine=engine)
+
+        if parallel and len(self._workers) > 1:
+            pool = self._pool
+            if pool is None:
+                # One pool per transport, reused across queries: repeated
+                # parallel runs keep their threads (and with them each
+                # site index's warm thread-local visited buffers).
+                pool = ThreadPoolExecutor(
+                    max_workers=len(self._workers),
+                    thread_name_prefix="repro-site",
+                )
+                self._pool = pool
+            futures = {
+                site: pool.submit(run_site, worker)
+                for site, worker in self._workers.items()
+            }
+            return {site: future.result() for site, future in futures.items()}
+        return {
+            site: run_site(worker) for site, worker in self._workers.items()
+        }
+
+    def apply_update(self, site_id, delta, owner_of):
+        self._workers[site_id].apply_update(delta, owner_of)
+
+    def forget_remote(self, node):
+        for worker in self._workers.values():
+            worker.forget_remote(node)
+
+    def worker_stats(self):
+        return {
+            site: worker.runtime_stats()
+            for site, worker in self._workers.items()
+        }
+
+    def close(self):
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class ProcessTransport(Transport):
+    """One worker process per site behind request/reply pipes.
+
+    Parameters
+    ----------
+    workers:
+        The coordinator-side mirror workers.  They never evaluate
+        queries; they are the fetch directory (every ``serve_node``
+        answer comes from a mirror fragment, which the update path keeps
+        in lockstep with the worker processes) and the introspection
+        surface (``cluster.workers[site].fragment``).
+    assignment:
+        The cluster's *live* node-to-site dict (mutated in place by
+        ``Cluster.apply_update``), consulted per fetch for ownership.
+    bus:
+        The cluster bus that per-site fetch logs are replayed onto.
+    engine:
+        Default engine for the worker processes (per-query overrides
+        travel with each query command).
+    """
+
+    def __init__(
+        self,
+        workers: Dict[int, SiteWorker],
+        assignment: Dict[Node, int],
+        bus: MessageBus,
+        engine: str = "auto",
+    ) -> None:
+        self._workers = workers
+        self._assignment = assignment
+        self._bus = bus
+        self._conns: Dict[int, multiprocessing.connection.Connection] = {}
+        self._procs: Dict[int, multiprocessing.process.BaseProcess] = {}
+        self._closed = False
+        context = _make_context()
+        try:
+            for site, worker in workers.items():
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=worker_main,
+                    args=(child_end, encode_fragment(worker.fragment), engine),
+                    name=f"repro-site-{site}",
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                self._conns[site] = parent_end
+                self._procs[site] = process
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def _serve(self, node: Node):
+        """Answer one fetch: ``(owner site, record)`` from the mirrors."""
+        owner = self._assignment.get(node)
+        if owner is None:
+            raise DistributedError(f"no site owns node {node!r}")
+        return owner, self._workers[owner].serve_node(node)
+
+    def _fail(self, detail: str) -> "DistributedError":
+        # A broken protocol exchange leaves workers in an unknown state;
+        # tear the processes down before surfacing the error.
+        self.close()
+        return DistributedError(detail)
+
+    def _recv(self, site: int):
+        try:
+            return self._conns[site].recv()
+        except (EOFError, OSError) as exc:
+            raise self._fail(
+                f"site {site} worker process died mid-protocol: {exc}"
+            ) from exc
+
+    def _ack(self, site: int, command: str) -> None:
+        reply = self._recv(site)
+        if reply[0] != "ok":
+            raise self._fail(
+                f"site {site} failed to apply {command}:\n{reply[1]}"
+            )
+
+    def _guard_open(self) -> None:
+        if self._closed:
+            raise DistributedError(
+                "this cluster's process transport has been closed"
+            )
+
+    # ------------------------------------------------------------------
+    def evaluate(self, pattern, radius, engine, parallel):
+        # ``parallel`` is meaningless here: the sites always run
+        # concurrently, one process each.
+        self._guard_open()
+        wire_pattern = encode_pattern(pattern)
+        for conn in self._conns.values():
+            conn.send(("query", wire_pattern, radius, engine))
+        pending = {conn: site for site, conn in self._conns.items()}
+        partials: Dict[int, List[PerfectSubgraph]] = {}
+        logs: Dict[int, list] = {}
+        while pending:
+            for conn in multiprocessing.connection.wait(list(pending)):
+                site = pending[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise self._fail(
+                        f"site {site} worker process died mid-query: {exc}"
+                    ) from exc
+                kind = message[0]
+                if kind == "fetch_many":
+                    try:
+                        records = tuple(
+                            self._serve(node) for node in message[1]
+                        )
+                    except Exception as exc:
+                        conn.send(("error", str(exc)))
+                    else:
+                        conn.send(("records", records))
+                elif kind == "done":
+                    partials[site] = decode_partials(message[1])
+                    logs[site] = decode_bus_log(message[2])
+                    del pending[conn]
+                else:
+                    detail = message[1] if len(message) > 1 else kind
+                    raise self._fail(f"site {site} query failed:\n{detail}")
+        # Replay fetch accounting in site order: totals per link/kind are
+        # order-independent, but a deterministic message list keeps runs
+        # reproducible (the serial backend interleaves by site too).
+        for site in sorted(logs):
+            for sender, receiver, kind, units in logs[site]:
+                self._bus.send(sender, receiver, kind, units)
+        return {site: partials[site] for site in sorted(partials)}
+
+    def apply_update(self, site_id, delta, owner_of):
+        self._guard_open()
+        # Mirror first: the coordinator serves fetches from these
+        # fragments, so they must track the worker processes exactly.
+        self._workers[site_id].apply_update(delta, owner_of)
+        owners = {
+            node: owner_of.get(node)
+            for node in (delta.source, delta.target)
+            if node is not None
+        }
+        self._conns[site_id].send(("update", encode_deltas((delta,)), owners))
+        self._ack(site_id, f"delta {delta.kind!r}")
+
+    def forget_remote(self, node):
+        self._guard_open()
+        for site, worker in self._workers.items():
+            worker.forget_remote(node)
+            self._conns[site].send(("forget", node))
+        for site in self._conns:
+            self._ack(site, "forget")
+
+    def worker_stats(self):
+        self._guard_open()
+        stats: Dict[int, Dict[str, object]] = {}
+        for site, conn in self._conns.items():
+            conn.send(("stats",))
+            reply = self._recv(site)
+            if reply[0] != "stats":
+                raise self._fail(f"site {site} stats failed:\n{reply[1]}")
+            stats[site] = reply[1]
+        return stats
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns.values():
+            try:
+                conn.send(("shutdown",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+        for process in self._procs.values():
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - hung worker only
+                process.terminate()
+                process.join(timeout=5)
+
+
+def make_transport(
+    backend: str,
+    workers: Dict[int, SiteWorker],
+    assignment: Dict[Node, int],
+    bus: MessageBus,
+    engine: str,
+) -> Transport:
+    """Build the transport for a resolved backend name."""
+    if backend == "processes":
+        return ProcessTransport(workers, assignment, bus, engine=engine)
+    return InProcTransport(workers)

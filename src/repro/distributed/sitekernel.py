@@ -65,8 +65,12 @@ from repro.distributed.fragment import Fragment
 #: ``label, successors, predecessors`` — the record served for one node.
 NodeRecord = Tuple[Label, Set[Node], Set[Node]]
 
-#: Fetches the record of a (remote) node, charging the message bus.
-FetchFn = Callable[[Node], NodeRecord]
+#: Fetches the records of a batch of nodes (same order), charging the
+#: message bus one ``fetch`` message per record.  Batching lets the ball
+#: BFS request a whole layer's missing records in one transport round
+#: trip — essential for the process backend, where each round trip is a
+#: pipe crossing — without changing the per-record accounting.
+FetchManyFn = Callable[[List[Node]], List[NodeRecord]]
 
 
 class SiteGraphIndex(GrowableCSRIndex):
@@ -259,7 +263,7 @@ class SiteGraphIndex(GrowableCSRIndex):
 
 def site_ball_bfs(
     index: SiteGraphIndex,
-    fetch: FetchFn,
+    fetch_many: FetchManyFn,
     center: int,
     radius: int,
 ) -> Tuple[List[int], int]:
@@ -269,10 +273,13 @@ def site_ball_bfs(
     :meth:`~repro.distributed.worker.SiteWorker.build_ball`: every ball
     node — including the border layer — is materialized, because the
     induced ball subgraph needs border-to-border edges and the reference
-    path likewise ships the record of every ball member.  ``fetch`` is
-    charged once per newly materialized remote node (the worker's
-    per-query cache keeps repeat visits free, preserving the Section 4.3
-    shipment bound).
+    path likewise ships the record of every ball member.  Each layer's
+    unmaterialized stubs are fetched in **one** ``fetch_many`` call
+    (one transport round trip on the process backend) and charged one
+    bus message per record, in discovery order — the same records, the
+    same charges, the same totals as fetching one at a time (the
+    worker's per-query cache keeps repeat visits free, preserving the
+    Section 4.3 shipment bound).
 
     Returns ``(order, epoch)``: ball node ids in BFS order (center
     first) and the epoch under which the calling thread's stamp buffer
@@ -293,23 +300,33 @@ def site_ball_bfs(
         if shortfall > 0:
             stamp.extend([0] * shortfall)
 
-    if not materialized[center]:
-        index.materialize(center, fetch(nodes[center]))
+    def materialize_batch(ids: List[int]) -> None:
+        records = fetch_many([nodes[i] for i in ids])
+        for i, record in zip(ids, records):
+            index.materialize(i, record)
         grow_stamp()
+
+    if not materialized[center]:
+        materialize_batch([center])
     stamp[center] = epoch
     order = [center]
     frontier = [center]
     depth = 0
     while frontier and depth < radius:
         nxt: List[int] = []
+        missing: List[int] = []
         for v in frontier:
             for w in rows[v]:
                 if stamp[w] != epoch:
                     stamp[w] = epoch
                     if not materialized[w]:
-                        index.materialize(w, fetch(nodes[w]))
-                        grow_stamp()
+                        missing.append(w)
                     nxt.append(w)
+        if missing:
+            # Rows of this layer's nodes are only read on the *next*
+            # layer, so deferring materialization to one batch per layer
+            # observes identically to the one-at-a-time original.
+            materialize_batch(missing)
         order.extend(nxt)
         frontier = nxt
         depth += 1
@@ -319,7 +336,7 @@ def site_ball_bfs(
 def site_match_ball(
     cp: _CompiledPattern,
     index: SiteGraphIndex,
-    fetch: FetchFn,
+    fetch_many: FetchManyFn,
     center: int,
     radius: int,
 ) -> Optional[PerfectSubgraph]:
@@ -332,7 +349,7 @@ def site_match_ball(
     discovered subgraph and lets the coordinator dedup, and the per-site
     partial counts are part of the observable protocol output.
     """
-    order, _ = site_ball_bfs(index, fetch, center, radius)
+    order, _ = site_ball_bfs(index, fetch_many, center, radius)
     by_label = cp.by_label
     labels = index.labels
     sim: List[Set[int]] = [set() for _ in range(cp.size)]

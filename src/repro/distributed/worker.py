@@ -74,6 +74,13 @@ class SiteWorker:
         self._peers: Dict[int, "SiteWorker"] = {}
         self._remote_cache: Dict[Node, NodeRecord] = {}
         self._site_index: Optional[SiteGraphIndex] = None
+        #: How many times this worker compiled a fresh ``SiteGraphIndex``.
+        #: A warm worker holds this at 1 across queries and updates — the
+        #: observable "fragments compile once per site" guarantee, which
+        #: the process runtime re-asserts per worker process.
+        self.index_builds = 0
+        #: Queries this worker evaluated (any engine).
+        self.queries_served = 0
 
     # ------------------------------------------------------------------
     # Cluster wiring
@@ -108,18 +115,51 @@ class SiteWorker:
         cached = self._remote_cache.get(node)
         if cached is not None:
             return cached
+        self._fetch_missing([node])
+        return self._remote_cache[node]
+
+    def _owner_of(self, node: Node) -> int:
         owner = self.fragment.remote_owner.get(node)
         if owner is None:
             # A node two hops outside the fragment: route by asking the
             # peer that owns it, discovered through the global directory
             # the coordinator supplies (peers dict keyed by site).
             owner = self._locate_owner(node)
-        record = self._peers[owner].serve_node(node)
-        # One unit for the node record + one per incident edge shipped.
-        units = 1 + len(record[1]) + len(record[2])
-        self.bus.send(owner, self.fragment.site_id, "fetch", units)
-        self._remote_cache[node] = record
-        return record
+        return owner
+
+    def _fetch_missing(self, nodes: List[Node]) -> None:
+        """Fetch and charge the records of uncached remote ``nodes``.
+
+        The accounting granularity is the *record*: one ``fetch`` bus
+        message of ``1 + degree`` units per node, exactly as if each had
+        been requested alone.  Batching exists so a transport can ship a
+        whole BFS layer's requests in one round trip (the process
+        backend overrides this method); the protocol observation is
+        identical either way.
+        """
+        for node in nodes:
+            owner = self._owner_of(node)
+            record = self._peers[owner].serve_node(node)
+            # One unit for the node record + one per incident edge.
+            units = 1 + len(record[1]) + len(record[2])
+            self.bus.send(owner, self.fragment.site_id, "fetch", units)
+            self._remote_cache[node] = record
+
+    def _ensure_records(self, nodes: List[Node]) -> None:
+        """Make every node's record available locally (batch-fetching)."""
+        owns = self.fragment.owns
+        cache = self._remote_cache
+        missing = [
+            node for node in nodes if not owns(node) and node not in cache
+        ]
+        if missing:
+            self._fetch_missing(missing)
+
+    def _records_for_many(self, nodes: List[Node]) -> List[NodeRecord]:
+        """The records of ``nodes``, fetched in one batch where remote."""
+        self._ensure_records(nodes)
+        record_for = self._record_for
+        return [record_for(node) for node in nodes]
 
     def _locate_owner(self, node: Node) -> int:
         """Find the owner of a node not adjacent to this fragment."""
@@ -239,17 +279,36 @@ class SiteWorker:
         if index is None:
             index = SiteGraphIndex(self.fragment)
             self._site_index = index
+            self.index_builds += 1
         return index
+
+    def runtime_stats(self) -> Dict[str, object]:
+        """Observability counters for this worker.
+
+        The one stats shape every backend reports: the process runtime's
+        ``stats`` command delegates here, so `Cluster.worker_stats()` is
+        key-compatible wherever the workers live.
+        """
+        return {
+            "site": self.fragment.site_id,
+            "index_builds": self.index_builds,
+            "queries_served": self.queries_served,
+            "owned_nodes": self.fragment.num_nodes,
+        }
 
     def build_ball(self, center: Node, radius: int) -> Ball:
         """Undirected BFS to ``radius`` across fragment boundaries.
 
         Identical node/edge content to the centralized
         :func:`repro.core.ball.extract_ball`; remote hops are fetched and
-        accounted.
+        accounted — batched per BFS layer, so the process transport pays
+        one round trip per layer while the bus still charges one message
+        per shipped record (every ball member's record is fetched, as
+        before; only the request grouping differs).
         """
         distances: Dict[Node, int] = {center: 0}
         frontier: List[Node] = [center]
+        self._ensure_records(frontier)
         depth = 0
         while frontier and depth < radius:
             next_frontier: List[Node] = []
@@ -259,6 +318,7 @@ class SiteWorker:
                     if neighbor not in distances:
                         distances[neighbor] = depth + 1
                         next_frontier.append(neighbor)
+            self._ensure_records(next_frontier)
             frontier = next_frontier
             depth += 1
 
@@ -289,6 +349,7 @@ class SiteWorker:
         if radius is None:
             radius = pattern.diameter
         resolved = resolve_engine(self.engine if engine is None else engine)
+        self.queries_served += 1
         if resolved == "kernel":
             return self._match_local_kernel(pattern, radius)
         return self._match_local_python(pattern, radius)
@@ -320,10 +381,10 @@ class SiteWorker:
         """
         index = self.site_index()
         cp = _CompiledPattern(pattern)
-        fetch = self._record_for
+        fetch_many = self._records_for_many
         partial: List[PerfectSubgraph] = []
         for center in index.owned_ids:
-            subgraph = site_match_ball(cp, index, fetch, center, radius)
+            subgraph = site_match_ball(cp, index, fetch_many, center, radius)
             if subgraph is not None:
                 partial.append(subgraph)
         return partial

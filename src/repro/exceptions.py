@@ -59,5 +59,16 @@ class DistributedError(ReproError):
     """Raised by the distributed runtime (bad partitions, routing errors)."""
 
 
+class WireFormatError(DistributedError):
+    """Raised when a runtime wire payload fails validation.
+
+    Every payload crossing a process boundary carries a magic marker, a
+    format version and a payload kind (:mod:`repro.distributed.runtime.wire`);
+    a mismatch — truncated data, a foreign object, a frame from an
+    incompatible runtime version — fails loud here instead of being
+    half-decoded into a worker.
+    """
+
+
 class DatasetError(ReproError):
     """Raised by dataset generators for invalid parameter combinations."""

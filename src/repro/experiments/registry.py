@@ -157,6 +157,49 @@ def incremental_updates(scale: int) -> str:
     )
 
 
+def distributed_backends(scale: int) -> str:
+    """Runtime backends: wall-clock and traffic per backend (Sec. 4.3)."""
+    import time
+
+    from repro.distributed import (
+        Cluster,
+        bfs_partition,
+        process_backend_available,
+    )
+
+    data = generate_graph(scale, alpha=1.15, num_labels=20, seed=37)
+    pattern = sample_pattern_from_data(data, 6, seed=501)
+    if pattern is None:
+        return "could not sample a pattern at this scale"
+    sites = 4
+    assignment = bfs_partition(data, sites)
+    backends = ["inproc", "threads"]
+    if process_backend_available():
+        backends.append("processes")
+    rows = {"seconds": [], "fetch units": [], "subgraphs": []}
+    reference = None
+    for backend in backends:
+        with Cluster(data, assignment, sites, backend=backend) as cluster:
+            cluster.run(pattern)  # warm-up: worker bootstrap + compile
+            start = time.perf_counter()
+            report = cluster.run(pattern)
+            rows["seconds"].append(round(time.perf_counter() - start, 4))
+        rows["fetch units"].append(report.bus.units_by_kind().get("fetch", 0))
+        signatures = {sg.signature() for sg in report.result}
+        rows["subgraphs"].append(len(report.result))
+        if reference is None:
+            reference = signatures
+        elif signatures != reference:  # pragma: no cover - contract break
+            return f"backend {backend!r} diverged from inproc — bug!"
+    return render_table(
+        f"distributed runtime backends (|V|={data.num_nodes}, {sites} "
+        f"sites, warm clusters; observations identical across backends)",
+        "backend",
+        backends,
+        rows,
+    )
+
+
 def service_throughput(scale: int) -> str:
     """Query service: throughput and cache hit rate on a repeated stream."""
     from repro.service import MatchService, replay_workload, skewed_stream
@@ -231,6 +274,7 @@ EXPERIMENTS: Dict[str, Renderer] = {
     "fig8-time-v": fig8_time_v,
     "incremental-updates": incremental_updates,
     "distributed": distributed,
+    "distributed-backends": distributed_backends,
     "service-throughput": service_throughput,
 }
 

@@ -37,15 +37,32 @@ Freshness is enforced two ways, belt and suspenders:
                    ever consulted as a witness between two candidates,
                    and a node whose label is outside ``L`` is never a
                    candidate.  **Ball-based algorithms** (``match``,
-                   ``match-plus``): never — an edge between any two
-                   nodes can rewire undirected distances and pull new
-                   candidates into a ball, label-disjoint or not.
+                   ``match-plus``, entries stamped with the pattern
+                   diameter ``d_Q``): no *candidate* — no node with a
+                   label in ``L`` — lies within undirected distance
+                   ``d_Q`` of either endpoint.  Such an edge cannot
+                   change any ball's candidate membership: a candidate
+                   entering or leaving some ``B(w, d_Q)`` would need a
+                   shortest path through the edge, whose prefix reaches
+                   the nearer endpoint within ``d_Q`` — contradiction.
+                   Non-candidate ball members are invisible to dual
+                   simulation (sim sets hold only label-compatible
+                   nodes and witness edges join two candidates), so
+                   every ball's match outcome is unchanged.  Distances
+                   are measured by one BFS from all edge-delta
+                   endpoints over the delivery-time graph *augmented
+                   with the group's removed edges* (and through its
+                   removed nodes): the augmented edge set is a superset
+                   of every intermediate state's, so its distances
+                   lower-bound theirs and the check is sound for every
+                   delta in the group, additions and removals alike.
   ===============  ====================================================
 
 Everything else invalidates the entry.  The rules err on the side of
 dropping (e.g. an edge delta whose endpoint labels cannot be recovered
-invalidates unconditionally), so a hit is always exactly what a fresh
-computation would produce — the property the differential tests assert.
+invalidates unconditionally, as does a ball-based entry stored without
+a radius stamp), so a hit is always exactly what a fresh computation
+would produce — the property the differential tests assert.
 
 :class:`CacheStats` exposes hit/miss/store/invalidation counters; all
 cache operations are thread-safe (one lock, held only for dict work).
@@ -70,9 +87,16 @@ from repro.core.digraph import (
     Label,
 )
 
-#: Algorithms whose results depend on ball topology: edge deltas always
-#: invalidate their entries (see the module docstring's rule table).
+#: Algorithms whose results depend on ball topology: edge deltas
+#: invalidate their entries unless they are provably too far from every
+#: candidate (see the module docstring's rule table).
 BALL_BASED_ALGORITHMS = frozenset({"match", "match-plus"})
+
+#: Sentinels for the distance digest: a label the BFS never reached is
+#: "infinitely far", and a missing labels_raw lookup must not collide
+#: with ``None`` (a legal label).
+_FAR = float("inf")
+_DEPTH_MISS = object()
 
 
 @dataclass
@@ -109,9 +133,19 @@ class CacheStats:
 
 
 class _Entry:
-    """One cached result."""
+    """One cached result.
 
-    __slots__ = ("payload", "label_set", "ball_based", "valid_version")
+    ``radius`` is the pattern diameter ``d_Q`` the result's balls were
+    bounded by — the distance horizon of the ball-based edge-delta rule.
+    (For ``match-plus`` the stored original-pattern diameter is an upper
+    bound on the minimized pattern's, which only makes the rule more
+    conservative.)  ``None`` means "unknown": edge deltas then drop the
+    entry unconditionally, the pre-PR-5 behavior.
+    """
+
+    __slots__ = (
+        "payload", "label_set", "ball_based", "valid_version", "radius",
+    )
 
     def __init__(
         self,
@@ -119,11 +153,13 @@ class _Entry:
         label_set: FrozenSet[Label],
         ball_based: bool,
         valid_version: int,
+        radius: Optional[int] = None,
     ) -> None:
         self.payload = payload
         self.label_set = label_set
         self.ball_based = ball_based
         self.valid_version = valid_version
+        self.radius = radius
 
 
 class _GraphSubscription:
@@ -215,6 +251,7 @@ class ResultCache:
         label_set: FrozenSet[Label],
         payload: object,
         computed_version: Optional[int] = None,
+        radius: Optional[int] = None,
     ) -> None:
         """Insert (or refresh) one computed result.
 
@@ -224,6 +261,10 @@ class ResultCache:
         would judge only *future* mutations against it, never the missed
         one — so the store is refused outright rather than inserting an
         entry that could be resurrected stale.
+
+        ``radius`` is the pattern diameter; for ball-based algorithms it
+        enables the distance-based edge-delta retention rule (omitting
+        it keeps the always-drop behavior).
         """
         with self._lock:
             version = graph.version
@@ -242,6 +283,7 @@ class ResultCache:
                 label_set,
                 algorithm in BALL_BASED_ALGORITHMS,
                 version,
+                radius,
             )
             self._entries.move_to_end(key)
             subscription.keys.add(key)
@@ -276,6 +318,9 @@ class ResultCache:
                 self._drop_graph(subscription.token)
                 return
             digest = self._digest_group(graph, deltas)
+            label_depths = self._label_depths_if_needed(
+                graph, deltas, digest, subscription
+            )
             survivors = []
             dropped = []
             for key in subscription.keys:
@@ -283,7 +328,7 @@ class ResultCache:
                 if entry is None:
                     dropped.append(key)  # evicted; tidy the key set
                     continue
-                if self._group_harmless(digest, entry):
+                if self._group_harmless(digest, entry, label_depths):
                     survivors.append(entry)
                 else:
                     del self._entries[key]
@@ -345,14 +390,114 @@ class ResultCache:
                 unjudgeable = True  # unknown delta kind: be safe
         return node_labels, any_edge, edge_pairs, unjudgeable
 
+    def _label_depths_if_needed(
+        self,
+        graph: DiGraph,
+        deltas: Tuple[GraphDelta, ...],
+        digest,
+        subscription: _GraphSubscription,
+    ) -> Optional[Dict[Label, int]]:
+        """The edge-delta distance digest, when some entry can use it.
+
+        Returns ``label -> minimum undirected distance from any
+        edge-delta endpoint``, computed by one BFS bounded by the
+        largest radius among the ball-based entries that the node-label
+        rule alone would keep — or ``None`` when no entry needs it (no
+        edge deltas, an unjudgeable group, or no radius-stamped
+        ball-based survivor candidates), so mutation storms on graphs
+        without ball-based entries never pay for a BFS.
+        """
+        node_labels, any_edge, _, unjudgeable = digest
+        if not any_edge or unjudgeable:
+            return None
+        depth_limit = -1
+        for key in subscription.keys:
+            entry = self._entries.get(key)
+            if (
+                entry is not None
+                and entry.ball_based
+                and entry.radius is not None
+                and node_labels.isdisjoint(entry.label_set)
+            ):
+                depth_limit = max(depth_limit, entry.radius)
+        if depth_limit < 0:
+            return None
+        return self._label_depths(graph, deltas, depth_limit)
+
     @staticmethod
-    def _group_harmless(digest, entry: _Entry) -> bool:
+    def _label_depths(
+        graph: DiGraph, deltas: Tuple[GraphDelta, ...], depth_limit: int
+    ) -> Dict[Label, int]:
+        """Min distance from the group's edge-delta endpoints per label.
+
+        One undirected BFS from *all* edge-delta endpoints (so the
+        per-label depth is the minimum over every endpoint) over the
+        delivery-time graph **augmented with the group's removed
+        edges**.  The augmented edge set is a superset of every
+        intermediate state of the group (final = pre ∪ additions −
+        removals, hence every intermediate ⊆ final ∪ removals), so the
+        BFS distances lower-bound the distances at each delta's own
+        application point — "no label in ``L`` within ``d``" here
+        implies it for every step, additions and removals alike.  Nodes
+        removed in the group are traversed through the overlay (their
+        incident edges are all in the group, by the ``remove_node``
+        batch contract) but contribute no label: the node-label rule
+        already dropped any entry whose label set they touch.
+        """
+        overlay: Dict[object, Set[object]] = {}
+        seeds: Set[object] = set()
+        for delta in deltas:
+            kind = delta.kind
+            if kind == ADD_EDGE or kind == REMOVE_EDGE:
+                seeds.add(delta.source)
+                seeds.add(delta.target)
+                if kind == REMOVE_EDGE:
+                    overlay.setdefault(delta.source, set()).add(delta.target)
+                    overlay.setdefault(delta.target, set()).add(delta.source)
+        labels_raw = graph.labels_raw()
+        depths: Dict[Label, int] = {}
+        seen: Set[object] = set(seeds)
+        frontier = list(seeds)
+        for node in frontier:
+            label = labels_raw.get(node, _DEPTH_MISS)
+            if label is not _DEPTH_MISS and label not in depths:
+                depths[label] = 0
+        depth = 0
+        while frontier and depth < depth_limit:
+            next_frontier = []
+            for node in frontier:
+                if node in labels_raw:
+                    neighborhood = [
+                        graph.successors_raw(node),
+                        graph.predecessors_raw(node),
+                        overlay.get(node, ()),
+                    ]
+                else:  # removed in this group: overlay holds its edges
+                    neighborhood = [overlay.get(node, ())]
+                for adjacency in neighborhood:
+                    for neighbor in adjacency:
+                        if neighbor in seen:
+                            continue
+                        seen.add(neighbor)
+                        label = labels_raw.get(neighbor, _DEPTH_MISS)
+                        if label is not _DEPTH_MISS and label not in depths:
+                            depths[label] = depth + 1
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+            depth += 1
+        return depths
+
+    @staticmethod
+    def _group_harmless(
+        digest, entry: _Entry, label_depths: Optional[Dict[Label, int]]
+    ) -> bool:
         """True iff no delta in the digested group can change ``entry``.
 
         Implements the rule table in the module docstring as pure set
         work — the per-group label resolution already happened in
-        :meth:`_digest_group`, so judging an entry is O(group size) with
-        no graph lookups.
+        :meth:`_digest_group` (and the per-group distance BFS in
+        :meth:`_label_depths_if_needed`), so judging an entry does no
+        graph traversal of its own.
         """
         node_labels, any_edge, edge_pairs, unjudgeable = digest
         if unjudgeable:
@@ -363,7 +508,15 @@ class ResultCache:
         if not any_edge:
             return True
         if entry.ball_based:
-            return False  # any edge can rewire ball membership
+            radius = entry.radius
+            if radius is None or label_depths is None:
+                return False  # no distance information: any edge may matter
+            # Keep iff no candidate label occurs within d_Q of any
+            # edge-delta endpoint — then no ball's candidate membership
+            # (nor its candidate-to-candidate edge set) can have changed.
+            return all(
+                label_depths.get(label, _FAR) > radius for label in labels
+            )
         return all(
             source not in labels or target not in labels
             for source, target in edge_pairs

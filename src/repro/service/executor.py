@@ -81,11 +81,20 @@ class Query:
 
 @dataclass
 class ServiceStats:
-    """Aggregated service counters (cache stats plus execution counts)."""
+    """Aggregated service counters (cache stats plus execution counts).
+
+    ``coalesced`` counts queries that found an identical computation
+    already in flight and waited for it instead of racing a duplicate —
+    the single-flight path.  A coalesced query resolves as a cache hit
+    (it replays the leader's stored encoding), so N concurrent identical
+    misses show up as ``computed == 1``, ``coalesced == N - 1`` and
+    ``cache.stores == 1`` / ``cache.hits == N - 1``.
+    """
 
     queries: int = 0
     computed: int = 0
     replayed: int = 0
+    coalesced: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
 
 
@@ -255,6 +264,11 @@ class MatchService:
             max_workers=max_workers, thread_name_prefix="repro-match"
         )
         self._stats_lock = threading.Lock()
+        # Single-flight table: one Event per (graph, canonical key,
+        # algorithm, engine) currently being computed.  Followers wait on
+        # the leader's event and then replay the cached encoding.
+        self._inflight: Dict[tuple, threading.Event] = {}
+        self._inflight_lock = threading.Lock()
         # NB: "is not None" matters — an empty ResultCache is falsy.
         self.stats = ServiceStats(
             cache=self.cache.stats if self.cache is not None else CacheStats()
@@ -306,6 +320,51 @@ class MatchService:
         return self.submit(pattern, data, algorithm, engine).result()
 
     # ------------------------------------------------------------------
+    def submit_distributed(
+        self,
+        pattern: Pattern,
+        cluster,
+        radius: Optional[int] = None,
+        engine: Optional[str] = None,
+    ) -> "Future":
+        """Enqueue one Section 4.3 run against a live ``Cluster``.
+
+        The future resolves to the cluster's own
+        :class:`~repro.distributed.coordinator.DistributedRunReport`.
+        Runs on one cluster serialize on the cluster's protocol lock
+        (the bus accounting and per-query worker state demand it), but
+        with a ``backend="processes"`` cluster the site evaluation
+        happens off-GIL in the worker processes — so centralized queries
+        keep flowing on the remaining pool threads while a distributed
+        query is in flight, which a thread-backed cluster cannot offer
+        under the GIL.
+
+        Distributed results are not cached: a cluster's fragments evolve
+        through ``apply_update`` outside any single ``DiGraph``'s delta
+        stream, so the result cache has no sound invalidation signal for
+        them.
+        """
+        return self._pool.submit(
+            self._execute_distributed, pattern, cluster, radius, engine
+        )
+
+    def query_distributed(
+        self,
+        pattern: Pattern,
+        cluster,
+        radius: Optional[int] = None,
+        engine: Optional[str] = None,
+    ):
+        """Synchronous convenience: submit a distributed run and wait."""
+        return self.submit_distributed(pattern, cluster, radius, engine).result()
+
+    def _execute_distributed(self, pattern, cluster, radius, engine):
+        with self._stats_lock:
+            self.stats.queries += 1
+            self.stats.computed += 1
+        return cluster.run(pattern, radius, engine=engine)
+
+    # ------------------------------------------------------------------
     def _execute(
         self, pattern: Pattern, data: DiGraph, algorithm: str, engine: str
     ):
@@ -317,31 +376,67 @@ class MatchService:
                 self.stats.computed += 1
             return _COMPUTE[algorithm](pattern, data, engine)
         canonical = canonical_form(pattern)
-        payload = cache.lookup(data, canonical.key, algorithm, engine)
-        if payload is not None:
+        # Single-flight loop: a miss either elects this thread the
+        # leader (it computes and publishes) or finds a leader already
+        # computing the same (graph, fingerprint, algorithm, engine) key
+        # — then it waits and re-runs the lookup, which resolves to a
+        # hit replayed under this query's own pattern names.  Isomorphic
+        # patterns share the key, so N concurrent structurally identical
+        # misses cost one engine run, not N.  No deadlock is possible:
+        # an event only exists while its leader is already executing on
+        # some pool thread, and the leader never waits on anything.
+        flight_key = (data, canonical.key, algorithm, engine)
+        coalesced = False  # count each query at most once, even on retry
+        while True:
+            payload = cache.lookup(data, canonical.key, algorithm, engine)
+            if payload is not None:
+                with self._stats_lock:
+                    self.stats.replayed += 1
+                return self._decode(payload, pattern, canonical, algorithm)
+            with self._inflight_lock:
+                leader_done = self._inflight.get(flight_key)
+                if leader_done is None:
+                    self._inflight[flight_key] = threading.Event()
+                    break  # this thread computes
+            if not coalesced:
+                coalesced = True
+                with self._stats_lock:
+                    self.stats.coalesced += 1
+            leader_done.wait()
+            # Loop: the common case re-looks-up into a hit.  A miss here
+            # means the leader's store was refused (a racing mutation) or
+            # the entry was already evicted/invalidated — then this
+            # thread runs for leadership of a fresh computation.
+        try:
+            # Compute directly and hand the *engine's own* result back
+            # (byte-for-byte what a direct call returns); the cache
+            # stores the canonical encoding for future isomorphic
+            # queries.  The version is read BEFORE computing: if a
+            # mutation lands while the query runs, store() sees the gap
+            # and refuses to cache a result that no future delta
+            # delivery would know to invalidate.
+            computed_version = data.version
+            result = _COMPUTE[algorithm](pattern, data, engine)
+            cache.store(
+                data,
+                canonical.key,
+                algorithm,
+                engine,
+                canonical.label_set,
+                self._encode(result, pattern, canonical, algorithm),
+                computed_version=computed_version,
+                radius=pattern.diameter,
+            )
             with self._stats_lock:
-                self.stats.replayed += 1
-            return self._decode(payload, pattern, canonical, algorithm)
-        # Miss: compute directly and hand the *engine's own* result back
-        # (byte-for-byte what a direct call returns); the cache stores
-        # the canonical encoding for future isomorphic queries.  The
-        # version is read BEFORE computing: if a mutation lands while the
-        # query runs, store() sees the gap and refuses to cache a result
-        # that no future delta delivery would know to invalidate.
-        computed_version = data.version
-        result = _COMPUTE[algorithm](pattern, data, engine)
-        cache.store(
-            data,
-            canonical.key,
-            algorithm,
-            engine,
-            canonical.label_set,
-            self._encode(result, pattern, canonical, algorithm),
-            computed_version=computed_version,
-        )
-        with self._stats_lock:
-            self.stats.computed += 1
-        return result
+                self.stats.computed += 1
+            return result
+        finally:
+            # Publish-and-release even when the compute raises: followers
+            # wake, miss, and elect a new leader rather than hanging.
+            with self._inflight_lock:
+                done = self._inflight.pop(flight_key, None)
+            if done is not None:
+                done.set()
 
     @staticmethod
     def _encode(

@@ -44,8 +44,21 @@ from repro.core.simulation import graph_simulation
 from repro.core.strong import match
 from repro.distributed import Cluster
 from repro.distributed.coordinator import DistributedRunReport
+from repro.distributed.runtime import process_backend_available
 
 ENGINES = ("python", "kernel")
+
+#: The cluster runtime backends under differential test.  The process
+#: backend is included only where the platform can host it; callers that
+#: need an unconditional tuple use :data:`ALL_BACKENDS`.
+ALL_BACKENDS = ("inproc", "threads", "processes")
+
+
+def available_backends():
+    """The backends this platform can actually run."""
+    if process_backend_available():
+        return ALL_BACKENDS
+    return ("inproc", "threads")
 
 
 # ----------------------------------------------------------------------
@@ -111,11 +124,17 @@ def _run_dual_simulation(pattern, data, engine, **_):
     return canonical_relation(runner(pattern, data))
 
 
-def _run_cluster(pattern, data, engine, *, assignment=None, num_sites=None):
+def _run_cluster(
+    pattern, data, engine, *, assignment=None, num_sites=None, backend=None
+):
     if assignment is None or num_sites is None:
         raise ValueError("cluster entry point needs assignment and num_sites")
-    cluster = Cluster(data, assignment, num_sites, engine=engine)
-    return cluster_observation(cluster.run(pattern))
+    cluster = Cluster(data, assignment, num_sites, engine=engine,
+                      backend=backend)
+    try:
+        return cluster_observation(cluster.run(pattern))
+    finally:
+        cluster.close()
 
 
 #: name -> runner(pattern, data, engine, **kwargs) returning a canonical,
@@ -145,10 +164,12 @@ def run_entry_point(
     *,
     assignment: Optional[Dict] = None,
     num_sites: Optional[int] = None,
+    backend: Optional[str] = None,
 ):
     """Run one entry point on one engine; return its canonical observation."""
     return ENTRY_POINTS[name](
-        pattern, data, engine, assignment=assignment, num_sites=num_sites
+        pattern, data, engine, assignment=assignment, num_sites=num_sites,
+        backend=backend,
     )
 
 
@@ -159,15 +180,60 @@ def assert_entry_point_identical(
     *,
     assignment: Optional[Dict] = None,
     num_sites: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> None:
     """Assert one entry point observes identically on every engine."""
-    kwargs = {"assignment": assignment, "num_sites": num_sites}
+    kwargs = {
+        "assignment": assignment,
+        "num_sites": num_sites,
+        "backend": backend,
+    }
     reference = run_entry_point(name, ENGINES[0], pattern, data, **kwargs)
     for engine in ENGINES[1:]:
         observed = run_entry_point(name, engine, pattern, data, **kwargs)
         assert observed == reference, (
             f"{name} diverged between engines {ENGINES[0]!r} and {engine!r}"
         )
+
+
+def assert_cluster_backends_identical(
+    pattern: Pattern,
+    data: DiGraph,
+    *,
+    assignment: Dict,
+    num_sites: int,
+    engines: Tuple[str, ...] = ENGINES,
+    backends: Optional[Tuple[str, ...]] = None,
+) -> None:
+    """Assert the full protocol observation is backend-independent.
+
+    For each engine, runs one cluster per backend over the same
+    partition and compares the complete observation — canonical result
+    set, per-site partial counts, message count and units per kind and
+    per directed link.  This is the byte-identity contract of the
+    runtime layer: where the workers live (serial, thread-per-site, or
+    process-per-site) must be unobservable in the protocol.
+    """
+    if backends is None:
+        backends = available_backends()
+    for engine in engines:
+        observations = {}
+        for backend in backends:
+            observations[backend] = run_entry_point(
+                "cluster_run",
+                engine,
+                pattern,
+                data,
+                assignment=assignment,
+                num_sites=num_sites,
+                backend=backend,
+            )
+        reference = observations[backends[0]]
+        for backend in backends[1:]:
+            assert observations[backend] == reference, (
+                f"cluster_run[{engine}] diverged between backends "
+                f"{backends[0]!r} and {backend!r}"
+            )
 
 
 def assert_all_entry_points_identical(

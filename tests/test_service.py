@@ -207,18 +207,45 @@ class TestResultCache:
             service.query(pattern, graph, "match-plus")
             assert stats.hits == 2 and stats.invalidations == 0
 
-    def test_edge_deltas_invalidate_ball_based_only(self):
+    def test_edge_deltas_respect_the_ball_distance_rule(self):
+        """Edge deltas and ball-based entries: distance decides.
+
+        The spare nodes are isolated, so an edge between them lies
+        farther than ``d_Q`` from every candidate — the ``match-plus``
+        entry provably survives (PR 5's finer retention rule).  An edge
+        reaching within ``d_Q`` of a candidate must still invalidate.
+        """
         graph = _graph_with_spare_labels()
-        pattern = _label_pattern()
+        pattern = _label_pattern()  # labels {l0, l1}, d_Q = 1
         with MatchService(max_workers=1) as service:
             service.query(pattern, graph, "dual")
             service.query(pattern, graph, "match-plus")
-            graph.add_edge("s1", "s2")  # both endpoints label-disjoint
+            graph.add_edge("s1", "s2")  # spare component: beyond any ball
             stats = service.stats.cache
             service.query(pattern, graph, "dual")
             assert stats.hits == 1  # global relation provably unaffected
             service.query(pattern, graph, "match-plus")
-            assert stats.misses == 3  # ball topology may have changed
+            assert stats.hits == 2  # farther than d_Q from all candidates
+            assert stats.invalidations == 0
+            # Bridge the spare component to within d_Q of a candidate:
+            # the l0 endpoint is a candidate at distance 0, so the ball
+            # entry must drop.  The dual entry survives regardless — its
+            # rule only needs one endpoint (here ``spare``) outside L.
+            l0_node = next(
+                node for node in graph.nodes() if graph.label(node) == "l0"
+            )
+            graph.add_edge("s2", l0_node)
+            service.query(pattern, graph, "dual")
+            service.query(pattern, graph, "match-plus")
+            assert stats.invalidations == 1
+            assert stats.misses == 3
+            # Re-warm, then mutate one hop farther out: s1 is now at
+            # distance 2 > d_Q of the candidate, s0 arrives isolated —
+            # the ball entry survives again.
+            graph.add_node("s0", "spare")
+            service.query(pattern, graph, "match-plus")
+            graph.add_edge("s0", "s1")
+            service.query(pattern, graph, "match-plus")
             assert stats.invalidations == 1
 
     def test_overlapping_deltas_invalidate(self):
@@ -461,3 +488,185 @@ class TestParallelClusterRun:
         assert cluster_observation(parallel_report) == cluster_observation(
             serial_report
         )
+
+
+# ----------------------------------------------------------------------
+# Single-flight deduplication of concurrent identical misses
+# ----------------------------------------------------------------------
+class TestSingleFlight:
+    def _blocking_compute(self, entered, release, calls):
+        import repro.service.executor as executor_module
+
+        real = executor_module._COMPUTE["dual"]
+
+        def blocking(pattern, data, engine):
+            calls.append(threading.current_thread().name)
+            entered.set()
+            assert release.wait(timeout=30), "test never released the leader"
+            return real(pattern, data, engine)
+
+        return blocking
+
+    def _await_coalesced(self, service, expected):
+        import time
+
+        deadline = time.monotonic() + 30
+        while (
+            service.stats.coalesced < expected
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+        assert service.stats.coalesced == expected
+
+    def test_concurrent_identical_misses_share_one_computation(
+        self, monkeypatch
+    ):
+        """The barrier test of the single-flight contract: N concurrent
+        submissions of isomorphic patterns — all missing, the leader
+        parked mid-compute so every follower provably arrives *during*
+        the flight — yield exactly 1 engine run and 1 store; the N-1
+        followers wait and resolve as cache hits."""
+        import repro.service.executor as executor_module
+
+        graph = random_digraph(11, max_nodes=20, edge_prob=0.2)
+        pattern = _label_pattern()
+        n = 4
+        entered, release = threading.Event(), threading.Event()
+        calls = []
+        monkeypatch.setitem(
+            executor_module._COMPUTE,
+            "dual",
+            self._blocking_compute(entered, release, calls),
+        )
+        with MatchService(max_workers=n) as service:
+            leader_future = service.submit(pattern, graph, "dual")
+            assert entered.wait(timeout=30)  # the leader is computing
+            followers = [
+                (twin, service.submit(twin, graph, "dual"))
+                for twin in (
+                    permuted_pattern(pattern, i) for i in range(1, n)
+                )
+            ]
+            self._await_coalesced(service, n - 1)  # all parked in-flight
+            release.set()
+            from repro.core.dualsim import dual_simulation
+
+            expected = dual_simulation(pattern, graph).pair_set()
+            assert leader_future.result(timeout=30).pair_set() == expected
+            for twin, future in followers:
+                # Replayed under the twin's own node names: equal to a
+                # direct computation for that twin, not to the leader's.
+                assert future.result(timeout=30).pair_set() == (
+                    dual_simulation(twin, graph).pair_set()
+                )
+            assert len(calls) == 1, "duplicate engine runs raced"
+            stats = service.stats
+            assert stats.computed == 1 and stats.replayed == n - 1
+            assert stats.coalesced == n - 1
+            assert stats.cache.stores == 1
+            assert stats.cache.hits == n - 1
+
+    def test_leader_failure_elects_a_new_leader(self, monkeypatch):
+        """A follower must not inherit the leader's exception: it wakes,
+        misses, and runs the computation itself."""
+        import repro.service.executor as executor_module
+
+        graph = random_digraph(12, max_nodes=15, edge_prob=0.2)
+        pattern = _label_pattern()
+        real = executor_module._COMPUTE["dual"]
+        entered, release = threading.Event(), threading.Event()
+        attempts = []
+
+        def flaky(pattern_, data, engine):
+            attempts.append(1)
+            if len(attempts) == 1:
+                entered.set()
+                assert release.wait(timeout=30)
+                raise RuntimeError("injected leader failure")
+            return real(pattern_, data, engine)
+
+        monkeypatch.setitem(executor_module._COMPUTE, "dual", flaky)
+        with MatchService(max_workers=2) as service:
+            leader_future = service.submit(pattern, graph, "dual")
+            assert entered.wait(timeout=30)
+            follower_future = service.submit(
+                permuted_pattern(pattern, 5), graph, "dual"
+            )
+            self._await_coalesced(service, 1)
+            release.set()
+            with pytest.raises(RuntimeError, match="injected"):
+                leader_future.result(timeout=30)
+            relation = follower_future.result(timeout=30)
+        assert len(attempts) == 2
+        twin = permuted_pattern(pattern, 5)
+        assert relation.pair_set() == real(twin, graph, "auto").pair_set()
+
+
+# ----------------------------------------------------------------------
+# Ball-based edge-delta retention vs fresh recomputation
+# ----------------------------------------------------------------------
+class TestBallDistanceRetention:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=graph_seeds,
+        pattern_seed=pattern_seeds,
+        op_seed=st.integers(min_value=0, max_value=400),
+    )
+    def test_edge_deltas_stay_exact_vs_fresh_recomputation(
+        self, seed, pattern_seed, op_seed
+    ):
+        """Random edge insertions/removals — some far from every
+        candidate (provably retained), some near (invalidated) — against
+        warm ``match``/``match-plus`` entries: every post-delta answer
+        must equal a fresh direct computation.  A single wrongly
+        retained entry surfaces as a stale hit here."""
+        from repro.core.strong import match as direct_match
+
+        graph = random_digraph(seed, max_nodes=12, edge_prob=0.25)
+        # A far satellite component in a label the pattern never uses:
+        # edges inside it exercise the retention branch of the rule.
+        for i in range(4):
+            graph.add_node(f"far{i}", "spare")
+        graph.add_edge("far0", "far1")
+        pattern = random_connected_pattern(pattern_seed, max_nodes=3)
+        rng = random.Random(op_seed)
+        with MatchService(max_workers=1) as service:
+            for _ in range(8):
+                service.query(pattern, graph, "match")
+                service.query(pattern, graph, "match-plus")
+                nodes = list(graph.nodes())
+                source, target = rng.choice(nodes), rng.choice(nodes)
+                if graph.has_edge(source, target):
+                    graph.remove_edge(source, target)
+                else:
+                    graph.add_edge(source, target)
+                assert canonical_result(
+                    service.query(pattern, graph, "match")
+                ) == canonical_result(direct_match(pattern, graph))
+                assert canonical_result(
+                    service.query(pattern, graph, "match-plus")
+                ) == canonical_result(match_plus(pattern, graph))
+            assert service.stats.cache.retained >= 0  # counters coherent
+
+    def test_far_edges_actually_retain(self):
+        """The rule must not be vacuous: a mutation stream confined to a
+        distant spare component keeps ball-based entries live through
+        every delta (stores stay at the warm-up count)."""
+        graph = random_digraph(7, max_nodes=10, num_labels=2, edge_prob=0.3)
+        for i in range(5):
+            graph.add_node(f"far{i}", "spare")
+        pattern = _label_pattern()
+        with MatchService(max_workers=1) as service:
+            service.query(pattern, graph, "match")
+            service.query(pattern, graph, "match-plus")
+            stats = service.stats.cache
+            assert stats.stores == 2
+            hits = 0
+            for i in range(4):
+                graph.add_edge(f"far{i}", f"far{i + 1}")
+                service.query(pattern, graph, "match")
+                service.query(pattern, graph, "match-plus")
+                hits += 2
+            assert stats.hits == hits, "far edges must keep entries live"
+            assert stats.stores == 2 and stats.invalidations == 0
+            assert stats.retained >= 8
