@@ -5,10 +5,13 @@ record rather than gate it: pure-Python site evaluation serializes on
 the GIL at any core count.  The process backend is the payoff of that
 architecture — one OS process per site evaluates off-GIL on real cores.
 This benchmark times one warm cluster per backend (``inproc`` |
-``threads`` | ``processes``) on the same bfs-partitioned graph, for both
-engines, asserting first that the full protocol observation is
+``threads`` | ``processes``) on the same bfs-partitioned graph, for all
+three engines, asserting first that the full protocol observation is
 **byte-identical** across backends (the runtime contract), then timing
-repeated queries.
+repeated queries.  The numpy engine is the interesting ``threads`` case:
+its heavy passes run inside ufuncs that release the GIL, so the thread
+backend can genuinely scale with cores — the thread-over-inproc ratio is
+recorded per engine to capture that.
 
 Gate: on a full (non-smoke) small-scale run with at least as many CPUs
 as sites, the process backend must beat the thread backend by ≥ 1.5x
@@ -63,7 +66,7 @@ def test_process_backend_beats_threads(scale):
     ]
     sections: Dict[str, Dict] = {}
     speedups: Dict[str, float] = {}
-    for engine in ("python", "kernel"):
+    for engine in ("python", "kernel", "numpy"):
         observations = {}
         seconds = {}
         clusters = {
@@ -93,17 +96,22 @@ def test_process_backend_beats_threads(scale):
         speedup = round(
             seconds["threads"] / max(seconds["processes"], 1e-9), 3
         )
+        thread_scaling = round(
+            seconds["inproc"] / max(seconds["threads"], 1e-9), 3
+        )
         speedups[engine] = speedup
         sections[engine] = {
             "inproc_s": round(seconds["inproc"], 6),
             "threads_s": round(seconds["threads"], 6),
             "processes_s": round(seconds["processes"], 6),
             "proc_over_thread_speedup": speedup,
+            "threads_over_inproc_speedup": thread_scaling,
         }
         lines.append(
             f"{engine}: inproc {seconds['inproc']:.4f}s, threads "
             f"{seconds['threads']:.4f}s, processes "
-            f"{seconds['processes']:.4f}s -> {speedup:.2f}x proc/thread"
+            f"{seconds['processes']:.4f}s -> {speedup:.2f}x proc/thread, "
+            f"{thread_scaling:.2f}x thread/inproc"
         )
 
     gated = not smoke and cpus >= SITES
@@ -151,6 +159,11 @@ def test_process_backend_beats_threads(scale):
 
     if gated and payload["scale"] == "small":
         for engine, speedup in speedups.items():
+            if engine == "numpy":
+                # The numpy engine's GIL-releasing ufuncs let *threads*
+                # scale too, so processes-over-threads is not the claim
+                # there; its ratios are recorded, not gated.
+                continue
             assert speedup >= PROC_OVER_THREAD_SMALL_SCALE_BAR, (
                 f"process backend speedup {speedup}x on {engine!r} fell "
                 f"below {PROC_OVER_THREAD_SMALL_SCALE_BAR}x over threads "

@@ -34,6 +34,7 @@ from typing import Dict, List
 from repro.core.matchplus import match_plus
 from repro.core.dualsim import dual_simulation
 from repro.core.kernel import dual_simulation_kernel, get_index
+from repro.core.npkernel import dual_simulation_numpy, get_array_view
 from repro.core.strong import match
 from repro.experiments.performance import (
     random_insertion_stream,
@@ -48,6 +49,9 @@ PATTERN_SIZE = 10
 PATTERN_REPEATS = 3
 TIMING_REPS = 3
 MATCH_PLUS_SMALL_SCALE_BAR = 2.0
+NUMPY_MATCH_PLUS_SMALL_SCALE_BAR = 1.5
+NUMPY_BENCH_PATTERN_SIZE = 6
+NUMPY_BENCH_LABELS = 4
 DISTRIBUTED_SMALL_SCALE_BAR = 1.5
 DISTRIBUTED_SITES = 4
 DISTRIBUTED_PATTERN_SIZE = 6
@@ -72,17 +76,18 @@ def test_kernel_vs_python_engines(scale):
     # to the smaller sizes so the benchmark stays minutes, not hours.
     match_sizes = set(sweep[: 1 if smoke else 2])
 
+    engines = ("python", "kernel", "numpy")
     rows: List[Dict] = []
-    totals = {"match_plus": {"python": 0.0, "kernel": 0.0},
-              "match": {"python": 0.0, "kernel": 0.0},
-              "dual": {"python": 0.0, "kernel": 0.0}}
+    totals = {key: {engine: 0.0 for engine in engines}
+              for key in ("match_plus", "match", "dual")}
     for n in sweep:
         data = generate_graph(
             int(n), alpha=1.2, num_labels=scale["labels"], seed=29
         )
-        get_index(data)  # compile once; the row times show amortized cost
+        get_array_view(get_index(data))  # compile + array view once;
+        # the row times show amortized cost for all three engines.
         row = {"n": int(n), "patterns": 0}
-        times = {key: {"python": 0.0, "kernel": 0.0} for key in totals}
+        times = {key: {engine: 0.0 for engine in engines} for key in totals}
         for repeat in range(PATTERN_REPEATS):
             pattern = sample_pattern_from_data(
                 data, PATTERN_SIZE, seed=441 + repeat
@@ -91,58 +96,81 @@ def test_kernel_vs_python_engines(scale):
                 continue
             row["patterns"] += 1
 
-            reference = match_plus(pattern, data, engine="python")
-            kernel_result = match_plus(pattern, data, engine="kernel")
-            assert _canonical(kernel_result) == _canonical(reference), (
-                f"match_plus results diverged at |V|={n}, repeat={repeat}"
-            )
-            times["match_plus"]["python"] += best_of(
-                lambda: match_plus(pattern, data, engine="python"),
-                TIMING_REPS,
-            )
-            times["match_plus"]["kernel"] += best_of(
-                lambda: match_plus(pattern, data, engine="kernel"),
-                TIMING_REPS,
-            )
+            reference = _canonical(match_plus(pattern, data, engine="python"))
+            for engine in ("kernel", "numpy"):
+                assert _canonical(
+                    match_plus(pattern, data, engine=engine)
+                ) == reference, (
+                    f"match_plus/{engine} diverged at |V|={n}, "
+                    f"repeat={repeat}"
+                )
+            for engine in engines:
+                times["match_plus"][engine] += best_of(
+                    lambda engine=engine: match_plus(
+                        pattern, data, engine=engine
+                    ),
+                    TIMING_REPS,
+                )
 
+            dual_reference = _relation_canonical(
+                dual_simulation(pattern, data)
+            )
             assert _relation_canonical(
                 dual_simulation_kernel(pattern, data)
-            ) == _relation_canonical(dual_simulation(pattern, data))
-            times["dual"]["python"] += best_of(
-                lambda: dual_simulation(pattern, data), TIMING_REPS
-            )
-            times["dual"]["kernel"] += best_of(
-                lambda: dual_simulation_kernel(pattern, data), TIMING_REPS
-            )
+            ) == dual_reference
+            assert _relation_canonical(
+                dual_simulation_numpy(pattern, data)
+            ) == dual_reference
+            dual_fns = {
+                "python": dual_simulation,
+                "kernel": dual_simulation_kernel,
+                "numpy": dual_simulation_numpy,
+            }
+            for engine in engines:
+                times["dual"][engine] += best_of(
+                    lambda engine=engine: dual_fns[engine](pattern, data),
+                    TIMING_REPS,
+                )
 
             if n in match_sizes:
-                assert _canonical(
-                    match(pattern, data, engine="kernel")
-                ) == _canonical(match(pattern, data, engine="python")), (
-                    f"match results diverged at |V|={n}, repeat={repeat}"
+                match_reference = _canonical(
+                    match(pattern, data, engine="python")
                 )
-                times["match"]["python"] += best_of(
-                    lambda: match(pattern, data, engine="python"), 1
-                )
-                times["match"]["kernel"] += best_of(
-                    lambda: match(pattern, data, engine="kernel"), 1
-                )
+                for engine in ("kernel", "numpy"):
+                    assert _canonical(
+                        match(pattern, data, engine=engine)
+                    ) == match_reference, (
+                        f"match/{engine} diverged at |V|={n}, "
+                        f"repeat={repeat}"
+                    )
+                for engine in engines:
+                    times["match"][engine] += best_of(
+                        lambda engine=engine: match(
+                            pattern, data, engine=engine
+                        ),
+                        1,
+                    )
 
         for key in totals:
             python_s = times[key]["python"]
             kernel_s = times[key]["kernel"]
-            totals[key]["python"] += python_s
-            totals[key]["kernel"] += kernel_s
+            numpy_s = times[key]["numpy"]
+            for engine in engines:
+                totals[key][engine] += times[key][engine]
             row[key] = {
                 "python_s": round(python_s, 6),
                 "kernel_s": round(kernel_s, 6),
+                "numpy_s": round(numpy_s, 6),
                 "speedup": round(python_s / kernel_s, 3) if kernel_s else None,
+                "numpy_speedup": (
+                    round(python_s / numpy_s, 3) if numpy_s else None
+                ),
             }
         rows.append(row)
 
-    def speedup(key: str):
-        kernel_s = totals[key]["kernel"]
-        return round(totals[key]["python"] / kernel_s, 3) if kernel_s else None
+    def speedup(key: str, engine: str = "kernel"):
+        engine_s = totals[key][engine]
+        return round(totals[key]["python"] / engine_s, 3) if engine_s else None
 
     # ------------------------------------------------------------------
     # Distributed protocol: python vs kernel cluster on one small
@@ -266,6 +294,62 @@ def test_kernel_vs_python_engines(scale):
         "incremental_full_compiles_after_priming": inc_run.full_compiles,
     }
 
+    # ------------------------------------------------------------------
+    # numpy vs kernel head-to-head: the batched array engine against the
+    # compiled-kernel engine on the ``Match+`` workload it was built
+    # for — a moderately labeled synthetic graph where the dual filter
+    # leaves real per-ball work.  (On the label-sparse sweep above the
+    # per-query cost is ~1 ms and the kernel's low fixed overhead wins;
+    # ROADMAP.md records the regime guidance.)
+    # ------------------------------------------------------------------
+    np_n = 600 if smoke else 2500
+    np_data = generate_graph(
+        np_n, alpha=1.2, num_labels=NUMPY_BENCH_LABELS, seed=29
+    )
+    np_pattern = sample_pattern_from_data(
+        np_data, NUMPY_BENCH_PATTERN_SIZE, seed=441
+    )
+    assert np_pattern is not None
+    get_array_view(get_index(np_data))
+    assert _canonical(
+        match_plus(np_pattern, np_data, engine="numpy")
+    ) == _canonical(
+        match_plus(np_pattern, np_data, engine="kernel")
+    ), "numpy-vs-kernel section results diverged"
+    np_times = {
+        engine: best_of(
+            lambda engine=engine: match_plus(
+                np_pattern, np_data, engine=engine
+            ),
+            TIMING_REPS,
+        )
+        for engine in ("kernel", "numpy")
+    }
+    np_speedup = (
+        round(np_times["kernel"] / np_times["numpy"], 3)
+        if np_times["numpy"]
+        else None
+    )
+    numpy_section = {
+        "workload": (
+            f"match_plus, synthetic |V|={np_n}, alpha=1.2, "
+            f"{NUMPY_BENCH_LABELS} labels, |Vq|={NUMPY_BENCH_PATTERN_SIZE}"
+        ),
+        "n": np_n,
+        "pattern_size": NUMPY_BENCH_PATTERN_SIZE,
+        "num_labels": NUMPY_BENCH_LABELS,
+        "kernel_s": round(np_times["kernel"], 6),
+        "numpy_s": round(np_times["numpy"], 6),
+        "speedup_vs_kernel": np_speedup,
+        "note": (
+            "smoke scale: |V|=600, no speedup gate (the batched engine's "
+            "advantage needs the full |V|=2500 workload)"
+            if smoke
+            else f"gated at >= {NUMPY_MATCH_PLUS_SMALL_SCALE_BAR}x at "
+            "small scale"
+        ),
+    }
+
     payload = {
         "benchmark": "bench_kernel",
         "workload": "fig8g synthetic shapes (alpha=1.2, sampled patterns)",
@@ -278,12 +362,15 @@ def test_kernel_vs_python_engines(scale):
             key: {
                 "python_s": round(totals[key]["python"], 6),
                 "kernel_s": round(totals[key]["kernel"], 6),
+                "numpy_s": round(totals[key]["numpy"], 6),
                 "speedup": speedup(key),
+                "numpy_speedup": speedup(key, "numpy"),
             }
             for key in totals
         },
         "distributed": distributed_section,
         "incremental": incremental_section,
+        "numpy_vs_kernel": numpy_section,
         "equivalence": "all result sets identical across engines",
     }
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -291,8 +378,9 @@ def test_kernel_vs_python_engines(scale):
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
 
-    lines = ["Kernel engine vs reference engine (seconds, lower is better)",
-             f"{'|V|':>8} {'algorithm':>11} {'python':>10} {'kernel':>10} {'speedup':>8}"]
+    lines = ["Compiled engines vs reference engine (seconds, lower is better)",
+             f"{'|V|':>8} {'algorithm':>11} {'python':>10} {'kernel':>10} "
+             f"{'numpy':>10} {'speedup':>8}"]
     for row in rows:
         for key in ("match_plus", "match", "dual"):
             if row[key]["kernel_s"]:
@@ -300,6 +388,7 @@ def test_kernel_vs_python_engines(scale):
                     f"{row['n']:>8} {key:>11} "
                     f"{row[key]['python_s']:>10.4f} "
                     f"{row[key]['kernel_s']:>10.4f} "
+                    f"{row[key]['numpy_s']:>10.4f} "
                     f"{row[key]['speedup']:>8.2f}"
                 )
     for key in ("match_plus", "match", "dual"):
@@ -308,6 +397,7 @@ def test_kernel_vs_python_engines(scale):
                 f"{'TOTAL':>8} {key:>11} "
                 f"{totals[key]['python']:>10.4f} "
                 f"{totals[key]['kernel']:>10.4f} "
+                f"{totals[key]['numpy']:>10.4f} "
                 f"{speedup(key):>8.2f}"
             )
     if dist_speedup is not None:
@@ -322,6 +412,11 @@ def test_kernel_vs_python_engines(scale):
         f"warm={inc_s:.4f}s recompile={rec_s:.4f}s reference={ref_s:.4f}s "
         f"-> {inc_speedup:.2f}x vs recompile, "
         f"{inc_run.full_compiles} full recompiles"
+    )
+    lines.append(
+        f"numpy vs kernel (match_plus, |V|={np_n}, "
+        f"{NUMPY_BENCH_LABELS} labels): kernel={np_times['kernel']:.4f}s "
+        f"numpy={np_times['numpy']:.4f}s -> {np_speedup:.2f}x"
     )
     emit("bench_kernel", "\n".join(lines))
 
@@ -338,4 +433,9 @@ def test_kernel_vs_python_engines(scale):
             f"incremental index maintenance speedup {inc_speedup} fell "
             f"below {INCREMENTAL_SMALL_SCALE_BAR}x over recompile-per-query "
             "on the update workload"
+        )
+        assert np_speedup >= NUMPY_MATCH_PLUS_SMALL_SCALE_BAR, (
+            f"numpy match_plus speedup over kernel {np_speedup} fell "
+            f"below {NUMPY_MATCH_PLUS_SMALL_SCALE_BAR}x on the "
+            "numpy-vs-kernel workload"
         )

@@ -22,6 +22,12 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.9",
+    install_requires=[
+        # The engine="numpy" array engine; the python and kernel engines
+        # run without it (resolve_engine degrades gracefully), but the
+        # default install ships all three.
+        "numpy",
+    ],
     classifiers=[
         "Development Status :: 4 - Beta",
         "Intended Audience :: Science/Research",

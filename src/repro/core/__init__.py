@@ -30,6 +30,7 @@ from repro.core.digraph import DiGraph, GraphDelta
 from repro.core.dualfilter import dual_filter
 from repro.core.incremental import IncrementalDualSimulation, IncrementalMatcher
 from repro.core.kernel import (
+    NUMPY_AVAILABLE,
     GraphIndex,
     IndexStats,
     dual_simulation_kernel,
@@ -37,6 +38,7 @@ from repro.core.kernel import (
     index_maintenance,
     set_index_maintenance,
 )
+from repro.core.npkernel import dual_simulation_numpy, graph_simulation_numpy
 from repro.core.indexing import IndexedMatcher, NeighborhoodLabelIndex
 from repro.core.regex import LabelNfa, compile_regex, regex_predecessors, regex_successors
 from repro.core.regular import (
@@ -94,6 +96,7 @@ __all__ = [
     "Ball",
     "BoundedPattern",
     "DiGraph",
+    "NUMPY_AVAILABLE",
     "GraphDelta",
     "GraphIndex",
     "IndexStats",
@@ -132,6 +135,8 @@ __all__ = [
     "dual_simulation",
     "dual_simulation_kernel",
     "dual_simulation_naive",
+    "dual_simulation_numpy",
+    "graph_simulation_numpy",
     "extract_ball",
     "extract_ball_restricted",
     "extract_max_perfect_subgraph",

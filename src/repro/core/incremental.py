@@ -24,7 +24,7 @@ implements both observations:
   within d_Q).  Only those balls are re-evaluated.
 
 Both classes take an ``engine`` argument (``"auto"`` | ``"kernel"`` |
-``"python"``), mirroring the matching entry points:
+``"numpy"`` | ``"python"``), mirroring the matching entry points:
 
 * ``"python"`` — the reference path: the cascade revalidates pairs with
   set scans over ``DiGraph`` adjacency, insertions re-run the set-based
@@ -39,9 +39,17 @@ Both classes take an ``engine`` argument (``"auto"`` | ``"kernel"`` |
   over the CSR arrays; and :class:`IncrementalMatcher` re-evaluates
   affected balls via kernel ball extraction.  Output-identical to the
   reference path after every update.
+* ``"numpy"`` — the same compiled substrate walked by the vectorized
+  passes of :mod:`repro.core.npkernel`.  Deletions and insertions alike
+  re-establish the relation with a warm vectorized full fixpoint (array
+  recomputation replaces pointer-chasing counter maintenance — the
+  whole-array pass is the cheaper primitive on this engine), and
+  :class:`IncrementalMatcher` re-evaluates affected balls with the array
+  ball matcher.  Output-identical again.
 * ``"auto"`` (default) — the standard heuristic of
   :func:`~repro.core.kernel.resolve_engine` (kernel unless the graph is
-  tiny and unindexed), resolved once at construction.
+  tiny and unindexed, numpy past the large-graph threshold), resolved
+  once at construction.
 """
 
 from __future__ import annotations
@@ -65,6 +73,7 @@ from repro.core.kernel import (
     resolve_engine,
 )
 from repro.core.matchrel import MatchRelation
+from repro.core.npkernel import np_dual_sim_ids, np_evaluate_ball
 from repro.core.pattern import Pattern
 from repro.core.result import MatchResult, PerfectSubgraph
 from repro.core.simulation import initial_candidates
@@ -106,6 +115,9 @@ class IncrementalDualSimulation:
             self._cp = _CompiledPattern(pattern)
             self._gi: GraphIndex  # set (with _compiles_seen) by the call:
             self._kernel_refixpoint()
+        elif self.engine == "numpy":
+            self._cp = _CompiledPattern(pattern)
+            self._np_refixpoint()
         else:
             self._sim: Dict[Node, Set[Node]] = dual_simulation(
                 pattern, data
@@ -115,7 +127,7 @@ class IncrementalDualSimulation:
     @property
     def relation(self) -> MatchRelation:
         """The current maximum dual-simulation relation."""
-        if self.engine == "kernel":
+        if self.engine != "python":
             nodes = self._gi.nodes
             cp = self._cp
             return MatchRelation(
@@ -177,6 +189,29 @@ class IncrementalDualSimulation:
         self._cnt_up = cnt_up
         self._gi = gi
         self._compiles_seen = gi.stats.full_compiles
+
+    # ------------------------------------------------------------------
+    # NumPy substrate: warm vectorized refixpoints over the same index
+    # ------------------------------------------------------------------
+    def _np_refixpoint(self) -> None:
+        """Re-establish the gfp with one vectorized array fixpoint.
+
+        On this engine the whole-array pass *is* the cheap primitive, so
+        deletions and insertions alike re-run it from label seeds over
+        the warm (delta-maintained) index instead of maintaining sparse
+        witness counters pair by pair; the unique greatest fixpoint makes
+        the result identical to the kernel's incremental cascade.
+        """
+        gi = get_index(self.data)
+        self._sim_ids = np_dual_sim_ids(self._cp, gi)
+        self._gi = gi
+        self._compiles_seen = gi.stats.full_compiles
+
+    def _np_reestablish_after_deletion(self) -> None:
+        """Refixpoint a deletion, keeping the removal count observable."""
+        before = sum(len(s) for s in self._sim_ids)
+        self._np_refixpoint()
+        self.cascade_removals += before - sum(len(s) for s in self._sim_ids)
 
     def _kernel_seed_removed_edge(
         self, v: int, w: int, pending: Deque[Pair]
@@ -304,6 +339,10 @@ class IncrementalDualSimulation:
         if self.engine == "kernel":
             self._kernel_remove_edge(source, target)
             return
+        if self.engine == "numpy":
+            self.data.remove_edge(source, target)
+            self._np_reestablish_after_deletion()
+            return
         self.data.remove_edge(source, target)
         seeds = [
             (u, source) for u in self.pattern.nodes() if source in self._sim[u]
@@ -328,6 +367,10 @@ class IncrementalDualSimulation:
                 s.discard(node_id)
             self.data.remove_node(node)
             self._sync_index()
+            return
+        if self.engine == "numpy":
+            self.data.remove_node(node)
+            self._np_reestablish_after_deletion()
             return
         neighbors = set(self.data.successors_raw(node)) | set(
             self.data.predecessors_raw(node)
@@ -362,6 +405,9 @@ class IncrementalDualSimulation:
         if self.engine == "kernel":
             self._kernel_refixpoint()
             return
+        if self.engine == "numpy":
+            self._np_refixpoint()
+            return
         seeds = initial_candidates(self.pattern, self.data)
         self._sim = dual_simulation(
             self.pattern, self.data, seeds=seeds
@@ -380,6 +426,9 @@ class IncrementalDualSimulation:
             cp = self._cp
             if cp.size == 1 and not cp.edges and cp.labels[0] == label:
                 self._sim_ids[0].add(gi.index_of[node])
+            return
+        if self.engine == "numpy":
+            self._np_refixpoint()
             return
         if self.pattern.num_nodes == 1:
             u = next(iter(self.pattern.nodes()))
@@ -410,7 +459,9 @@ class IncrementalMatcher:
         self.data = data
         self.engine = resolve_engine(engine, data)
         self.radius = pattern.diameter
-        self._cp = _CompiledPattern(pattern) if self.engine == "kernel" else None
+        self._cp = (
+            _CompiledPattern(pattern) if self.engine != "python" else None
+        )
         self._cache: Dict[Node, Optional[PerfectSubgraph]] = {}
         self.balls_recomputed = 0
         self._evaluate_all()
@@ -420,6 +471,11 @@ class IncrementalMatcher:
         if self.engine == "kernel":
             gi = get_index(self.data)
             return _match_ball(
+                self._cp, gi, gi.index_of[center], self.radius
+            )
+        if self.engine == "numpy":
+            gi = get_index(self.data)
+            return np_evaluate_ball(
                 self._cp, gi, gi.index_of[center], self.radius
             )
         ball = extract_ball(self.data, center, self.radius)
@@ -445,7 +501,7 @@ class IncrementalMatcher:
         """Centers within d_Q of either endpoint (edge currently present)."""
         affected: Set[Node] = set()
         endpoints = (source,) if source == target else (source, target)
-        if self.engine == "kernel":
+        if self.engine != "python":  # both compiled engines share the BFS
             gi = get_index(self.data)
             for endpoint in endpoints:
                 endpoint_id = gi.index_of.get(endpoint)

@@ -69,7 +69,10 @@ layout.
 
 Callers normally do not import this module directly: ``match`` and
 ``match_plus`` take an ``engine`` argument (``"auto"`` | ``"kernel"`` |
-``"python"``) and route here, as does the CLI via ``--engine``.
+``"numpy"`` | ``"python"``) and route here, as does the CLI via
+``--engine``.  The ``"numpy"`` engine (:mod:`repro.core.npkernel`)
+shares this module's compiled indexes but replaces the per-node loops
+with vectorized array passes.
 """
 
 from __future__ import annotations
@@ -97,12 +100,24 @@ from repro.core.pattern import Pattern
 from repro.core.result import MatchResult, PerfectSubgraph
 from repro.exceptions import GraphError, MatchingError, NodeNotFound
 
-ENGINES = ("auto", "kernel", "python")
+try:  # The numpy engine is optional; probe availability once at import.
+    import numpy as _numpy_probe  # noqa: F401
+    NUMPY_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised via a subprocess test
+    NUMPY_AVAILABLE = False
+
+ENGINES = ("auto", "kernel", "numpy", "python")
 
 #: ``"auto"`` falls back to the reference engine below this ``|V| + |E|``
 #: when the graph has no compiled index yet: for a one-shot tiny query
 #: the O(|V| + |E|) compilation cannot amortize.
 TINY_AUTO_THRESHOLD = 256
+
+#: ``"auto"`` prefers the vectorized numpy engine at or above this
+#: ``|V| + |E|`` (when numpy is installed): the per-call dispatch
+#: overhead of array operations amortizes once the CSR rows are a few
+#: thousand entries, and below it the per-node kernel loops win.
+NUMPY_AUTO_THRESHOLD = 2048
 
 #: A pending removal: (pattern node id, data node id).
 Pair = Tuple[int, int]
@@ -116,19 +131,32 @@ _DEAD = object()
 def resolve_engine(engine: str, data: Optional[DiGraph] = None) -> str:
     """Validate ``engine`` and collapse ``"auto"`` to a concrete choice.
 
-    ``"auto"`` selects the kernel — output-identical to the reference
-    path and at least as fast on every workload we benchmark — with one
-    exception: when ``data`` is given, is tiny (``|V| + |E| <``
+    ``"auto"`` selects a compiled engine — output-identical to the
+    reference path and at least as fast on every workload we benchmark —
+    by size: when ``data`` is given, is tiny (``|V| + |E| <``
     :data:`TINY_AUTO_THRESHOLD`) and has no compiled index cached yet,
     the reference engine is chosen, because a one-shot query on a tiny
-    graph cannot amortize compilation.  A cached index (even one with
-    pending deltas — syncing is cheaper than compiling) always means
-    kernel.  Without ``data`` the answer is ``"kernel"``, preserving the
-    pre-heuristic behavior for callers that validate only.
+    graph cannot amortize compilation (a cached index — even one with
+    pending deltas, syncing is cheaper than compiling — always means a
+    compiled engine); at or above :data:`NUMPY_AUTO_THRESHOLD` the
+    vectorized numpy engine is chosen when numpy is installed (it shares
+    the same cached :class:`GraphIndex`); everything in between is the
+    per-node kernel.  Without ``data`` the answer is ``"kernel"``,
+    preserving the pre-heuristic behavior for callers that validate only.
+
+    ``"numpy"`` requested explicitly without numpy installed raises
+    :class:`~repro.exceptions.MatchingError` — the ``python`` and
+    ``kernel`` engines stay fully functional, and ``"auto"`` never
+    selects numpy in that case.
     """
     if engine not in ENGINES:
         raise ValueError(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    if engine == "numpy" and not NUMPY_AVAILABLE:
+        raise MatchingError(
+            "engine='numpy' requires numpy, which is not installed; "
+            "the 'kernel' and 'python' engines remain fully functional"
         )
     if engine != "auto":
         return engine
@@ -138,6 +166,12 @@ def resolve_engine(engine: str, data: Optional[DiGraph] = None) -> str:
         and _INDEX_CACHE.get(data) is None
     ):
         return "python"
+    if (
+        NUMPY_AVAILABLE
+        and data is not None
+        and data.size >= NUMPY_AUTO_THRESHOLD
+    ):
+        return "numpy"
     return "kernel"
 
 
@@ -197,6 +231,7 @@ class GrowableCSRIndex:
         "rev_rows",
         "und_rows",
         "_visit_tls",
+        "_np_view",
         "__weakref__",
     )
 
@@ -208,6 +243,10 @@ class GrowableCSRIndex:
         self.rev_rows: List[List[int]] = []
         self.und_rows: List[List[int]] = []
         self._visit_tls = threading.local()
+        # Cached numpy array view of the rows (built lazily by
+        # repro.core.npkernel); every mutation drops it, so a stale view
+        # can never be served.  None also when numpy is not installed.
+        self._np_view = None
 
     def _new_slot(self, node: Node) -> int:
         """Append an empty slot for ``node``; returns its (stable) id."""
@@ -218,6 +257,7 @@ class GrowableCSRIndex:
         self.fwd_rows.append([])
         self.rev_rows.append([])
         self.und_rows.append([])
+        self._np_view = None
         return i
 
     def _csr_add_edge(self, s: int, t: int) -> None:
@@ -236,6 +276,7 @@ class GrowableCSRIndex:
             und_t = self.und_rows[t]
             if s not in und_t:
                 und_t.append(s)
+        self._np_view = None
 
     def _csr_remove_edge(self, s: int, t: int) -> None:
         """Patch all three views for a removed edge ``s -> t`` (both rows)."""
@@ -247,6 +288,7 @@ class GrowableCSRIndex:
             self.und_rows[s].remove(t)
             if s != t:
                 self.und_rows[t].remove(s)
+        self._np_view = None
 
     def visit_state(self) -> _VisitState:
         """This thread's visited buffer, grown to cover every slot.
@@ -335,6 +377,7 @@ class GraphIndex(GrowableCSRIndex):
         "_pending",
         "_overflowed",
         "_removed_weight",
+        "_read_guard",
     )
 
     def __init__(self, graph: DiGraph) -> None:
@@ -342,8 +385,25 @@ class GraphIndex(GrowableCSRIndex):
         self.stats = IndexStats()
         self._pending: List[GraphDelta] = []
         self._overflowed = False
+        self._read_guard = _ReadGuard()
         self._compile(graph)
         graph.subscribe(self)
+
+    def reading(self):
+        """Context manager marking this thread as querying the index.
+
+        While any thread is inside :meth:`reading`, :func:`get_index`
+        defers incremental syncs (the writer blocks until the readers
+        drain) instead of patching rows under an in-flight query.
+        Re-entrant per thread; a thread that tries to *sync* while it is
+        itself reading gets a fail-loud :class:`MatchingError` instead
+        of a self-deadlock.
+        """
+        return self._read_guard.reading()
+
+    def _write_access(self):
+        """Context manager serializing a sync against in-flight readers."""
+        return self._read_guard.writing()
 
     @property
     def num_live(self) -> int:
@@ -392,6 +452,7 @@ class GraphIndex(GrowableCSRIndex):
         self.und_rows = und_rows
 
         self._removed_weight = 0
+        self._np_view = None
         self.stats.full_compiles += 1
         self.graph_version = graph.version
 
@@ -512,6 +573,8 @@ class GraphIndex(GrowableCSRIndex):
         for new, ids in by_new.items():
             self.label_groups.setdefault(new, set()).update(ids)
         self.stats.label_moves += moved
+        if moved:
+            self._np_view = None
 
     def _apply_delta(self, delta: GraphDelta) -> None:
         kind = delta.kind
@@ -542,6 +605,7 @@ class GraphIndex(GrowableCSRIndex):
             self.labels[i] = _DEAD
             self.nodes[i] = None
             self._removed_weight += 1
+            self._np_view = None
         elif kind == RELABEL:
             # Normally coalesced by _apply_delta_group; kept for callers
             # applying single deltas.
@@ -610,6 +674,67 @@ def _index_lock(graph: DiGraph) -> threading.Lock:
                 _INDEX_LOCKS[graph] = lock
     return lock
 
+
+class _ReadGuard:
+    """Reader–writer guard protecting a warm index from mid-query syncs.
+
+    Query entry points register as *readers* for the duration of their
+    traversal; :func:`get_index` takes the *writer* side around
+    :meth:`GraphIndex.sync`, waiting until in-flight readers drain
+    before patching rows (and blocking new readers while it patches).
+    Reads are re-entrant per thread; the writer side detects the
+    self-deadlock case — a thread mutating the graph and re-syncing
+    while it is itself mid-query — and fails loud with
+    :class:`MatchingError` instead of hanging.
+    """
+
+    __slots__ = ("_cond", "_readers", "_writing", "_tls")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+        self._tls = threading.local()
+
+    @contextmanager
+    def reading(self):
+        depth = getattr(self._tls, "depth", 0)
+        if depth == 0:
+            with self._cond:
+                while self._writing:
+                    self._cond.wait()
+                self._readers += 1
+        self._tls.depth = depth + 1
+        try:
+            yield
+        finally:
+            self._tls.depth = depth
+            if depth == 0:
+                with self._cond:
+                    self._readers -= 1
+                    if not self._readers:
+                        self._cond.notify_all()
+
+    @contextmanager
+    def writing(self):
+        if getattr(self._tls, "depth", 0):
+            raise MatchingError(
+                "cannot sync a GraphIndex from a thread that is mid-query "
+                "on it: the graph was mutated and get_index() re-entered "
+                "inside an active traversal; finish the query before "
+                "mutating, or re-acquire the index afterwards"
+            )
+        with self._cond:
+            while self._readers or self._writing:
+                self._cond.wait()
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
 #: Whether cached indexes maintain themselves from the delta stream
 #: (default) or are replaced wholesale on mutation (the pre-pipeline
 #: behavior, kept for benchmarking the difference).
@@ -662,7 +787,10 @@ def get_index(graph: DiGraph) -> GraphIndex:
             if index.graph_version == graph.version and not index._pending:
                 return index
             if _MAINTENANCE_ENABLED:
-                index.sync(graph)
+                # Writer side of the reader–writer guard: wait for
+                # in-flight queries to drain before patching rows.
+                with index._write_access():
+                    index.sync(graph)
                 return index
         index = GraphIndex(graph)
         _INDEX_CACHE[graph] = index
@@ -925,14 +1053,15 @@ def dual_simulation_kernel(pattern: Pattern, data: DiGraph) -> MatchRelation:
     """
     gi = get_index(data)
     cp = _CompiledPattern(pattern)
-    sim = _seed_by_label_full(cp, gi)
-    ok = all(sim) and _dual_sim_eager(cp, gi, sim)
-    nodes = gi.nodes
-    if not ok:
-        return MatchRelation({u: set() for u in cp.nodes})
-    return MatchRelation(
-        {cp.nodes[u]: {nodes[v] for v in sim[u]} for u in range(cp.size)}
-    )
+    with gi.reading():
+        sim = _seed_by_label_full(cp, gi)
+        ok = all(sim) and _dual_sim_eager(cp, gi, sim)
+        nodes = gi.nodes
+        if not ok:
+            return MatchRelation({u: set() for u in cp.nodes})
+        return MatchRelation(
+            {cp.nodes[u]: {nodes[v] for v in sim[u]} for u in range(cp.size)}
+        )
 
 
 # ======================================================================
@@ -1036,14 +1165,15 @@ def graph_simulation_kernel(pattern: Pattern, data: DiGraph) -> MatchRelation:
     """
     gi = get_index(data)
     cp = _CompiledPattern(pattern)
-    sim = _seed_by_label_full(cp, gi)
-    ok = all(sim) and _sim_child_only(cp, gi, sim)
-    if not ok:
-        return MatchRelation({u: set() for u in cp.nodes})
-    nodes = gi.nodes
-    return MatchRelation(
-        {cp.nodes[u]: {nodes[v] for v in sim[u]} for u in range(cp.size)}
-    )
+    with gi.reading():
+        sim = _seed_by_label_full(cp, gi)
+        ok = all(sim) and _sim_child_only(cp, gi, sim)
+        if not ok:
+            return MatchRelation({u: set() for u in cp.nodes})
+        nodes = gi.nodes
+        return MatchRelation(
+            {cp.nodes[u]: {nodes[v] for v in sim[u]} for u in range(cp.size)}
+        )
 
 
 # ======================================================================
@@ -1347,22 +1477,25 @@ def kernel_match(
     gi = get_index(data)
     cp = _CompiledPattern(pattern)
     result = MatchResult(pattern)
-    if centers is None:
-        # All live slots, in id (= insertion) order; tombstoned slots
-        # could only ever yield empty seeds, so skip them outright.
-        labels = gi.labels
-        center_ids: Iterable[int] = (
-            i for i in range(gi.n) if labels[i] is not _DEAD
-        )
-        if radius < 0 and gi.num_live:
-            raise GraphError(f"ball radius must be non-negative, got {radius}")
-    else:
-        center_ids = _resolve_centers(gi, centers, radius)
-    seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]] = set()
-    for center in center_ids:
-        subgraph = _match_ball(cp, gi, center, radius, seen=seen)
-        if subgraph is not None:
-            result.add(subgraph)
+    with gi.reading():
+        if centers is None:
+            # All live slots, in id (= insertion) order; tombstoned slots
+            # could only ever yield empty seeds, so skip them outright.
+            labels = gi.labels
+            center_ids: Iterable[int] = (
+                i for i in range(gi.n) if labels[i] is not _DEAD
+            )
+            if radius < 0 and gi.num_live:
+                raise GraphError(
+                    f"ball radius must be non-negative, got {radius}"
+                )
+        else:
+            center_ids = _resolve_centers(gi, centers, radius)
+        seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]] = set()
+        for center in center_ids:
+            subgraph = _match_ball(cp, gi, center, radius, seen=seen)
+            if subgraph is not None:
+                result.add(subgraph)
     return result
 
 
@@ -1388,13 +1521,14 @@ def kernel_matches_via_strong_simulation(
     radius = pattern.diameter
     gi = get_index(data)
     cp = _CompiledPattern(pattern)
-    labels = gi.labels
-    for center in range(gi.n):
-        if labels[center] is _DEAD:
-            continue
-        if _match_ball(cp, gi, center, radius) is not None:
-            return True
-    return False
+    with gi.reading():
+        labels = gi.labels
+        for center in range(gi.n):
+            if labels[center] is _DEAD:
+                continue
+            if _match_ball(cp, gi, center, radius) is not None:
+                return True
+        return False
 
 
 def kernel_match_plus(
@@ -1422,38 +1556,39 @@ def kernel_match_plus(
     cp = _CompiledPattern(pattern)
     result = MatchResult(pattern)
 
-    if use_dual_filter:
-        sim_global = _seed_by_label_full(cp, gi)
-        if not all(sim_global) or not _dual_sim_eager(cp, gi, sim_global):
+    with gi.reading():
+        if use_dual_filter:
+            sim_global = _seed_by_label_full(cp, gi)
+            if not all(sim_global) or not _dual_sim_eager(cp, gi, sim_global):
+                return result
+            matched: Set[int] = set()
+            for s in sim_global:
+                matched |= s
+            seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]] = set()
+            for center in range(gi.n):
+                if center not in matched:
+                    continue
+                subgraph = _refine_ball(
+                    cp, gi, center, radius, sim_global, use_pruning, seen=seen
+                )
+                if subgraph is not None:
+                    result.add(subgraph)
             return result
-        matched: Set[int] = set()
-        for s in sim_global:
-            matched |= s
-        seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]] = set()
-        for center in range(gi.n):
-            if center not in matched:
-                continue
-            subgraph = _refine_ball(
-                cp, gi, center, radius, sim_global, use_pruning, seen=seen
+
+        # Dual filter off: per-ball dual simulation from label seeds.
+        labels = gi.labels
+        if restrict_centers_by_label:
+            pattern_labels = set(cp.labels)
+            center_ids: Iterable[int] = (
+                i for i in range(gi.n) if labels[i] in pattern_labels
+            )
+        else:
+            center_ids = (i for i in range(gi.n) if labels[i] is not _DEAD)
+        seen = set()
+        for center in center_ids:
+            subgraph = _match_ball(
+                cp, gi, center, radius, use_pruning=use_pruning, seen=seen
             )
             if subgraph is not None:
                 result.add(subgraph)
         return result
-
-    # Dual filter off: per-ball dual simulation from label seeds.
-    labels = gi.labels
-    if restrict_centers_by_label:
-        pattern_labels = set(cp.labels)
-        center_ids: Iterable[int] = (
-            i for i in range(gi.n) if labels[i] in pattern_labels
-        )
-    else:
-        center_ids = (i for i in range(gi.n) if labels[i] is not _DEAD)
-    seen = set()
-    for center in center_ids:
-        subgraph = _match_ball(
-            cp, gi, center, radius, use_pruning=use_pruning, seen=seen
-        )
-        if subgraph is not None:
-            result.add(subgraph)
-    return result

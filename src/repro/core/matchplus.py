@@ -20,12 +20,13 @@ all three.  The result is always identical to plain ``Match`` (asserted in
 the integration tests); only the running time differs.
 
 Like :func:`repro.core.strong.match`, ``match_plus`` takes an ``engine``
-argument: ``"python"`` runs the reference path below, ``"kernel"`` (and
-the default ``"auto"``) runs the same algorithm over the compiled
-CSR kernel of :mod:`repro.core.kernel` — output-identical for every
-option combination, with the global fixpoint and the per-ball refinement
-both executed counter-based over integer arrays.  Query minimization
-always happens here (pattern-side work is engine-independent).
+argument: ``"python"`` runs the reference path below, ``"kernel"`` runs
+the same algorithm over the compiled CSR kernel of
+:mod:`repro.core.kernel`, and ``"numpy"``
+(:mod:`repro.core.npkernel`) walks the same compiled arrays with
+vectorized passes — output-identical for every option combination.  The
+default ``"auto"`` picks by graph size.  Query minimization always
+happens here (pattern-side work is engine-independent).
 """
 
 from __future__ import annotations
@@ -38,6 +39,7 @@ from repro.core.digraph import DiGraph, Node
 from repro.core.dualfilter import dual_filter
 from repro.core.dualsim import dual_simulation
 from repro.core.kernel import kernel_match_plus, resolve_engine
+from repro.core.npkernel import np_match_plus
 from repro.core.matchrel import MatchRelation
 from repro.core.minimize import minimize_pattern
 from repro.core.pattern import Pattern
@@ -81,8 +83,8 @@ def match_plus(
 
     Returns the same deduplicated set Θ of maximum perfect subgraphs as
     :func:`repro.core.strong.match`.  ``engine`` selects the execution
-    backend (``"auto"`` | ``"kernel"`` | ``"python"``, see module
-    docstring); the result set is identical either way.
+    backend (``"auto"`` | ``"kernel"`` | ``"numpy"`` | ``"python"``, see
+    module docstring); the result set is identical either way.
     """
     if options is None:
         options = MatchPlusOptions()
@@ -95,8 +97,10 @@ def match_plus(
         working_pattern = pattern
         radius = pattern.diameter
 
-    if resolve_engine(engine, data) == "kernel":
-        return kernel_match_plus(
+    resolved = resolve_engine(engine, data)
+    if resolved in ("kernel", "numpy"):
+        runner = kernel_match_plus if resolved == "kernel" else np_match_plus
+        return runner(
             working_pattern,
             data,
             radius,

@@ -1,0 +1,1023 @@
+"""Vectorized NumPy execution engine over the flat CSR rows.
+
+The kernel engine (:mod:`repro.core.kernel`) already compiles every data
+graph into integer ids plus CSR adjacency rows, but walks them with
+per-node Python loops — the dominant remaining constant factor at scale.
+This module keeps the *same* compiled indexes (:class:`GraphIndex`,
+and the per-site :class:`~repro.distributed.sitekernel.SiteGraphIndex`)
+and re-implements the inner engines as whole-array passes:
+
+* ball extraction is a frontier BFS over ``indptr``/``indices`` gathers
+  with a boolean membership stamp per layer;
+* every per-ball pass is *compacted* first: ball members are remapped to
+  a dense ``0..m-1`` id space and their CSR rows re-pointed into a
+  ball-local adjacency, so the per-ball fixpoint costs ``O(ball)``
+  instead of ``O(|V|)`` (dropping edges to non-members is sound because
+  candidates are always ball members, so a non-member can never be a
+  witness);
+* the HHK witness-counter fixpoint becomes ``np.add.at`` scatter
+  decrements against per-edge count arrays, with boolean pending masks
+  as the worklist;
+* the label-seed mass extinction is a label-partition mask intersection
+  instead of per-node set construction;
+* intermediate id streams are deduplicated by sorted-array uniquing
+  (``np.unique``) rather than hash sets.
+
+The array view of an index (:class:`_ArrayView`) is built lazily from
+the list-of-lists rows and cached on the index itself
+(``index._np_view``); every row mutation — incremental sync, site
+materialization, owned-fragment updates — drops the cache, so a stale
+view can never be served.
+
+Output identity with the other two engines is by construction: the
+maximum (dual) simulation relation is the unique greatest fixpoint below
+the label seeds (Lemma 1), so the round-based simultaneous removal
+performed here converges to exactly the relation the kernel's
+one-at-a-time worklist computes; ball membership, pruning and result
+extraction reuse the kernel's own primitives and dedup keys.  Because
+the heavy passes run inside NumPy ufuncs, they release the GIL for most
+of their runtime — ``backend="threads"`` in the distributed runtime can
+actually scale with cores under this engine.
+
+This module imports cleanly *without* numpy installed (``np`` is then
+``None``); :func:`repro.core.kernel.resolve_engine` refuses
+``engine="numpy"`` up front in that case, and every entry point here
+fails loud as a backstop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via a subprocess test
+    np = None
+
+from repro.core.digraph import DiGraph, Label, Node
+from repro.core.kernel import (
+    _DEAD,
+    GraphIndex,
+    GrowableCSRIndex,
+    Pair,
+    _CompiledPattern,
+    _extract_perfect_subgraph,
+    _resolve_centers,
+    get_index,
+)
+from repro.core.matchrel import MatchRelation
+from repro.core.pattern import Pattern
+from repro.core.result import MatchResult
+from repro.exceptions import GraphError, MatchingError
+
+__all__ = [
+    "np_match",
+    "np_match_plus",
+    "np_matches_via_strong_simulation",
+    "dual_simulation_numpy",
+    "graph_simulation_numpy",
+    "np_dual_sim_ids",
+    "np_evaluate_ball",
+    "dual_fixpoint_id_sets",
+    "get_array_view",
+]
+
+
+def _require_numpy() -> None:
+    if np is None:  # pragma: no cover - resolve_engine blocks earlier
+        raise MatchingError(
+            "engine='numpy' requires numpy, which is not installed; "
+            "use engine='kernel' or engine='python' instead"
+        )
+
+
+# ======================================================================
+# Array view of a GrowableCSRIndex
+# ======================================================================
+class _ArrayView:
+    """Immutable flat-array snapshot of an index's CSR rows.
+
+    Three classic CSR pairs (forward, reverse, undirected) as int64
+    arrays, plus a lazy cache of per-label boolean membership masks.
+    The view is valid exactly as long as the owning index's rows are
+    unmutated — the index drops its cached view on every mutation.
+    """
+
+    __slots__ = (
+        "n",
+        "fwd_indptr",
+        "fwd_indices",
+        "rev_indptr",
+        "rev_indices",
+        "und_indptr",
+        "und_indices",
+        "label_masks",
+    )
+
+    def __init__(self, index: GrowableCSRIndex) -> None:
+        n = len(index.labels)
+        self.n = n
+        self.fwd_indptr, self.fwd_indices = _pack_rows(index.fwd_rows, n)
+        self.rev_indptr, self.rev_indices = _pack_rows(index.rev_rows, n)
+        self.und_indptr, self.und_indices = _pack_rows(index.und_rows, n)
+        self.label_masks: Dict[Label, "np.ndarray"] = {}
+
+
+def _pack_rows(
+    rows: List[List[int]], n: int
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Flatten list-of-lists adjacency into a CSR (indptr, indices) pair."""
+    lens = np.fromiter(map(len, rows), dtype=np.int64, count=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lens, out=indptr[1:])
+    total = int(indptr[-1])
+    indices = np.fromiter(
+        (w for row in rows for w in row), dtype=np.int64, count=total
+    )
+    return indptr, indices
+
+
+def get_array_view(index: GrowableCSRIndex) -> _ArrayView:
+    """The cached array view of ``index``, rebuilt after any mutation."""
+    _require_numpy()
+    view = index._np_view
+    if view is None:
+        view = _ArrayView(index)
+        index._np_view = view
+    return view
+
+
+def _label_mask(
+    view: _ArrayView, index: GrowableCSRIndex, label: Label
+) -> "np.ndarray":
+    """Boolean mask of the data nodes carrying ``label`` (cached)."""
+    mask = view.label_masks.get(label)
+    if mask is None:
+        mask = np.zeros(view.n, dtype=bool)
+        groups = getattr(index, "label_groups", None)
+        if groups is not None:  # GraphIndex keeps a label partition
+            ids: Iterable[int] = groups.get(label, ())
+        else:  # SiteGraphIndex: scan the label column once
+            labels = index.labels
+            ids = [i for i in range(view.n) if labels[i] == label]
+        ids = list(ids)
+        if ids:
+            mask[np.asarray(ids, dtype=np.int64)] = True
+        view.label_masks[label] = mask
+    return mask
+
+
+# ======================================================================
+# Gather primitives
+# ======================================================================
+def _gather_rows(
+    indptr: "np.ndarray", indices: "np.ndarray", ids: "np.ndarray"
+) -> "np.ndarray":
+    """Concatenate the CSR rows of ``ids`` — one vectorized gather.
+
+    Equivalent to ``np.concatenate([indices[indptr[i]:indptr[i+1]] for i
+    in ids])`` without the per-row Python loop: positions are produced by
+    a repeat-plus-arange offset trick over the row lengths.
+    """
+    starts = indptr[ids]
+    lens = indptr[ids + 1] - starts
+    total = int(lens.sum())
+    if not total:
+        return np.empty(0, dtype=np.int64)
+    ends_cum = np.cumsum(lens)
+    pos = np.repeat(starts + lens - ends_cum, lens) + np.arange(
+        total, dtype=np.int64
+    )
+    return indices[pos]
+
+
+def _masked_row_sums(
+    indptr: "np.ndarray",
+    indices: "np.ndarray",
+    ids: "np.ndarray",
+    mask: "np.ndarray",
+) -> "np.ndarray":
+    """Per-id count of row neighbors selected by ``mask``.
+
+    The vectorized form of ``[sum(mask[w] for w in row(i)) for i in
+    ids]``: gather all rows at once, prefix-sum the mask hits, and
+    difference the prefix at each row boundary.
+    """
+    starts = indptr[ids]
+    lens = indptr[ids + 1] - starts
+    total = int(lens.sum())
+    if not total:
+        return np.zeros(len(ids), dtype=np.int64)
+    ends_cum = np.cumsum(lens)
+    pos = np.repeat(starts + lens - ends_cum, lens) + np.arange(
+        total, dtype=np.int64
+    )
+    flags = mask[indices[pos]]
+    prefix = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(flags, dtype=np.int64))
+    )
+    return prefix[ends_cum] - prefix[ends_cum - lens]
+
+
+# ======================================================================
+# Ball-local compaction
+# ======================================================================
+def _compact_rows(
+    indptr: "np.ndarray", indices: "np.ndarray", member_ids: "np.ndarray"
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Restrict the CSR rows of ``member_ids`` to in-member targets.
+
+    ``member_ids`` must be sorted.  Returns ``(l_indptr, l_indices,
+    l_sources)`` where targets are remapped to local ids (positions in
+    ``member_ids``) and ``l_sources`` is the local source id of each kept
+    edge — the COO companion used to transpose without a second gather.
+    Membership is a binary search against the sorted id array, so the
+    whole pass is ``O(E_ball log m)`` with no graph-width allocation.
+    """
+    m = int(member_ids.size)
+    targets = _gather_rows(indptr, indices, member_ids)
+    lens = indptr[member_ids + 1] - indptr[member_ids]
+    pos = np.searchsorted(member_ids, targets)
+    inside = member_ids[np.minimum(pos, m - 1)] == targets
+    l_sources = np.repeat(np.arange(m, dtype=np.int64), lens)[inside]
+    l_indices = pos[inside]
+    l_indptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(np.bincount(l_sources, minlength=m), out=l_indptr[1:])
+    return l_indptr, l_indices, l_sources
+
+
+class _LocalBall:
+    """Ball-local CSR adjacency over a compact ``0..m-1`` id space.
+
+    Duck-types the ``_ArrayView`` attributes the fixpoints read
+    (``n``, ``fwd_*``, ``rev_*``, ``und_*``), so they run unchanged on
+    arrays sized to the ball.  Reverse rows are the transpose of the
+    compacted forward rows (identical edge set: an edge survives
+    compaction iff both endpoints are members); undirected rows are
+    compacted only when the caller needs pruning.
+    """
+
+    __slots__ = (
+        "member_ids",
+        "n",
+        "fwd_indptr",
+        "fwd_indices",
+        "rev_indptr",
+        "rev_indices",
+        "und_indptr",
+        "und_indices",
+    )
+
+    def __init__(
+        self,
+        view: _ArrayView,
+        member_ids: "np.ndarray",
+        need_und: bool = False,
+    ) -> None:
+        self.member_ids = member_ids
+        m = int(member_ids.size)
+        self.n = m
+        self.fwd_indptr, self.fwd_indices, sources = _compact_rows(
+            view.fwd_indptr, view.fwd_indices, member_ids
+        )
+        order = np.argsort(self.fwd_indices, kind="stable")
+        self.rev_indices = sources[order]
+        self.rev_indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(self.fwd_indices, minlength=m),
+            out=self.rev_indptr[1:],
+        )
+        if need_und:
+            self.und_indptr, self.und_indices, _ = _compact_rows(
+                view.und_indptr, view.und_indices, member_ids
+            )
+        else:
+            self.und_indptr = self.und_indices = None
+
+    def to_global_sets(self, cand: "np.ndarray") -> List[Set[int]]:
+        """Local candidate matrix → per-pattern-node *global* id sets."""
+        member_ids = self.member_ids
+        return [
+            set(member_ids[np.nonzero(row)[0]].tolist()) for row in cand
+        ]
+
+
+# ======================================================================
+# Ball primitives
+# ======================================================================
+def _np_ball(
+    view: _ArrayView, center: int, radius: int
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Bounded undirected BFS from ``center`` as layered array gathers.
+
+    Returns ``(member, border)``: a boolean membership mask over all
+    slots and the ids at distance exactly ``radius`` (matching the
+    kernel's ``_ball_bfs`` border semantics — ``[center]`` when
+    ``radius == 0``, empty when the ball exhausts its component early).
+    """
+    member = np.zeros(view.n, dtype=bool)
+    member[center] = True
+    frontier = np.asarray([center], dtype=np.int64)
+    if radius == 0:
+        return member, frontier
+    indptr, indices = view.und_indptr, view.und_indices
+    depth = 0
+    while frontier.size and depth < radius:
+        neigh = _gather_rows(indptr, indices, frontier)
+        neigh = neigh[~member[neigh]]
+        frontier = np.unique(neigh)  # sorted-array dedup of the layer
+        member[frontier] = True
+        depth += 1
+    border = frontier if depth == radius else np.empty(0, dtype=np.int64)
+    return member, border
+
+
+def _np_component(
+    view: _ArrayView, center: int, allowed: "np.ndarray"
+) -> Optional["np.ndarray"]:
+    """Connected component of ``center`` inside the ``allowed`` mask.
+
+    The array form of the kernel's ``_center_component`` (undirected
+    reachability restricted to surviving candidates); ``None`` when the
+    center itself is not allowed.
+    """
+    if not allowed[center]:
+        return None
+    comp = np.zeros(view.n, dtype=bool)
+    comp[center] = True
+    frontier = np.asarray([center], dtype=np.int64)
+    indptr, indices = view.und_indptr, view.und_indices
+    while frontier.size:
+        neigh = _gather_rows(indptr, indices, frontier)
+        neigh = neigh[allowed[neigh] & ~comp[neigh]]
+        frontier = np.unique(neigh)
+        comp[frontier] = True
+    return comp
+
+
+# ======================================================================
+# Vectorized fixpoints
+# ======================================================================
+def _np_dual_fixpoint(
+    view: _ArrayView, cp: _CompiledPattern, cand: "np.ndarray"
+) -> bool:
+    """Dual-simulation greatest fixpoint by simultaneous array rounds.
+
+    ``cand`` is the ``(pattern size, n)`` boolean candidate matrix,
+    refined in place.  Witness counts per pattern edge are initialized
+    with one masked row-sum pass, then maintained by ``np.add.at``
+    scatter decrements as candidates drop; a decrement is applied at
+    *every* row neighbor (candidate or not), which leaves garbage counts
+    only at non-candidates — harmless, because zero-count detection
+    always re-filters through the current candidate mask.  Each round
+    removes all currently-pending candidates of one pattern node at
+    once; simultaneous removal deletes only invalid pairs, so the
+    greatest fixpoint (Lemma 1) — and hence the output — is identical to
+    the kernel's one-at-a-time cascade.
+
+    Returns ``False`` on collapse (some candidate row emptied).  Note
+    that the batched multi-ball caller runs this over a *disjoint union*
+    of ball blocks, where a row going empty means every ball died on
+    that pattern node — so the early exit stays correct there too.
+    """
+    edges = cp.edges
+    if not edges:
+        return True
+    p = cp.size
+    num_edges = len(edges)
+    in_edges = cp.in_edges
+    out_edges = cp.out_edges
+    n = view.n
+    fwd_indptr, fwd_indices = view.fwd_indptr, view.fwd_indices
+    rev_indptr, rev_indices = view.rev_indptr, view.rev_indices
+
+    cnt_down: List["np.ndarray"] = [None] * num_edges  # type: ignore
+    cnt_up: List["np.ndarray"] = [None] * num_edges  # type: ignore
+    pending = np.zeros((p, n), dtype=bool)
+
+    for e in range(num_edges):
+        a, b = edges[e]
+        down = np.zeros(n, dtype=np.int64)
+        ids = np.nonzero(cand[a])[0]
+        if ids.size:
+            vals = _masked_row_sums(fwd_indptr, fwd_indices, ids, cand[b])
+            down[ids] = vals
+            pending[a][ids[vals == 0]] = True
+        cnt_down[e] = down
+        up = np.zeros(n, dtype=np.int64)
+        ids = np.nonzero(cand[b])[0]
+        if ids.size:
+            vals = _masked_row_sums(rev_indptr, rev_indices, ids, cand[a])
+            up[ids] = vals
+            pending[b][ids[vals == 0]] = True
+        cnt_up[e] = up
+
+    progressed = True
+    while progressed:
+        progressed = False
+        for u in range(p):
+            rem = np.nonzero(pending[u] & cand[u])[0]
+            pending[u][:] = False
+            if not rem.size:
+                continue
+            progressed = True
+            cand[u][rem] = False
+            if not cand[u].any():
+                return False
+            preds = _gather_rows(rev_indptr, rev_indices, rem)
+            succs = _gather_rows(fwd_indptr, fwd_indices, rem)
+            # Pattern edges (a, u): predecessors lose a child witness.
+            for e in in_edges[u]:
+                a = edges[e][0]
+                down = cnt_down[e]
+                if preds.size:
+                    np.add.at(down, preds, -1)
+                    touched = np.unique(preds)
+                    newly = touched[(down[touched] == 0) & cand[a][touched]]
+                    pending[a][newly] = True
+            # Pattern edges (u, b): successors lose a parent witness.
+            for e in out_edges[u]:
+                b = edges[e][1]
+                up = cnt_up[e]
+                if succs.size:
+                    np.add.at(up, succs, -1)
+                    touched = np.unique(succs)
+                    newly = touched[(up[touched] == 0) & cand[b][touched]]
+                    pending[b][newly] = True
+    return True
+
+
+def _np_sim_fixpoint(
+    view: _ArrayView, cp: _CompiledPattern, cand: "np.ndarray"
+) -> bool:
+    """Graph-simulation fixpoint: the child-direction half only.
+
+    Plain simulation (``Q ≺ G``) drops ``v`` from ``cand[u]`` only when
+    a pattern edge ``(u, b)`` has no surviving child witness; removals
+    cascade to predecessors exclusively.  The array mirror of the
+    kernel's ``_sim_child_only``.
+    """
+    edges = cp.edges
+    if not edges:
+        return True
+    p = cp.size
+    num_edges = len(edges)
+    in_edges = cp.in_edges
+    n = view.n
+    fwd_indptr, fwd_indices = view.fwd_indptr, view.fwd_indices
+    rev_indptr, rev_indices = view.rev_indptr, view.rev_indices
+
+    cnt_down: List["np.ndarray"] = [None] * num_edges  # type: ignore
+    pending = np.zeros((p, n), dtype=bool)
+    for e in range(num_edges):
+        a, b = edges[e]
+        down = np.zeros(n, dtype=np.int64)
+        ids = np.nonzero(cand[a])[0]
+        if ids.size:
+            vals = _masked_row_sums(fwd_indptr, fwd_indices, ids, cand[b])
+            down[ids] = vals
+            pending[a][ids[vals == 0]] = True
+        cnt_down[e] = down
+
+    progressed = True
+    while progressed:
+        progressed = False
+        for u in range(p):
+            rem = np.nonzero(pending[u] & cand[u])[0]
+            pending[u][:] = False
+            if not rem.size:
+                continue
+            progressed = True
+            cand[u][rem] = False
+            if not cand[u].any():
+                return False
+            preds = _gather_rows(rev_indptr, rev_indices, rem)
+            if not preds.size:
+                continue
+            for e in in_edges[u]:
+                a = edges[e][0]
+                down = cnt_down[e]
+                np.add.at(down, preds, -1)
+                touched = np.unique(preds)
+                newly = touched[(down[touched] == 0) & cand[a][touched]]
+                pending[a][newly] = True
+    return True
+
+
+# ======================================================================
+# Seeding and relation conversion
+# ======================================================================
+def _seed_masks(
+    view: _ArrayView, index: GrowableCSRIndex, cp: _CompiledPattern
+) -> Optional["np.ndarray"]:
+    """Label-compatible candidate matrix; ``None`` when any row is empty.
+
+    The label-partition masks perform the seed-stage mass extinction in
+    one vectorized intersection per pattern node.
+    """
+    cand = np.zeros((cp.size, view.n), dtype=bool)
+    for u in range(cp.size):
+        mask = _label_mask(view, index, cp.labels[u])
+        if not mask.any():
+            return None
+        cand[u] = mask
+    return cand
+
+
+def _cand_to_sets(cand: "np.ndarray") -> List[Set[int]]:
+    """Candidate matrix → per-pattern-node id sets (kernel's `sim` form)."""
+    return [set(np.nonzero(row)[0].tolist()) for row in cand]
+
+
+def np_dual_sim_ids(cp: _CompiledPattern, gi: GraphIndex) -> List[Set[int]]:
+    """Maximum dual simulation as integer-id sets (collapse → all empty)."""
+    _require_numpy()
+    view = get_array_view(gi)
+    cand = _seed_masks(view, gi, cp)
+    if cand is None or not _np_dual_fixpoint(view, cp, cand):
+        return [set() for _ in range(cp.size)]
+    return _cand_to_sets(cand)
+
+
+def dual_fixpoint_id_sets(
+    index: GrowableCSRIndex, cp: _CompiledPattern, sim: List[Set[int]]
+) -> Optional[List[Set[int]]]:
+    """Run the vectorized dual fixpoint from arbitrary id-set seeds.
+
+    The seam used by the distributed site worker: seeds come from the
+    site's ball walk, the fixpoint runs as array rounds over the
+    compacted seed-id space (candidates are always seeds, so edges out
+    of the seed set can never witness), and the result comes back in
+    the kernel's ``sim`` shape.  ``None`` on collapse.
+    """
+    _require_numpy()
+    view = get_array_view(index)
+    all_ids: Set[int] = set()
+    for ids in sim:
+        if not ids:
+            return None
+        all_ids.update(ids)
+    member_ids = np.fromiter(all_ids, dtype=np.int64, count=len(all_ids))
+    member_ids.sort()
+    local = _LocalBall(view, member_ids)
+    cand = np.zeros((cp.size, local.n), dtype=bool)
+    for u, ids in enumerate(sim):
+        seeds = np.fromiter(ids, dtype=np.int64, count=len(ids))
+        cand[u][np.searchsorted(member_ids, seeds)] = True
+    if not _np_dual_fixpoint(local, cp, cand):
+        return None
+    return local.to_global_sets(cand)
+
+
+# ======================================================================
+# Ball matching
+# ======================================================================
+def _np_finish_ball(
+    cp: _CompiledPattern,
+    gi: GraphIndex,
+    view: _ArrayView,
+    center: int,
+    member_ids: "np.ndarray",
+    cand: "np.ndarray",
+    use_pruning: bool,
+    seen: Optional[Set[Tuple[FrozenSet[int], FrozenSet[Pair]]]],
+):
+    """Prune, re-refine and extract one seeded ball on compact arrays.
+
+    ``cand`` is a ``(pattern size, len(member_ids))`` matrix over ball
+    members; every row is known non-empty.  Columns with no candidate
+    are dropped before the local adjacency is built — they can never
+    witness anything — so the fixpoint runs on arrays sized to the
+    candidate-bearing part of the ball, not the graph.
+    """
+    keep = cand.any(axis=0)
+    member_ids = member_ids[keep]
+    cand = cand[:, keep]
+    local = _LocalBall(view, member_ids, need_und=use_pruning)
+    if use_pruning:
+        # All remaining columns are candidates of some pattern node, so
+        # the kernel's ``allowed`` set is exactly the local id space.
+        c = int(np.searchsorted(member_ids, center))
+        if c >= local.n or int(member_ids[c]) != center:
+            return None  # center itself is not a candidate
+        comp = _np_component(local, c, np.ones(local.n, dtype=bool))
+        cand &= comp
+        if (~cand.any(axis=1)).any():
+            return None
+    if not _np_dual_fixpoint(local, cp, cand):
+        return None
+    sim = local.to_global_sets(cand)
+    return _extract_perfect_subgraph(cp, gi, center, sim, seen)
+
+
+def _np_match_ball(
+    cp: _CompiledPattern,
+    gi: GraphIndex,
+    view: _ArrayView,
+    center: int,
+    radius: int,
+    use_pruning: bool = False,
+    seen: Optional[Set[Tuple[FrozenSet[int], FrozenSet[Pair]]]] = None,
+):
+    """Match one ball from label seeds — the array mirror of `_match_ball`."""
+    member, _border = _np_ball(view, center, radius)
+    member_ids = np.nonzero(member)[0]
+    cand = np.empty((cp.size, member_ids.size), dtype=bool)
+    for u in range(cp.size):
+        row = _label_mask(view, gi, cp.labels[u])[member_ids]
+        if not row.any():
+            return None
+        cand[u] = row
+    return _np_finish_ball(
+        cp, gi, view, center, member_ids, cand, use_pruning, seen
+    )
+
+
+_MAX_PAIR_KEYS = 8_000_000
+
+
+class _UnionView:
+    """CSR adjacency of the disjoint union of many ball subgraphs.
+
+    Block-diagonal by construction — no edge crosses two balls — so one
+    fixpoint run over this view refines every ball simultaneously and
+    independently, and a globally-empty candidate row means the row is
+    empty in *every* block.
+    """
+
+    __slots__ = (
+        "n",
+        "fwd_indptr",
+        "fwd_indices",
+        "rev_indptr",
+        "rev_indices",
+        "und_indptr",
+        "und_indices",
+    )
+
+
+def _union_block_csr(
+    indptr: "np.ndarray",
+    indices: "np.ndarray",
+    member_keys: "np.ndarray",
+    member_node: "np.ndarray",
+    visited: "np.ndarray",
+) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """Restrict a global CSR to every ball's members, block-diagonally.
+
+    ``member_keys`` are sorted flat ``ball * n + node`` keys; row ``j``
+    of the result is the global row of ``member_node[j]`` filtered to
+    targets inside the *same* ball and remapped to member positions.
+    Also returns the per-edge source positions (for transposing).
+    """
+    m = member_keys.size
+    lens = indptr[member_node + 1] - indptr[member_node]
+    tgts = _gather_rows(indptr, indices, member_node)
+    keys = np.repeat(member_keys - member_node, lens) + tgts
+    keep = visited[keys]
+    src = np.repeat(np.arange(m, dtype=np.int64), lens)[keep]
+    dst = np.searchsorted(member_keys, keys[keep])
+    l_indptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=m), out=l_indptr[1:])
+    return l_indptr, dst, src
+
+
+def _np_refine_all_balls(
+    cp: _CompiledPattern,
+    gi: GraphIndex,
+    view: _ArrayView,
+    centers: "np.ndarray",
+    radius: int,
+    cand_global: "np.ndarray",
+    use_pruning: bool,
+    seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]],
+    result: MatchResult,
+) -> None:
+    """Project a global candidate relation onto every ball and re-refine.
+
+    ``cand_global`` is either the global dual-filter fixpoint (the
+    ``Match+`` fast path) or the plain label seeds (``Match`` and the
+    filterless option combinations) — in both cases the per-ball
+    greatest fixpoint below the ball-restricted projection is exactly
+    what the kernel's per-center loop computes.  The batched mirror of
+    that loop:
+    instead of touching one ball at a time, whole chunks of balls are
+    processed as a single array program —
+
+    * a multi-ball BFS over flat ``ball * n + node`` keys grows every
+      ball of the chunk at once (one boolean stamp of ``b * n`` pairs);
+    * one block-diagonal *union* CSR holds all ball subgraphs, so a
+      single fixpoint run refines every ball simultaneously;
+    * per-ball validity (all pattern rows non-empty) is a segmented
+      reduction, and extraction runs only for surviving balls.
+
+    Blocks are disjoint, so the union fixpoint computes each ball's
+    greatest fixpoint independently — identical, by uniqueness
+    (Lemma 1), to the kernel's per-ball cascade; its collapse early-exit
+    fires only when some pattern row empties in *every* ball, which
+    correctly kills the whole chunk.  Centers are visited in ascending
+    id order within and across chunks, so the cross-ball ``seen`` dedup
+    observes the kernel's exact sequence.  Chunking bounds the stamp at
+    ``_MAX_PAIR_KEYS`` pair keys.
+    """
+    if not centers.size:
+        return
+    matched = cand_global.any(axis=0)
+    chunk = max(1, _MAX_PAIR_KEYS // max(view.n, 1))
+    for lo in range(0, centers.size, chunk):
+        _np_refine_chunk(
+            cp,
+            gi,
+            view,
+            centers[lo : lo + chunk],
+            radius,
+            cand_global,
+            matched,
+            use_pruning,
+            seen,
+            result,
+        )
+
+
+def _np_refine_chunk(
+    cp: _CompiledPattern,
+    gi: GraphIndex,
+    view: _ArrayView,
+    cc: "np.ndarray",
+    radius: int,
+    cand_global: "np.ndarray",
+    matched: "np.ndarray",
+    use_pruning: bool,
+    seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]],
+    result: MatchResult,
+) -> None:
+    n = view.n
+    b = cc.size
+    center_keys = np.arange(b, dtype=np.int64) * n + cc
+
+    # Multi-ball BFS: one undirected layer step grows every ball of the
+    # chunk at once; ``visited`` stamps (ball, node) pair keys.
+    visited = np.zeros(b * n, dtype=bool)
+    visited[center_keys] = True
+    frontier = center_keys
+    und_indptr, und_indices = view.und_indptr, view.und_indices
+    for _ in range(radius):
+        if not frontier.size:
+            break
+        nodes = frontier % n
+        lens = und_indptr[nodes + 1] - und_indptr[nodes]
+        tgts = _gather_rows(und_indptr, und_indices, nodes)
+        keys = np.repeat(frontier - nodes, lens) + tgts
+        keys = keys[~visited[keys]]
+        visited[keys] = True
+        frontier = np.unique(keys)
+
+    # Only candidate-bearing members matter downstream: a non-candidate
+    # can never be a witness, never survives into a sim set, and the
+    # kernel's own projection (which iterates the global candidate sets)
+    # never sees it either.  Dropping them here shrinks the union CSR to
+    # the candidate part of each ball — the dominant cost at density.
+    # ``visited`` keeps the *full* ball stamp: ball membership is a
+    # distance property of the whole graph, so the BFS above walks
+    # non-candidates, and the filter below must not affect it.
+    visited.reshape(b, n)[:] &= matched
+    member_keys = np.nonzero(visited)[0]  # sorted: grouped by ball
+    member_node = member_keys % n
+    m = member_keys.size
+    if not m:
+        return  # no candidate-bearing member in any ball of the chunk
+    seg_ptr = np.searchsorted(
+        member_keys, np.arange(b + 1, dtype=np.int64) * n
+    )
+    cand = cand_global[:, member_node]  # advanced indexing copies
+
+    union = _UnionView()
+    union.n = m
+    union.fwd_indptr, union.fwd_indices, fwd_src = _union_block_csr(
+        view.fwd_indptr, view.fwd_indices, member_keys, member_node, visited
+    )
+    # Reverse union CSR = transpose of the forward one.
+    order = np.argsort(union.fwd_indices, kind="stable")
+    union.rev_indices = fwd_src[order]
+    union.rev_indptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(
+        np.bincount(union.fwd_indices, minlength=m),
+        out=union.rev_indptr[1:],
+    )
+
+    if use_pruning:
+        # Batched ``_center_component``: one BFS seeded at every live
+        # center, restricted to candidate-bearing members.  Blocks are
+        # disjoint, so each ball gets exactly its own center component;
+        # a ball whose center has no candidate contributes no seed and
+        # its whole block prunes to empty.
+        union.und_indptr, union.und_indices, _ = _union_block_csr(
+            view.und_indptr, view.und_indices, member_keys, member_node,
+            visited,
+        )
+        # A center that is not itself a candidate was dropped from the
+        # members; its ball seeds nothing and prunes to empty, exactly
+        # like the kernel's ``_center_component`` returning ``None``.
+        center_pos = np.minimum(
+            np.searchsorted(member_keys, center_keys), m - 1
+        )
+        present = member_keys[center_pos] == center_keys
+        allowed = cand.any(axis=0)
+        comp = np.zeros(m, dtype=bool)
+        frontier = center_pos[present]
+        frontier = frontier[allowed[frontier]]
+        comp[frontier] = True
+        while frontier.size:
+            neigh = _gather_rows(
+                union.und_indptr, union.und_indices, frontier
+            )
+            neigh = neigh[allowed[neigh] & ~comp[neigh]]
+            frontier = np.unique(neigh)
+            comp[frontier] = True
+        cand &= comp
+
+    if not _np_dual_fixpoint(union, cp, cand):
+        return
+    # Per-ball validity: every pattern row non-empty within the ball's
+    # segment.  Empty segments (a ball with no candidate-bearing member
+    # at all) are invalid outright; their clamped reduceat slot reads a
+    # neighboring value, which the length mask discards.
+    seg_len = np.diff(seg_ptr)
+    valid = seg_len > 0
+    idx = np.minimum(seg_ptr[:-1], m - 1)
+    for u in range(cp.size):
+        valid &= np.maximum.reduceat(cand[u], idx)
+    for i in np.nonzero(valid)[0].tolist():
+        s, e = int(seg_ptr[i]), int(seg_ptr[i + 1])
+        nodes_seg = member_node[s:e]
+        sub = cand[:, s:e]
+        sim = [
+            set(nodes_seg[np.nonzero(sub[u])[0]].tolist())
+            for u in range(cp.size)
+        ]
+        subgraph = _extract_perfect_subgraph(cp, gi, int(cc[i]), sim, seen)
+        if subgraph is not None:
+            result.add(subgraph)
+
+
+def np_evaluate_ball(
+    cp: _CompiledPattern, gi: GraphIndex, center: int, radius: int
+):
+    """One ball from label seeds — the incremental matcher's primitive.
+
+    Mirrors :func:`repro.core.kernel._match_ball` defaults (no pruning,
+    no cross-center dedup; the caller caches per center).
+    """
+    _require_numpy()
+    with gi.reading():
+        view = get_array_view(gi)
+        return _np_match_ball(cp, gi, view, center, radius)
+
+
+# ======================================================================
+# Public entry points — mirror the kernel signatures exactly
+# ======================================================================
+def np_match(
+    pattern: Pattern,
+    data: DiGraph,
+    centers: Optional[Iterable[Node]] = None,
+    radius: Optional[int] = None,
+) -> MatchResult:
+    """Algorithm ``Match`` on the numpy engine (output-identical)."""
+    _require_numpy()
+    if radius is None:
+        radius = pattern.diameter
+    gi = get_index(data)
+    cp = _CompiledPattern(pattern)
+    result = MatchResult(pattern)
+    with gi.reading():
+        view = get_array_view(gi)
+        seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]] = set()
+        if centers is None:
+            if radius < 0 and gi.num_live:
+                raise GraphError(
+                    f"ball radius must be non-negative, got {radius}"
+                )
+            # Full scan in ascending id order: run the batched path with
+            # plain label seeds as the global candidate relation.
+            labels = gi.labels
+            live = np.fromiter(
+                (i for i in range(gi.n) if labels[i] is not _DEAD),
+                dtype=np.int64,
+            )
+            cand_global = _seed_masks(view, gi, cp)
+            if cand_global is not None and live.size:
+                _np_refine_all_balls(
+                    cp, gi, view, live, radius, cand_global,
+                    False, seen, result,
+                )
+            return result
+        for center in _resolve_centers(gi, centers, radius):
+            subgraph = _np_match_ball(cp, gi, view, center, radius, seen=seen)
+            if subgraph is not None:
+                result.add(subgraph)
+    return result
+
+
+def np_matches_via_strong_simulation(pattern: Pattern, data: DiGraph) -> bool:
+    """Decide ``Q ≺_LD G`` on the numpy engine (early exit)."""
+    _require_numpy()
+    radius = pattern.diameter
+    gi = get_index(data)
+    cp = _CompiledPattern(pattern)
+    with gi.reading():
+        view = get_array_view(gi)
+        labels = gi.labels
+        for center in range(gi.n):
+            if labels[center] is _DEAD:
+                continue
+            if _np_match_ball(cp, gi, view, center, radius) is not None:
+                return True
+        return False
+
+
+def np_match_plus(
+    pattern: Pattern,
+    data: DiGraph,
+    radius: int,
+    use_dual_filter: bool = True,
+    use_pruning: bool = True,
+    restrict_centers_by_label: bool = True,
+) -> MatchResult:
+    """The matching core of ``Match+`` on the numpy engine.
+
+    Same contract as :func:`repro.core.kernel.kernel_match_plus`:
+    output-identical for every option combination, with the centers on
+    the dual-filter path visited in ascending id order (the kernel's
+    order, so even the incidental center attribution matches it).
+    """
+    _require_numpy()
+    gi = get_index(data)
+    cp = _CompiledPattern(pattern)
+    result = MatchResult(pattern)
+
+    with gi.reading():
+        view = get_array_view(gi)
+        if use_dual_filter:
+            cand_global = _seed_masks(view, gi, cp)
+            if cand_global is None:
+                return result
+            if not _np_dual_fixpoint(view, cp, cand_global):
+                return result
+            matched = cand_global.any(axis=0)
+            seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]] = set()
+            _np_refine_all_balls(
+                cp, gi, view, np.nonzero(matched)[0], radius,
+                cand_global, use_pruning, seen, result,
+            )
+            return result
+
+        # Dual filter off: per-ball dual simulation from label seeds,
+        # still batched — the projected relation is just the seeds.
+        labels = gi.labels
+        if restrict_centers_by_label:
+            pattern_labels = set(cp.labels)
+            center_ids = (
+                i for i in range(gi.n) if labels[i] in pattern_labels
+            )
+        else:
+            center_ids = (i for i in range(gi.n) if labels[i] is not _DEAD)
+        centers_arr = np.fromiter(center_ids, dtype=np.int64)
+        seen = set()
+        cand_global = _seed_masks(view, gi, cp)
+        if cand_global is not None and centers_arr.size:
+            _np_refine_all_balls(
+                cp, gi, view, centers_arr, radius, cand_global,
+                use_pruning, seen, result,
+            )
+        return result
+
+
+def dual_simulation_numpy(pattern: Pattern, data: DiGraph) -> MatchRelation:
+    """Maximum dual-simulation relation of ``Q`` on ``G`` — numpy engine."""
+    _require_numpy()
+    gi = get_index(data)
+    cp = _CompiledPattern(pattern)
+    with gi.reading():
+        sim = np_dual_sim_ids(cp, gi)
+        nodes = gi.nodes
+        return MatchRelation(
+            {cp.nodes[u]: {nodes[v] for v in sim[u]} for u in range(cp.size)}
+        )
+
+
+def graph_simulation_numpy(pattern: Pattern, data: DiGraph) -> MatchRelation:
+    """Maximum graph-simulation relation of ``Q ≺ G`` — numpy engine."""
+    _require_numpy()
+    gi = get_index(data)
+    cp = _CompiledPattern(pattern)
+    with gi.reading():
+        view = get_array_view(gi)
+        cand = _seed_masks(view, gi, cp)
+        if cand is None or not _np_sim_fixpoint(view, cp, cand):
+            return MatchRelation({u: set() for u in cp.nodes})
+        nodes = gi.nodes
+        sim = _cand_to_sets(cand)
+        return MatchRelation(
+            {cp.nodes[u]: {nodes[v] for v in sim[u]} for u in range(cp.size)}
+        )

@@ -16,10 +16,12 @@ line 10 of procedure ``DualSim`` in the paper.
 
 Like the strong-simulation entry points, :func:`graph_simulation` takes an
 ``engine`` argument: ``"python"`` runs the reference worklist fixpoint
-below, ``"kernel"`` (and the default ``"auto"``) runs the
-child-direction-only counter fixpoint of
+below, ``"kernel"`` runs the child-direction-only counter fixpoint of
 :func:`repro.core.kernel.graph_simulation_kernel` over the compiled CSR
-index.  Both compute the same unique maximum relation.
+index, and ``"numpy"`` the vectorized variant
+(:func:`repro.core.npkernel.graph_simulation_numpy`); ``"auto"``
+(default) picks by graph size.  All compute the same unique maximum
+relation.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from typing import Dict, Set
 
 from repro.core.digraph import DiGraph, Node
 from repro.core.kernel import graph_simulation_kernel, resolve_engine
+from repro.core.npkernel import graph_simulation_numpy
 from repro.core.matchrel import MatchRelation
 from repro.core.pattern import Pattern
 
@@ -130,10 +133,13 @@ def graph_simulation(
     """The maximum match relation of ``Q ≺ G`` (empty if no match).
 
     ``engine`` selects the execution backend (``"auto"`` | ``"kernel"`` |
-    ``"python"``); the relation is identical either way.
+    ``"numpy"`` | ``"python"``); the relation is identical either way.
     """
-    if resolve_engine(engine, data) == "kernel":
+    resolved = resolve_engine(engine, data)
+    if resolved == "kernel":
         return graph_simulation_kernel(pattern, data)
+    if resolved == "numpy":
+        return graph_simulation_numpy(pattern, data)
     return simulation_fixpoint(pattern, data)
 
 

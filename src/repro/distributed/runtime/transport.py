@@ -11,8 +11,12 @@ never says the sites must share an interpreter.  A
   charge the cluster's :class:`~repro.distributed.network.MessageBus`
   directly and cross-site fetches read the owning peer's fragment.
 * :class:`ProcessTransport` — one OS process per site, talking over
-  ``multiprocessing`` pipes.  Queries and updates are *broadcast* in
-  wire form (:mod:`repro.distributed.runtime.wire`); cross-site
+  ``multiprocessing`` pipes.  Queries are *broadcast* in wire form
+  (:mod:`repro.distributed.runtime.wire`); updates are **batched** —
+  deltas buffer per site and ship as one ``update`` frame per site at
+  the next flush point (query, stats, forget, i.e. anything that could
+  observe worker state), so an N-delta burst costs one pipe round trip
+  per affected site instead of N request/reply acks.  Cross-site
   ``fetch`` is request/reply, answered by the coordinator from its
   mirror fragments (the same records the owning peer would serve — both
   are maintained by the same delta stream); per-site fetch charges ship
@@ -217,6 +221,9 @@ class ProcessTransport(Transport):
         self._bus = bus
         self._conns: Dict[int, multiprocessing.connection.Connection] = {}
         self._procs: Dict[int, multiprocessing.process.BaseProcess] = {}
+        #: Per-site buffered deltas awaiting one batched ``update`` frame:
+        #: ``site -> (deltas in arrival order, merged owner captures)``.
+        self._pending_updates: Dict[int, tuple] = {}
         self._closed = False
         context = _make_context()
         try:
@@ -271,11 +278,34 @@ class ProcessTransport(Transport):
                 "this cluster's process transport has been closed"
             )
 
+    def _flush_updates(self) -> None:
+        """Ship the buffered deltas: one ``update`` frame per site.
+
+        Frames go out to every site first (sorted order), then the acks
+        drain in the same order — the pattern ``forget_remote`` already
+        uses — so an N-delta burst costs one pipe round trip per
+        *affected site*, not one per delta.  The buffer is detached
+        before any send so a protocol failure (which closes the
+        transport) cannot re-enter this flush.
+        """
+        pending, self._pending_updates = self._pending_updates, {}
+        if not pending:
+            return
+        for site in sorted(pending):
+            deltas, owners = pending[site]
+            self._conns[site].send(
+                ("update", encode_deltas(tuple(deltas)), owners)
+            )
+        for site in sorted(pending):
+            deltas, _ = pending[site]
+            self._ack(site, f"a batch of {len(deltas)} delta(s)")
+
     # ------------------------------------------------------------------
     def evaluate(self, pattern, radius, engine, parallel):
         # ``parallel`` is meaningless here: the sites always run
         # concurrently, one process each.
         self._guard_open()
+        self._flush_updates()
         wire_pattern = encode_pattern(pattern)
         for conn in self._conns.values():
             conn.send(("query", wire_pattern, radius, engine))
@@ -319,18 +349,27 @@ class ProcessTransport(Transport):
     def apply_update(self, site_id, delta, owner_of):
         self._guard_open()
         # Mirror first: the coordinator serves fetches from these
-        # fragments, so they must track the worker processes exactly.
+        # fragments, so they must track the worker processes exactly —
+        # and since the mirror runs the same ``SiteWorker.apply_update``
+        # code, a malformed delta still fails loud here, synchronously,
+        # even though the pipe write is deferred.
         self._workers[site_id].apply_update(delta, owner_of)
-        owners = {
-            node: owner_of.get(node)
-            for node in (delta.source, delta.target)
-            if node is not None
-        }
-        self._conns[site_id].send(("update", encode_deltas((delta,)), owners))
-        self._ack(site_id, f"delta {delta.kind!r}")
+        # Buffer instead of round-tripping per delta: the frame goes out
+        # with the site's next batch (flushed before anything that could
+        # observe worker state).  Owner captures are taken *now*, per
+        # delta, because ``owner_of`` is the cluster's live assignment;
+        # merging is safe since a node's owner cannot change between
+        # flush points (re-adding a removed node first passes through
+        # ``forget_remote``, which flushes).
+        deltas, owners = self._pending_updates.setdefault(site_id, ([], {}))
+        deltas.append(delta)
+        for node in (delta.source, delta.target):
+            if node is not None:
+                owners[node] = owner_of.get(node)
 
     def forget_remote(self, node):
         self._guard_open()
+        self._flush_updates()
         for site, worker in self._workers.items():
             worker.forget_remote(node)
             self._conns[site].send(("forget", node))
@@ -339,6 +378,7 @@ class ProcessTransport(Transport):
 
     def worker_stats(self):
         self._guard_open()
+        self._flush_updates()
         stats: Dict[int, Dict[str, object]] = {}
         for site, conn in self._conns.items():
             conn.send(("stats",))
@@ -352,6 +392,11 @@ class ProcessTransport(Transport):
         if self._closed:
             return
         self._closed = True
+        # Undelivered update batches are dropped, not flushed: nothing
+        # can observe worker-process state after close (``_guard_open``
+        # rejects every later command), and the mirrors — the only state
+        # that survives — already applied every delta eagerly.
+        self._pending_updates.clear()
         for conn in self._conns.values():
             try:
                 conn.send(("shutdown",))

@@ -9,8 +9,8 @@ per-worker cache ensures each remote record is shipped at most once per
 query, so the total shipment is bounded by the union of the
 boundary-crossing balls, which is the Section 4.3 bound.
 
-Like the centralized entry points, a worker runs on one of two execution
-engines (``engine="auto"|"kernel"|"python"``):
+Like the centralized entry points, a worker runs on one of the execution
+engines (``engine="auto"|"kernel"|"numpy"|"python"``):
 
 * ``"python"`` — the reference path: every ball rebuilds a hash-set
   ``DiGraph`` and runs the set-based dual-simulation fixpoint.  Readable,
@@ -21,8 +21,13 @@ engines (``engine="auto"|"kernel"|"python"``):
   (integer ids + CSR rows) that is *extended incrementally* as remote
   node records arrive over the bus; balls and fixpoints then run over
   flat integer arrays exactly as in :mod:`repro.core.kernel`.
+* ``"numpy"`` — the same site index and the same ball walk, but the
+  per-ball fixpoint runs as vectorized array rounds
+  (:mod:`repro.core.npkernel`).  ``"auto"`` never resolves here at a
+  site (workers see no whole-graph handle to size against); ask for it
+  explicitly.
 
-Both engines fetch exactly the records of the remote ball members, so the
+All engines fetch exactly the records of the remote ball members, so the
 message sequence, the per-link unit totals and the Section 4.3 data-
 shipment bound are engine-independent (enforced by
 ``tests/test_distributed_kernel_equivalence.py``).
@@ -54,6 +59,7 @@ from repro.distributed.sitekernel import (
     NodeRecord,
     SiteGraphIndex,
     site_match_ball,
+    site_match_ball_numpy,
 )
 from repro.exceptions import DistributedError
 
@@ -352,6 +358,8 @@ class SiteWorker:
         self.queries_served += 1
         if resolved == "kernel":
             return self._match_local_kernel(pattern, radius)
+        if resolved == "numpy":
+            return self._match_local_numpy(pattern, radius)
         return self._match_local_python(pattern, radius)
 
     def _match_local_python(
@@ -385,6 +393,27 @@ class SiteWorker:
         partial: List[PerfectSubgraph] = []
         for center in index.owned_ids:
             subgraph = site_match_ball(cp, index, fetch_many, center, radius)
+            if subgraph is not None:
+                partial.append(subgraph)
+        return partial
+
+    def _match_local_numpy(
+        self, pattern: Pattern, radius: int
+    ) -> List[PerfectSubgraph]:
+        """Numpy path: kernel's ball walk, vectorized per-ball fixpoint.
+
+        Shares :func:`~repro.distributed.sitekernel.site_ball_bfs` with
+        the kernel path, so fetches, charges and the partial list are all
+        identical; only the fixpoint runs as array rounds.
+        """
+        index = self.site_index()
+        cp = _CompiledPattern(pattern)
+        fetch_many = self._records_for_many
+        partial: List[PerfectSubgraph] = []
+        for center in index.owned_ids:
+            subgraph = site_match_ball_numpy(
+                cp, index, fetch_many, center, radius
+            )
             if subgraph is not None:
                 partial.append(subgraph)
         return partial

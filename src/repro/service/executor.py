@@ -26,17 +26,20 @@ a compiled :class:`~repro.core.kernel.GraphIndex` is **safe for
 concurrent queries** — CSR rows and label groups are only mutated by
 ``get_index`` syncs (serialized by the kernel's per-graph index locks),
 and the per-ball visited epochs live in per-thread buffers
-(:meth:`~repro.core.kernel.GrowableCSRIndex.visit_state`).  What is
-*not* supported is mutating a data graph **while queries on it are in
-flight**: quiesce the graph's queries around mutations (mutating
-*between* queries is the designed, cache-invalidation-tested path).  A
-query whose own thread observes the mutation mid-flight fails loud with
-:class:`~repro.exceptions.MatchingError`; but if *another* thread's
-``get_index`` call syncs the shared index while a query is still
-reading it, the outcome is undefined — the guard cannot see a sync it
-did not trigger.  (The result *cache* stays sound regardless: lookups
-are version-gated and a store whose pre-compute version has moved is
-refused.)
+(:meth:`~repro.core.kernel.GrowableCSRIndex.visit_state`).  Mutating a
+data graph **while queries on it are in flight** is handled by the
+index's reader–writer guard: a query holds the index in read mode for
+its whole run, and a concurrent ``get_index`` sync (triggered by
+another thread's post-mutation query) blocks until every in-flight
+reader drains before rewriting rows — so readers never observe a
+half-applied sync.  A query whose **own** thread observes the mutation
+mid-flight still fails loud with
+:class:`~repro.exceptions.MatchingError` (version check), as does a
+sync attempted from a thread that is itself mid-query (self-deadlock
+refusal).  Quiescing queries around mutations remains the designed
+high-throughput path; the guard makes the racy path safe, not fast.
+(The result *cache* stays sound regardless: lookups are version-gated
+and a store whose pre-compute version has moved is refused.)
 
 Results are observation-identical to direct engine calls — with the
 cache hot or cold, across engines, and under interleaved mutations —
@@ -54,6 +57,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.digraph import DiGraph
 from repro.core.dualsim import dual_simulation
 from repro.core.kernel import dual_simulation_kernel, resolve_engine
+from repro.core.npkernel import dual_simulation_numpy
 from repro.core.matchplus import match_plus
 from repro.core.matchrel import MatchRelation
 from repro.core.minimize import minimize_pattern
@@ -215,6 +219,8 @@ def _compute_match(pattern: Pattern, data: DiGraph, engine: str):
 def _compute_dual(pattern: Pattern, data: DiGraph, engine: str):
     if engine == "kernel":
         return dual_simulation_kernel(pattern, data)
+    if engine == "numpy":
+        return dual_simulation_numpy(pattern, data)
     return dual_simulation(pattern, data)
 
 

@@ -1,9 +1,11 @@
 """Reusable cross-engine differential harness.
 
-Every matching entry point in the repo runs on two execution engines —
+Every matching entry point in the repo runs on three execution engines —
 ``"python"`` (the reference path, transcribed from the paper's
-pseudocode) and ``"kernel"`` (the compiled CSR path of
-:mod:`repro.core.kernel` / :mod:`repro.distributed.sitekernel`).  The
+pseudocode), ``"kernel"`` (the compiled CSR path of
+:mod:`repro.core.kernel` / :mod:`repro.distributed.sitekernel`), and
+``"numpy"`` (the vectorized array passes of :mod:`repro.core.npkernel`
+over the same compiled index).  The
 engines' contract is *output identity*, and this module is the one place
 that knows how to observe each entry point in an engine-independent,
 comparable form:
@@ -38,6 +40,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.digraph import DiGraph, GraphDelta
 from repro.core.dualsim import dual_simulation
 from repro.core.kernel import dual_simulation_kernel, get_index
+from repro.core.npkernel import dual_simulation_numpy
 from repro.core.matchplus import match_plus
 from repro.core.pattern import Pattern
 from repro.core.simulation import graph_simulation
@@ -46,7 +49,7 @@ from repro.distributed import Cluster
 from repro.distributed.coordinator import DistributedRunReport
 from repro.distributed.runtime import process_backend_available
 
-ENGINES = ("python", "kernel")
+ENGINES = ("python", "kernel", "numpy")
 
 #: The cluster runtime backends under differential test.  The process
 #: backend is included only where the platform can host it; callers that
@@ -120,7 +123,12 @@ def _run_graph_simulation(pattern, data, engine, **_):
 
 
 def _run_dual_simulation(pattern, data, engine, **_):
-    runner = dual_simulation_kernel if engine == "kernel" else dual_simulation
+    if engine == "kernel":
+        runner = dual_simulation_kernel
+    elif engine == "numpy":
+        runner = dual_simulation_numpy
+    else:
+        runner = dual_simulation
     return canonical_relation(runner(pattern, data))
 
 
@@ -349,17 +357,21 @@ def assert_centralized_update_step_identical(
     from-scratch reference engine on ``graph`` *and* to a from-scratch
     kernel compile on a structural copy of ``graph``.
     """
-    copy = graph.copy()  # fresh object: fresh, from-scratch kernel compile
+    copy = graph.copy()  # fresh object: fresh, from-scratch compiles
+    compiled_engines = [e for e in ENGINES if e != "python"]
     for name in CENTRALIZED_ENTRY_POINTS:
         reference = run_entry_point(name, "python", pattern, graph)
-        warm_kernel = run_entry_point(name, "kernel", pattern, graph)
-        assert warm_kernel == reference, (
-            f"{name}: warm incremental kernel diverged from the reference"
-        )
-        fresh_kernel = run_entry_point(name, "kernel", pattern, copy)
-        assert fresh_kernel == reference, (
-            f"{name}: from-scratch kernel diverged from the reference"
-        )
+        for engine in compiled_engines:
+            warm = run_entry_point(name, engine, pattern, graph)
+            assert warm == reference, (
+                f"{name}: warm incremental {engine} engine diverged "
+                f"from the reference"
+            )
+            fresh = run_entry_point(name, engine, pattern, copy)
+            assert fresh == reference, (
+                f"{name}: from-scratch {engine} engine diverged "
+                f"from the reference"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -404,6 +416,7 @@ SERVICE_ALGORITHM_RUNNERS = {
     "dual": (
         lambda p, g, e: (
             dual_simulation_kernel(p, g) if e == "kernel"
+            else dual_simulation_numpy(p, g) if e == "numpy"
             else dual_simulation(p, g)
         ),
         canonical_relation,
@@ -501,11 +514,11 @@ def assert_update_workload_identical(
 
     With a partition supplied, the same delta stream is also mirrored
     into one live cluster per engine via ``Cluster.apply_update`` and the
-    full protocol observation is compared at every checkpoint — warm
-    python cluster vs warm kernel cluster (bus accounting included, so
-    update charges and fetch traffic must agree exactly) and both against
-    a cluster built fresh from the mutated graph (result set and
-    per-site counts; its bus only ever saw one query).
+    full protocol observation is compared at every checkpoint — the warm
+    python cluster vs every warm compiled-engine cluster (bus accounting
+    included, so update charges and fetch traffic must agree exactly)
+    and all against a cluster built fresh from the mutated graph (result
+    set and per-site counts; its bus only ever saw one query).
     """
     get_index(graph)  # prime the warm index before the first mutation
     clusters = {}
@@ -539,9 +552,11 @@ def assert_update_workload_identical(
                 engine: cluster_observation(cluster.run(pattern))
                 for engine, cluster in clusters.items()
             }
-            assert observed["python"] == observed["kernel"], (
-                "warm clusters diverged between engines after updates"
-            )
+            for engine in ENGINES[1:]:
+                assert observed["python"] == observed[engine], (
+                    f"warm clusters diverged between engines 'python' "
+                    f"and {engine!r} after updates"
+                )
             fresh_cluster = Cluster(
                 graph.copy(),
                 dict(clusters["kernel"].assignment),

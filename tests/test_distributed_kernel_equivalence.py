@@ -167,12 +167,18 @@ class TestClusterEquivalence:
     def test_invalid_engine_rejected_before_running(self, small_synthetic):
         assignment = hash_partition(small_synthetic, 2)
         with pytest.raises(ValueError):
-            Cluster(small_synthetic, assignment, 2, engine="numpy")
+            Cluster(small_synthetic, assignment, 2, engine="fortran")
         cluster = Cluster(small_synthetic, assignment, 2)
         pattern = sample_pattern_from_data(small_synthetic, 3, seed=5)
         assert pattern is not None
         with pytest.raises(ValueError):
-            cluster.run(pattern, engine="numpy")
+            cluster.run(pattern, engine="fortran")
+        # "numpy" is a real engine now: accepted and output-identical.
+        numpy_cluster = Cluster(small_synthetic, assignment, 2, engine="numpy")
+        kernel_cluster = Cluster(small_synthetic, assignment, 2, engine="kernel")
+        assert cluster_observation(numpy_cluster.run(pattern)) == (
+            cluster_observation(kernel_cluster.run(pattern))
+        )
 
 
 # ----------------------------------------------------------------------

@@ -1,16 +1,20 @@
-"""Engine equivalence: the CSR kernel must mirror the reference path.
+"""Engine equivalence: the compiled engines must mirror the reference path.
 
-The contract of :mod:`repro.core.kernel` is *output identity*: for every
-input, ``engine="kernel"`` and ``engine="python"`` produce the same set of
+The contract of :mod:`repro.core.kernel` and :mod:`repro.core.npkernel`
+is *output identity*: for every input, ``engine="kernel"``,
+``engine="numpy"`` and ``engine="python"`` produce the same set of
 maximum perfect subgraphs with the same match relations (the recorded
 discovering center may legitimately differ — see ``kernel_match_plus``).
 These tests enforce the contract over the paper-figure fixtures, the
 synthetic fixture corpus, and randomized graph/pattern pairs, plus the
 kernel-specific machinery (index caching, version invalidation, engine
-validation).
+validation, and the numpy-missing graceful fallback).
 """
 
 from __future__ import annotations
+
+import subprocess
+import sys
 
 import pytest
 from hypothesis import given, settings
@@ -18,12 +22,14 @@ from hypothesis import given, settings
 from repro.core.digraph import DiGraph
 from repro.core.dualsim import dual_simulation
 from repro.core.kernel import (
+    NUMPY_AUTO_THRESHOLD,
     GraphIndex,
     dual_simulation_kernel,
     get_index,
     kernel_matches_via_strong_simulation,
     resolve_engine,
 )
+from repro.core.npkernel import dual_simulation_numpy
 from repro.core.matchplus import MatchPlusOptions, match_plus
 from repro.core.pattern import Pattern
 from repro.core.strong import match, matches_via_strong_simulation
@@ -62,11 +68,16 @@ def assert_engines_agree(pattern, data):
     """Both entry points agree between engines on (pattern, data)."""
     plain_python = canonical(match(pattern, data, engine="python"))
     assert canonical(match(pattern, data, engine="kernel")) == plain_python
+    assert canonical(match(pattern, data, engine="numpy")) == plain_python
     for options in ALL_OPTION_COMBOS:
-        assert (
-            canonical(match_plus(pattern, data, options, engine="kernel"))
-            == canonical(match_plus(pattern, data, options, engine="python"))
+        reference = canonical(
+            match_plus(pattern, data, options, engine="python")
         )
+        for engine in ("kernel", "numpy"):
+            assert (
+                canonical(match_plus(pattern, data, options, engine=engine))
+                == reference
+            )
 
 
 # ----------------------------------------------------------------------
@@ -92,9 +103,13 @@ class TestFixtureCorpus:
 
     def test_dual_simulation_on_fixtures(self, q1, g1, small_synthetic):
         assert dual_simulation_kernel(q1, g1) == dual_simulation(q1, g1)
+        assert dual_simulation_numpy(q1, g1) == dual_simulation(q1, g1)
         pattern = pattern_from_subgraph(small_synthetic, 2, 3)
         assert pattern is not None
         assert dual_simulation_kernel(pattern, small_synthetic) == (
+            dual_simulation(pattern, small_synthetic)
+        )
+        assert dual_simulation_numpy(pattern, small_synthetic) == (
             dual_simulation(pattern, small_synthetic)
         )
 
@@ -156,9 +171,9 @@ class TestRandomizedEquivalence:
     @given(graph_and_pattern())
     def test_dual_simulation_agrees(self, pair):
         data, pattern = pair
-        assert dual_simulation_kernel(pattern, data) == dual_simulation(
-            pattern, data
-        )
+        reference = dual_simulation(pattern, data)
+        assert dual_simulation_kernel(pattern, data) == reference
+        assert dual_simulation_numpy(pattern, data) == reference
 
     def test_seeded_sweep(self):
         """A deterministic seed sweep, independent of hypothesis."""
@@ -237,13 +252,19 @@ class TestGraphIndex:
 class TestEngineSelection:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError):
-            resolve_engine("numpy")
+            resolve_engine("fortran")
         pattern = Pattern.build({"a": "A"}, [])
         data = DiGraph.from_parts({1: "A"}, [])
         with pytest.raises(ValueError):
-            match(pattern, data, engine="numpy")
+            match(pattern, data, engine="fortran")
         with pytest.raises(ValueError):
-            match_plus(pattern, data, engine="numpy")
+            match_plus(pattern, data, engine="fortran")
+
+    def test_numpy_is_a_valid_engine(self):
+        assert resolve_engine("numpy") == "numpy"
+        pattern = Pattern.build({"a": "A"}, [])
+        data = DiGraph.from_parts({1: "A"}, [])
+        assert len(match(pattern, data, engine="numpy")) == 1
 
     def test_auto_matches_reference(self):
         data = random_digraph(17, max_nodes=10)
@@ -254,3 +275,64 @@ class TestEngineSelection:
         assert canonical(match_plus(pattern, data)) == canonical(
             match_plus(pattern, data, engine="python")
         )
+
+    def test_auto_prefers_numpy_above_size_threshold(self):
+        nodes = {i: "A" for i in range(NUMPY_AUTO_THRESHOLD + 1)}
+        data = DiGraph.from_parts(nodes, [])
+        assert resolve_engine("auto", data) == "numpy"
+
+
+class TestNumpyFallback:
+    """Importing repro without numpy keeps python/kernel functional."""
+
+    _SCRIPT = r"""
+import sys
+
+
+class _BlockNumpy:
+    def find_spec(self, name, path=None, target=None):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy is blocked for this test")
+        return None
+
+
+sys.meta_path.insert(0, _BlockNumpy())
+
+from repro.core.digraph import DiGraph
+from repro.core.kernel import NUMPY_AVAILABLE, resolve_engine
+from repro.core.pattern import Pattern
+from repro.core.strong import match
+from repro.exceptions import MatchingError
+
+assert not NUMPY_AVAILABLE
+
+pattern = Pattern.build({"a": "A", "b": "B"}, [("a", "b")])
+data = DiGraph.from_parts({1: "A", 2: "B"}, [(1, 2)])
+assert len(match(pattern, data, engine="python")) == 1
+assert len(match(pattern, data, engine="kernel")) == 1
+
+# Explicitly asking for numpy fails loud, as a MatchingError (not a
+# ValueError: the name is known, the dependency is missing).
+try:
+    resolve_engine("numpy")
+except MatchingError as exc:
+    assert "numpy" in str(exc)
+else:
+    raise AssertionError("resolve_engine('numpy') should have raised")
+
+# Auto never selects the unavailable engine, at any size.
+big = DiGraph.from_parts({i: "A" for i in range(3000)}, [])
+assert resolve_engine("auto", big) == "kernel"
+assert len(match(pattern, big, engine="auto")) == 0
+print("fallback-ok")
+"""
+
+    def test_numpy_blocked_import_keeps_other_engines_working(self):
+        proc = subprocess.run(
+            [sys.executable, "-c", self._SCRIPT],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "fallback-ok" in proc.stdout

@@ -13,8 +13,9 @@ Four layers under test, matching the pipeline's shape:
    :class:`~repro.exceptions.MatchingError` instead of serving rows from
    mixed epochs.  Plus the ``auto`` engine heuristic built on top.
 3. **Incremental matching engines** — ``IncrementalDualSimulation`` /
-   ``IncrementalMatcher`` with ``engine="kernel"`` stay output-identical
-   to from-scratch reference runs under random update sequences.
+   ``IncrementalMatcher`` with ``engine="kernel"`` or ``engine="numpy"``
+   stay output-identical to from-scratch reference runs under random
+   update sequences.
 4. **Update-workload differential suite** — random interleavings of
    mutations and queries over every entry point, centralized and
    distributed, via the harness in :mod:`tests.engines` (fixtures +
@@ -25,6 +26,7 @@ from __future__ import annotations
 
 import gc
 import random
+import threading
 
 import pytest
 from hypothesis import given, settings
@@ -42,6 +44,7 @@ from repro.core.digraph import (
 from repro.core.dualsim import dual_simulation
 from repro.core.incremental import IncrementalDualSimulation, IncrementalMatcher
 from repro.core.kernel import (
+    NUMPY_AUTO_THRESHOLD,
     TINY_AUTO_THRESHOLD,
     get_index,
     index_maintenance,
@@ -375,10 +378,15 @@ class TestAutoEngineHeuristic:
         get_index(data)
         assert resolve_engine("auto", data) == "kernel"
 
-    def test_large_graph_resolves_to_kernel(self):
+    def test_midsize_graph_resolves_to_kernel(self):
         data = generate_graph(400, alpha=1.1, num_labels=5, seed=3)
-        assert data.size >= TINY_AUTO_THRESHOLD
+        assert TINY_AUTO_THRESHOLD <= data.size < NUMPY_AUTO_THRESHOLD
         assert resolve_engine("auto", data) == "kernel"
+
+    def test_large_graph_resolves_to_numpy(self):
+        data = generate_graph(700, alpha=1.15, num_labels=5, seed=3)
+        assert data.size >= NUMPY_AUTO_THRESHOLD
+        assert resolve_engine("auto", data) == "numpy"
 
     def test_dataless_auto_keeps_kernel(self):
         assert resolve_engine("auto") == "kernel"
@@ -387,8 +395,9 @@ class TestAutoEngineHeuristic:
         data = DiGraph.from_parts({1: "A"}, [])
         assert resolve_engine("python", data) == "python"
         assert resolve_engine("kernel", data) == "kernel"
+        assert resolve_engine("numpy", data) == "numpy"
         with pytest.raises(ValueError):
-            resolve_engine("numpy", data)
+            resolve_engine("fortran", data)
 
     def test_auto_output_identical_either_way(self):
         data = random_digraph(29, max_nodes=8)
@@ -399,9 +408,13 @@ class TestAutoEngineHeuristic:
 
 
 # ----------------------------------------------------------------------
-# Layer 3: incremental matching on the kernel substrate
+# Layer 3: incremental matching on the compiled substrates
 # ----------------------------------------------------------------------
+COMPILED_ENGINES = ("kernel", "numpy")
+
+
 class TestIncrementalKernelEngine:
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
     @settings(max_examples=20, deadline=None)
     @given(
         seed=graph_seeds,
@@ -410,12 +423,12 @@ class TestIncrementalKernelEngine:
         num_ops=st.integers(min_value=1, max_value=10),
     )
     def test_dual_simulation_tracks_scratch(
-        self, seed, pattern_seed, op_seed, num_ops
+        self, engine, seed, pattern_seed, op_seed, num_ops
     ):
         data = random_digraph(seed, max_nodes=9, edge_prob=0.3)
         pattern = random_connected_pattern(pattern_seed, max_nodes=4)
-        inc = IncrementalDualSimulation(pattern, data, engine="kernel")
-        assert inc.engine == "kernel"
+        inc = IncrementalDualSimulation(pattern, data, engine=engine)
+        assert inc.engine == engine
         rng = random.Random(op_seed)
         fresh = 5000
         for _ in range(num_ops):
@@ -437,16 +450,17 @@ class TestIncrementalKernelEngine:
                 pattern, data
             ).pair_set()
 
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
     @settings(max_examples=12, deadline=None)
     @given(
         seed=graph_seeds,
         pattern_seed=pattern_seeds,
         op_seed=st.integers(min_value=0, max_value=10_000),
     )
-    def test_matcher_tracks_scratch(self, seed, pattern_seed, op_seed):
+    def test_matcher_tracks_scratch(self, engine, seed, pattern_seed, op_seed):
         data = random_digraph(seed, max_nodes=8, edge_prob=0.3)
         pattern = random_connected_pattern(pattern_seed, max_nodes=3)
-        matcher = IncrementalMatcher(pattern, data, engine="kernel")
+        matcher = IncrementalMatcher(pattern, data, engine=engine)
         rng = random.Random(op_seed)
         fresh = 6000
         for _ in range(5):
@@ -468,14 +482,15 @@ class TestIncrementalKernelEngine:
                 match(pattern, data, engine="python")
             )
 
-    def test_survives_threshold_compaction(self):
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
+    def test_survives_threshold_compaction(self, engine):
         """Regression: a deletion-heavy stream pushes the warm index past
         the density threshold, recompiling it IN PLACE with compacted
         ids; the kernel incremental state must remap through the old
         node list (captured before the recompile), not the new one."""
         data = generate_graph(150, alpha=1.25, num_labels=4, seed=2)
         pattern = random_connected_pattern(61, max_nodes=3)
-        inc = IncrementalDualSimulation(pattern, data, engine="kernel")
+        inc = IncrementalDualSimulation(pattern, data, engine=engine)
         rng = random.Random(8)
         for step in range(140):
             nodes = list(data.nodes())
@@ -499,10 +514,11 @@ class TestIncrementalKernelEngine:
             pattern, data
         ).pair_set()
 
-    def test_single_node_pattern_node_churn(self):
+    @pytest.mark.parametrize("engine", COMPILED_ENGINES)
+    def test_single_node_pattern_node_churn(self, engine):
         pattern = Pattern.build({"x": "A"}, [])
         data = DiGraph.from_parts({1: "A", 2: "B"}, [])
-        inc = IncrementalDualSimulation(pattern, data, engine="kernel")
+        inc = IncrementalDualSimulation(pattern, data, engine=engine)
         inc.add_node(3, "A")
         assert inc.relation.pair_set() == dual_simulation(
             pattern, data
@@ -512,6 +528,65 @@ class TestIncrementalKernelEngine:
             pattern, data
         ).pair_set()
         assert sorted(inc.relation.matches_of("x")) == [3]
+
+
+# ----------------------------------------------------------------------
+# Reader–writer guard: syncs defer behind in-flight queries, fail loud
+# on self-deadlock
+# ----------------------------------------------------------------------
+class TestIndexReadGuard:
+    def test_sync_waits_for_inflight_reader(self):
+        """A ``get_index`` sync from another thread must block until an
+        in-flight reader drains, then apply — never rewrite rows under a
+        reader, never drop the sync."""
+        data = random_digraph(63, max_nodes=10, edge_prob=0.4)
+        index = get_index(data)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def reader():
+            with index.reading():
+                entered.set()
+                release.wait(timeout=10)
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        assert entered.wait(timeout=10)
+        data.add_node("fresh", "l0")
+        synced = {}
+
+        def writer():
+            synced["index"] = get_index(data)
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        writer_thread.join(timeout=0.3)
+        assert writer_thread.is_alive(), (
+            "sync went through while a reader held the index"
+        )
+        release.set()
+        writer_thread.join(timeout=10)
+        reader_thread.join(timeout=10)
+        assert not writer_thread.is_alive()
+        assert synced["index"] is index
+        assert index.graph_version == data.version
+        assert "fresh" in index.index_of
+
+    def test_mid_query_sync_from_reading_thread_fails_loud(self):
+        """A thread that mutates the graph mid-query and then re-enters
+        ``get_index`` on its own read would self-deadlock behind its own
+        read hold; the guard raises ``MatchingError`` instead."""
+        data = random_digraph(67, max_nodes=10, edge_prob=0.4)
+        index = get_index(data)
+        with index.reading():
+            with index.reading():  # queries nest (ball inside match)
+                pass
+            data.add_node("fresh", "l0")
+            with pytest.raises(MatchingError, match="mid-query"):
+                get_index(data)
+        # Out of the read section the deferred sync applies normally.
+        assert get_index(data) is index
+        assert index.graph_version == data.version
 
 
 # ----------------------------------------------------------------------
