@@ -20,6 +20,12 @@ Three sections, every timed pair also an equivalence check:
   locked bus, deterministic union order) that pays off once workers
   release the GIL or move to processes (ROADMAP follow-up), and this
   section pins down that it is *observation-identical* meanwhile.
+* **distributed_cache** — a warm hit in the cluster's shared result
+  store (version-vector gated, replaying the full run observation)
+  vs a cold protocol run.  Gated *including smoke mode*: the replay
+  must be >= 5x faster than ``Cluster.run`` — it only decodes the
+  stored encoding and re-plays the query's bus log, no site ever
+  evaluates a ball.
 
 Emits ``benchmarks/results/bench_service.txt`` and machine-readable
 ``benchmarks/results/BENCH_service.json``.  Set
@@ -41,9 +47,10 @@ from repro.service import MatchService, replay_workload, skewed_stream
 
 from benchmarks.conftest import RESULTS_DIR, best_of, emit
 from tests.engines import canonical_result as _canonical
-from tests.engines import permuted_pattern
+from tests.engines import distributed_observation, permuted_pattern
 
 WARM_HIT_SMALL_SCALE_BAR = 10.0
+DISTRIBUTED_WARM_HIT_BAR = 5.0
 PARALLEL_SITES = 4
 TIMING_REPS = 5
 
@@ -219,6 +226,57 @@ def test_service_cache_and_parallel_sites(scale):
         f"(recorded, not gated: GIL-bound site evaluation)"
     )
 
+    # ------------------------------------------------------------------
+    # Section 5: distributed result cache — warm replay vs protocol run
+    # ------------------------------------------------------------------
+    cache_cluster = Cluster(dist_data, assignment, PARALLEL_SITES)
+    cache_cluster.enable_result_store()
+    dist_service = MatchService(max_workers=2)
+    fresh = distributed_observation(cache_cluster.run(dist_pattern))
+    first = dist_service.query_distributed(dist_pattern, cache_cluster)
+    warm = dist_service.query_distributed(dist_pattern, cache_cluster)
+    assert dist_service.stats.computed == 1
+    assert dist_service.stats.replayed >= 1
+    assert distributed_observation(first) == fresh, (
+        "cached distributed run diverged from Cluster.run"
+    )
+    assert distributed_observation(warm) == fresh, (
+        "warm replay diverged from Cluster.run"
+    )
+    cold_dist_s = best_of(lambda: cache_cluster.run(dist_pattern), 3)
+    warm_dist_s = best_of(
+        lambda: dist_service.query_distributed(dist_pattern, cache_cluster),
+        TIMING_REPS,
+    )
+    dist_speedup = round(cold_dist_s / warm_dist_s, 3) if warm_dist_s else None
+    distributed_cache_section = {
+        "workload": (
+            f"distributed match on bfs-partitioned synthetic "
+            f"|V|={dist_n}, {PARALLEL_SITES} sites, |Vq|=6"
+        ),
+        "n": dist_n,
+        "sites": PARALLEL_SITES,
+        "store": "coordinator-hosted shared ResultCache",
+        "cold_run_s": round(cold_dist_s, 6),
+        "warm_replay_s": round(warm_dist_s, 6),
+        "speedup": dist_speedup,
+        "version_vector": list(cache_cluster.version_vector()),
+        "gate": (
+            f"warm replay >= {DISTRIBUTED_WARM_HIT_BAR}x over a cold "
+            f"protocol run, enforced in smoke mode too"
+        ),
+    }
+    dist_service.close()
+    lines.append(
+        f"distributed cache: cold run {cold_dist_s:.5f}s vs warm replay "
+        f"{warm_dist_s:.5f}s -> {dist_speedup:.1f}x "
+        f"({PARALLEL_SITES} sites, |V|={dist_n})"
+    )
+    assert dist_speedup >= DISTRIBUTED_WARM_HIT_BAR, (
+        f"warm distributed replay speedup {dist_speedup} fell below "
+        f"{DISTRIBUTED_WARM_HIT_BAR}x over a cold Cluster.run"
+    )
+
     payload: Dict = {
         "benchmark": "bench_service",
         "scale": os.environ.get("REPRO_BENCH_SCALE", "small"),
@@ -228,9 +286,11 @@ def test_service_cache_and_parallel_sites(scale):
         "invalidation": invalidation_section,
         "throughput": throughput,
         "parallel": parallel_section,
+        "distributed_cache": distributed_cache_section,
         "equivalence": (
             "service results identical to direct engine calls; parallel "
-            "cluster observation identical to serial"
+            "cluster observation identical to serial; warm distributed "
+            "replays identical to fresh Cluster.run observations"
         ),
     }
     RESULTS_DIR.mkdir(exist_ok=True)

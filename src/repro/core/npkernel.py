@@ -840,13 +840,20 @@ def _np_refine_chunk(
         return
     # Per-ball validity: every pattern row non-empty within the ball's
     # segment.  Empty segments (a ball with no candidate-bearing member
-    # at all) are invalid outright; their clamped reduceat slot reads a
-    # neighboring value, which the length mask discards.
+    # at all) are invalid outright and excluded from the reduceat — the
+    # surviving starts are strictly increasing, so each reduction spans
+    # exactly its own segment (an empty ball between two non-empty ones
+    # has equal boundary offsets and contributes nothing in between; a
+    # clamp-style workaround would instead truncate the last non-empty
+    # segment whenever trailing balls are empty).
     seg_len = np.diff(seg_ptr)
     valid = seg_len > 0
-    idx = np.minimum(seg_ptr[:-1], m - 1)
-    for u in range(cp.size):
-        valid &= np.maximum.reduceat(cand[u], idx)
+    starts = seg_ptr[:-1][valid]
+    if starts.size:
+        ok = np.ones(starts.size, dtype=bool)
+        for u in range(cp.size):
+            ok &= np.maximum.reduceat(cand[u], starts)
+        valid[valid] = ok
     for i in np.nonzero(valid)[0].tolist():
         s, e = int(seg_ptr[i]), int(seg_ptr[i + 1])
         nodes_seg = member_node[s:e]

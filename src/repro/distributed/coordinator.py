@@ -35,8 +35,9 @@ live; the protocol observation is byte-identical across backends
 from __future__ import annotations
 
 import threading
+import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.digraph import (
     ADD_EDGE,
@@ -79,14 +80,28 @@ class DistributedRunReport:
     result:
         The deduplicated set Θ of maximum perfect subgraphs.
     bus:
-        The message bus with full traffic accounting.
+        The message bus with full traffic accounting.  For a report from
+        ``Cluster.run`` this is the cluster's cumulative bus; a report
+        replayed from the distributed result cache carries a fresh bus
+        holding exactly the query's own charges (see ``query_log``).
     per_site_subgraphs:
         How many (pre-dedup) perfect subgraphs each site contributed.
+    version_vector:
+        The cluster's per-site version vector at evaluation time — the
+        freshness stamp the distributed result cache gates hits on.
+    query_log:
+        The ``(sender, receiver, kind, units)`` charges this query alone
+        put on the bus, in charge order.  ``Cluster.run`` holds the
+        protocol lock for the whole evaluation, so the slice is exact;
+        replaying it onto a fresh bus reproduces the query's accounting
+        byte-identically.
     """
 
     result: MatchResult
     bus: MessageBus
     per_site_subgraphs: Dict[int, int]
+    version_vector: Tuple[int, ...] = ()
+    query_log: Tuple[Tuple[int, int, str, int], ...] = ()
 
     @property
     def data_shipment_units(self) -> int:
@@ -148,6 +163,16 @@ class Cluster:
         # service threads sharing one cluster) must serialize to keep
         # the observation well-defined.
         self._protocol_lock = threading.Lock()
+        # Per-site update counters: ``apply_update`` advances the entry
+        # of every site it routes a delta to.  The sorted-site snapshot
+        # (``version_vector``) is the cluster's freshness signal — two
+        # equal vectors mean no fragment differs, so a cached result
+        # gated on the exact vector can never be stale.
+        self._versions: Dict[int, int] = {
+            fragment.site_id: 0 for fragment in self.fragments
+        }
+        self._site_order: Tuple[int, ...] = tuple(sorted(self._versions))
+        self._listeners: List["weakref.ref"] = []
         self._transport = make_transport(
             self.backend, self.workers, self.assignment, self.bus, engine
         )
@@ -156,6 +181,56 @@ class Cluster:
     def num_sites(self) -> int:
         """Number of sites in the cluster."""
         return len(self.workers)
+
+    # ------------------------------------------------------------------
+    # Freshness signal (version vector + delta subscription)
+    # ------------------------------------------------------------------
+    def version_vector(self) -> Tuple[int, ...]:
+        """Per-site update counters, one per site in site-id order.
+
+        A lock-free snapshot (safe: each counter only ever grows, under
+        the protocol lock) so delta subscribers — which are notified
+        *while* the lock is held — can read it without deadlocking.
+        """
+        versions = self._versions
+        return tuple(versions[site] for site in self._site_order)
+
+    def subscribe(self, listener: object) -> None:
+        """Register ``listener`` for routed update deltas (held weakly).
+
+        ``listener`` must implement ``on_cluster_deltas(deltas)``,
+        receiving a tuple of :class:`~repro.core.digraph.GraphDelta`
+        after every successfully routed ``apply_update`` — the cluster
+        mirror of ``DiGraph.subscribe``, so the result cache's label /
+        ``d_Q`` retention rules can judge distributed entries the same
+        way they judge centralized ones.  Delivery happens under the
+        protocol lock with the post-update :meth:`version_vector`
+        already in place; a listener must not re-enter the cluster
+        (``run`` / ``apply_update``) from its callback.
+        """
+        self._listeners.append(weakref.ref(listener))
+
+    def unsubscribe(self, listener: object) -> None:
+        """Remove ``listener`` (idempotent; dead weakrefs pruned too)."""
+        self._listeners = [
+            ref for ref in self._listeners
+            if ref() is not None and ref() is not listener
+        ]
+
+    def _deliver_cluster_deltas(self, deltas: Tuple[GraphDelta, ...]) -> None:
+        # Iterate over a snapshot: a callback may subscribe/unsubscribe
+        # (mutating self._listeners) without disturbing this delivery.
+        dead = False
+        for ref in tuple(self._listeners):
+            target = ref()
+            if target is None:
+                dead = True
+            else:
+                target.on_cluster_deltas(deltas)
+        if dead:
+            self._listeners = [
+                ref for ref in self._listeners if ref() is not None
+            ]
 
     # ------------------------------------------------------------------
     # Mutation pipeline (live-cluster updates)
@@ -178,6 +253,10 @@ class Cluster:
         exactly what ``DiGraph.remove_node`` emits; the convenience
         mutators below (:meth:`remove_node` etc.) produce well-formed
         streams for callers not mirroring a master graph.
+
+        Each routed site's :meth:`version_vector` counter advances, and
+        the delta is then forwarded to cluster-level subscribers (see
+        :meth:`subscribe`) with the new vector in place.
         """
         with self._protocol_lock:
             kind = delta.kind
@@ -189,6 +268,7 @@ class Cluster:
                     self._transport.apply_update(
                         site_id, delta, self.assignment
                     )
+                    self._versions[site_id] += 1
             elif kind == ADD_NODE:
                 if delta.node in self.assignment:
                     raise DuplicateNode(delta.node)
@@ -202,18 +282,22 @@ class Cluster:
                 self.assignment[delta.node] = site
                 self.bus.send(COORDINATOR_ID, site, "update", 1)
                 self._transport.apply_update(site, delta, self.assignment)
+                self._versions[site] += 1
             elif kind == REMOVE_NODE:
                 owner = self._site_of(delta.node)
                 del self.assignment[delta.node]
                 self.bus.send(COORDINATOR_ID, owner, "update", 1)
                 self._transport.apply_update(owner, delta, self.assignment)
                 self._transport.forget_remote(delta.node)
+                self._versions[owner] += 1
             elif kind == RELABEL:
                 owner = self._site_of(delta.node)
                 self.bus.send(COORDINATOR_ID, owner, "update", 1)
                 self._transport.apply_update(owner, delta, self.assignment)
+                self._versions[owner] += 1
             else:
                 raise DistributedError(f"unknown graph delta kind {kind!r}")
+            self._deliver_cluster_deltas((delta,))
 
     def _site_of(self, node: Node) -> int:
         site = self.assignment.get(node)
@@ -303,6 +387,10 @@ class Cluster:
         with self._protocol_lock:
             if radius is None:
                 radius = pattern.diameter
+            # The protocol lock serializes runs against updates, so the
+            # bus messages appended from here to the end of the run are
+            # exactly this query's charges (the report's ``query_log``).
+            log_start = len(self.bus.messages)
             # Step 1: broadcast the query (|Q| units per site).
             query_units = pattern.size
             for site in self.workers:
@@ -323,7 +411,17 @@ class Cluster:
                 self.bus.send(site, COORDINATOR_ID, "result", units)
                 for subgraph in partial:
                     result.add(subgraph)
-            return DistributedRunReport(result, self.bus, per_site)
+            query_log = tuple(
+                (m.sender, m.receiver, m.kind, m.units)
+                for m in self.bus.messages[log_start:]
+            )
+            return DistributedRunReport(
+                result,
+                self.bus,
+                per_site,
+                version_vector=self.version_vector(),
+                query_log=query_log,
+            )
 
     def evaluate(
         self,
@@ -333,6 +431,31 @@ class Cluster:
     ) -> DistributedRunReport:
         """Alias of :meth:`run` (the original Section 4.3 entry point)."""
         return self.run(pattern, radius, engine=engine)
+
+    @property
+    def result_store(self):
+        """The cluster's shared distributed result store, or ``None``.
+
+        Coordinator-hosted: on the ``processes`` backend the transport
+        creates one eagerly (that backend exists so N front-end services
+        can drive one cluster — they should share warm entries and
+        single-flight leadership, not race duplicate protocol runs);
+        the in-process backends opt in via :meth:`enable_result_store`.
+        ``MatchService`` prefers this store over its own cache for
+        ``submit_distributed``, so every service bound to this cluster
+        sees the same entries.
+        """
+        return self._transport.result_store
+
+    def enable_result_store(self, max_entries: int = 256):
+        """Attach (or return) the shared result store for this cluster."""
+        store = self._transport.result_store
+        if store is None:
+            from repro.service.cache import ResultCache  # avoid cycle
+
+            store = ResultCache(max_entries)
+            self._transport.result_store = store
+        return store
 
     def worker_stats(self) -> Dict[int, Dict[str, object]]:
         """Per-site runtime counters, fetched from wherever workers live.
@@ -382,8 +505,11 @@ def distributed_match(
     try:
         return cluster.run(pattern, radius)
     finally:
-        if cluster.backend == "processes":
-            cluster.close()  # one-shot: don't leak worker processes
+        # One-shot: release whatever the backend holds (site thread
+        # pool or worker processes).  close() is idempotent and the
+        # in-process backends lazily re-create their pool, so closing
+        # unconditionally is always safe.
+        cluster.close()
 
 
 def crossing_ball_bound(

@@ -97,6 +97,15 @@ def _make_context():
 class Transport:
     """Hosts a cluster's site workers and routes the protocol to them."""
 
+    #: Coordinator-hosted shared distributed result store (a
+    #: ``repro.service.cache.ResultCache``), or ``None``.  It lives on
+    #: the transport because that is the coordinator-side object whose
+    #: lifetime matches the workers': the process backend creates one
+    #: eagerly (N front-end services over one cluster share warm
+    #: entries and single-flight leadership), the in-process backends
+    #: leave it ``None`` until ``Cluster.enable_result_store`` opts in.
+    result_store = None
+
     def evaluate(
         self,
         pattern: Pattern,
@@ -225,6 +234,14 @@ class ProcessTransport(Transport):
         #: ``site -> (deltas in arrival order, merged owner captures)``.
         self._pending_updates: Dict[int, tuple] = {}
         self._closed = False
+        # The shared result store (see the Transport class attribute):
+        # created before the workers so a bootstrap failure cannot leave
+        # a half-built transport with a missing store.  Imported lazily
+        # to keep the runtime layer import-independent of the service
+        # layer (which imports this package for the distributed path).
+        from repro.service.cache import ResultCache
+
+        self.result_store = ResultCache()
         context = _make_context()
         try:
             for site, worker in workers.items():

@@ -64,8 +64,37 @@ invalidates unconditionally, as does a ball-based entry stored without
 a radius stamp), so a hit is always exactly what a fresh computation
 would produce — the property the differential tests assert.
 
+**Distributed entries** (:meth:`ResultCache.lookup_distributed` /
+:meth:`ResultCache.store_distributed`) extend the machinery to a live
+:class:`~repro.distributed.coordinator.Cluster`: the freshness stamp
+is the cluster's per-site **version vector** instead of a
+``DiGraph.version``, and the delta stream arrives through
+``Cluster.subscribe`` (one delta per routed ``apply_update``).  Their
+retention rule is *stricter* than the table above, because a
+distributed entry replays the query's full bus log and per-site counts
+byte-identically, not just its result: every node is a ball center in
+the Section 4.3 protocol, so an **edge** delta can grow or shrink
+boundary-crossing balls — and hence the accounted fetch traffic —
+arbitrarily far from every candidate, where the ``d_Q`` distance rule
+would wrongly retain.  Edge deltas therefore always drop distributed
+entries.  **Node** deltas whose labels are disjoint from the entry's
+pattern labels provably change nothing a fresh run would observe: an
+added node starts isolated (a silent local singleton ball, appended
+after every existing center), a removed node is isolated by the delta
+ordering contract (its incident-edge removals, delivered first,
+already dropped the entry if it had any), and a relabel changes
+neither ball membership nor record sizes (fetch units are ``1 +
+degree``) nor candidacy outside the pattern's labels.  Distributed
+entries are engine-independent (the engines' output-identity contract
+makes one entry valid for every engine).
+
 :class:`CacheStats` exposes hit/miss/store/invalidation counters; all
 cache operations are thread-safe (one lock, held only for dict work).
+The cache also hosts the **single-flight table** services coalesce
+duplicate computations on (:meth:`ResultCache.begin_flight`), so
+several services sharing one store — the shared distributed store a
+``processes``-backend cluster carries — elect one leader per key
+across all of them: a miss storm costs one protocol run.
 """
 
 from __future__ import annotations
@@ -91,6 +120,12 @@ from repro.core.digraph import (
 #: invalidate their entries unless they are provably too far from every
 #: candidate (see the module docstring's rule table).
 BALL_BASED_ALGORITHMS = frozenset({"match", "match-plus"})
+
+#: The algorithm slot distributed entries are keyed under.  It never
+#: collides with a centralized key: centralized entries are keyed by a
+#: graph-subscription token, distributed ones by a cluster-subscription
+#: token, and tokens are allocated from one shared counter.
+DISTRIBUTED_ALGORITHM = "distributed"
 
 #: Sentinels for the distance digest: a label the BFS never reached is
 #: "infinitely far", and a missing labels_raw lookup must not collide
@@ -193,6 +228,37 @@ class _GraphSubscription:
             cache._on_deltas(self, deltas)
 
 
+class _ClusterSubscription:
+    """The cache's listener on one cluster's routed-delta stream.
+
+    The distributed twin of :class:`_GraphSubscription`: held strongly
+    by the cache, holding the cluster weakly, purging the cluster's
+    entries when it dies.  ``valid_version`` of its entries is the
+    cluster's version vector (a tuple), not a scalar graph version.
+    """
+
+    __slots__ = ("token", "cluster_ref", "keys", "_cache_ref", "__weakref__")
+
+    def __init__(self, token: int, cluster, cache: "ResultCache") -> None:
+        self.token = token
+        self._cache_ref = weakref.ref(cache)
+        self.keys: Set[tuple] = set()
+        self.cluster_ref = weakref.ref(
+            cluster, lambda _ref, t=token: self._purge(t)
+        )
+        cluster.subscribe(self)
+
+    def _purge(self, token: int) -> None:
+        cache = self._cache_ref()
+        if cache is not None:
+            cache._drop_graph(token)
+
+    def on_cluster_deltas(self, deltas: Tuple[GraphDelta, ...]) -> None:
+        cache = self._cache_ref()
+        if cache is not None:
+            cache._on_cluster_deltas(self, deltas)
+
+
 class ResultCache:
     """LRU cache of canonical-position-encoded matching results."""
 
@@ -206,8 +272,17 @@ class ResultCache:
         self._subscriptions: "weakref.WeakKeyDictionary[DiGraph, _GraphSubscription]" = (
             weakref.WeakKeyDictionary()
         )
-        self._by_token: Dict[int, _GraphSubscription] = {}
+        self._cluster_subscriptions: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
+        #: token -> graph OR cluster subscription (one shared counter,
+        #: so keys of the two kinds can never collide in ``_entries``).
+        self._by_token: Dict[int, object] = {}
         self._next_token = 0
+        # Single-flight table (see ``begin_flight``): key -> the
+        # leader's done event.  Its own lock, never held while waiting.
+        self._flights: Dict[object, threading.Event] = {}
+        self._flight_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -303,6 +378,112 @@ class ResultCache:
                 subscription.keys.clear()
 
     # ------------------------------------------------------------------
+    # Distributed entries (cluster-keyed, version-vector gated)
+    # ------------------------------------------------------------------
+    def lookup_distributed(
+        self, cluster, canonical_key: tuple, radius: int
+    ) -> Optional[object]:
+        """The cached run-report payload for ``cluster``, or ``None``.
+
+        A hit requires the entry's valid version vector to equal the
+        cluster's *current* :meth:`~Cluster.version_vector` — any
+        ``apply_update`` since the store reads as a miss unless the
+        delta deliveries provably retained the entry.  The key carries
+        no engine slot: the engines' output-identity contract makes one
+        entry valid for every engine choice.
+        """
+        with self._lock:
+            subscription = self._cluster_subscriptions.get(cluster)
+            if subscription is None:
+                self.stats.misses += 1
+                return None
+            key = (
+                subscription.token, canonical_key, DISTRIBUTED_ALGORITHM,
+                radius,
+            )
+            entry = self._entries.get(key)
+            if entry is None or entry.valid_version != cluster.version_vector():
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.payload
+
+    def store_distributed(
+        self,
+        cluster,
+        canonical_key: tuple,
+        radius: int,
+        label_set: FrozenSet[Label],
+        payload: object,
+        computed_vector: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        """Insert one computed distributed run report.
+
+        ``computed_vector`` is the version vector the run was evaluated
+        under (``DistributedRunReport.version_vector``); if the cluster
+        has moved since, the store is refused — the missed update's
+        delivery predates the entry and could never invalidate it.
+        ``radius`` is the effective ball radius of the run (part of the
+        key: different radii are different queries) and the ``d_Q``
+        horizon of the edge-delta retention rule.
+        """
+        with self._lock:
+            vector = cluster.version_vector()
+            if computed_vector is not None and computed_vector != vector:
+                return  # raced with apply_update: the payload is already old
+            subscription = self._cluster_subscriptions.get(cluster)
+            if subscription is None:
+                token = self._next_token
+                self._next_token += 1
+                subscription = _ClusterSubscription(token, cluster, self)
+                self._cluster_subscriptions[cluster] = subscription
+                self._by_token[token] = subscription
+            key = (
+                subscription.token, canonical_key, DISTRIBUTED_ALGORITHM,
+                radius,
+            )
+            self._entries[key] = _Entry(
+                payload, label_set, True, vector, radius
+            )
+            self._entries.move_to_end(key)
+            subscription.keys.add(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                evicted_key, _ = self._entries.popitem(last=False)
+                owner = self._by_token.get(evicted_key[0])
+                if owner is not None:
+                    owner.keys.discard(evicted_key)
+                self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Single-flight table
+    # ------------------------------------------------------------------
+    def begin_flight(self, key: object) -> Optional[threading.Event]:
+        """Claim leadership of one in-flight computation.
+
+        Returns ``None`` when the caller became the leader (it must
+        compute, publish, and call :meth:`end_flight`), or the current
+        leader's done event to wait on before re-running the lookup.
+        Hosting the table on the cache — not the service — means every
+        service sharing this store (e.g. through a cluster's shared
+        result store) coalesces on the same leader.
+        """
+        with self._flight_lock:
+            event = self._flights.get(key)
+            if event is None:
+                self._flights[key] = threading.Event()
+                return None
+            return event
+
+    def end_flight(self, key: object) -> None:
+        """Release leadership and wake every waiter (idempotent)."""
+        with self._flight_lock:
+            event = self._flights.pop(key, None)
+        if event is not None:
+            event.set()
+
+    # ------------------------------------------------------------------
     # Delta invalidation
     # ------------------------------------------------------------------
     def _on_deltas(
@@ -317,10 +498,38 @@ class ResultCache:
             if graph is None:  # racing with graph teardown
                 self._drop_graph(subscription.token)
                 return
-            digest = self._digest_group(graph, deltas)
-            label_depths = self._label_depths_if_needed(
-                graph, deltas, digest, subscription
-            )
+            self._judge_group(subscription, graph, deltas, graph.version)
+
+    def _on_cluster_deltas(
+        self,
+        subscription: _ClusterSubscription,
+        deltas: Tuple[GraphDelta, ...],
+    ) -> None:
+        # Delivered by ``Cluster.apply_update`` under the protocol lock,
+        # *after* routing: the version vector describes the post-delta
+        # state, which is what a surviving entry's new valid version
+        # must be.  A distributed entry replays the query's bus log, so
+        # retention must preserve the *observation*, not just the
+        # result: edge deltas always drop (they can change fetch
+        # traffic around any ball center, however far from every
+        # candidate), node deltas retain only when their labels are
+        # disjoint from the entry's pattern labels (see the module
+        # docstring for why that provably preserves the full replay).
+        with self._lock:
+            if not subscription.keys:
+                return
+            cluster = subscription.cluster_ref()
+            if cluster is None:  # racing with cluster teardown
+                self._drop_graph(subscription.token)
+                return
+            version = cluster.version_vector()
+            node_kinds = (ADD_NODE, REMOVE_NODE, RELABEL)
+            nodes_only = all(delta.kind in node_kinds for delta in deltas)
+            touched: Set[Label] = set()
+            for delta in deltas:
+                touched.add(delta.label)
+                if delta.kind == RELABEL:
+                    touched.add(delta.old_label)
             survivors = []
             dropped = []
             for key in subscription.keys:
@@ -328,7 +537,7 @@ class ResultCache:
                 if entry is None:
                     dropped.append(key)  # evicted; tidy the key set
                     continue
-                if self._group_harmless(digest, entry, label_depths):
+                if nodes_only and touched.isdisjoint(entry.label_set):
                     survivors.append(entry)
                 else:
                     del self._entries[key]
@@ -336,10 +545,40 @@ class ResultCache:
                     self.stats.invalidations += 1
             for key in dropped:
                 subscription.keys.discard(key)
-            version = graph.version
             for entry in survivors:
                 entry.valid_version = version
             self.stats.retained += len(survivors)
+
+    def _judge_group(
+        self, subscription, graph, deltas, version
+    ) -> None:
+        """Judge one delta group against a graph subscription's entries.
+
+        ``graph`` is the delivery-time state and ``version`` the
+        freshness stamp surviving entries advance to.
+        """
+        digest = self._digest_group(graph, deltas)
+        label_depths = self._label_depths_if_needed(
+            graph, deltas, digest, subscription
+        )
+        survivors = []
+        dropped = []
+        for key in subscription.keys:
+            entry = self._entries.get(key)
+            if entry is None:
+                dropped.append(key)  # evicted; tidy the key set
+                continue
+            if self._group_harmless(digest, entry, label_depths):
+                survivors.append(entry)
+            else:
+                del self._entries[key]
+                dropped.append(key)
+                self.stats.invalidations += 1
+        for key in dropped:
+            subscription.keys.discard(key)
+        for entry in survivors:
+            entry.valid_version = version
+        self.stats.retained += len(survivors)
 
     @staticmethod
     def _digest_group(

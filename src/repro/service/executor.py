@@ -72,6 +72,15 @@ from repro.service.fingerprint import CanonicalPattern, canonical_form
 #: The algorithms the service can execute, by CLI-compatible name.
 SERVICE_ALGORITHMS = ("match-plus", "match", "dual", "sim")
 
+#: The engine slot cache and single-flight keys use.  Entries are keyed
+#: engine-independently: the engines' output-identity contract (the
+#: differential suites' invariant) makes one stored encoding valid for
+#: every engine, and keying by the *resolved* name fragmented warm
+#: entries under ``engine="auto"`` — ``resolve_engine`` picks ``python``
+#: for a tiny graph before an index exists and ``kernel`` after, so the
+#: same query stream recomputed across the flip.
+_ENGINE_ANY = "*"
+
 
 @dataclass(frozen=True)
 class Query:
@@ -332,10 +341,11 @@ class MatchService:
         cluster,
         radius: Optional[int] = None,
         engine: Optional[str] = None,
+        cached: bool = True,
     ) -> "Future":
         """Enqueue one Section 4.3 run against a live ``Cluster``.
 
-        The future resolves to the cluster's own
+        The future resolves to a
         :class:`~repro.distributed.coordinator.DistributedRunReport`.
         Runs on one cluster serialize on the cluster's protocol lock
         (the bus accounting and per-query worker state demand it), but
@@ -345,13 +355,25 @@ class MatchService:
         query is in flight, which a thread-backed cluster cannot offer
         under the GIL.
 
-        Distributed results are not cached: a cluster's fragments evolve
-        through ``apply_update`` outside any single ``DiGraph``'s delta
-        stream, so the result cache has no sound invalidation signal for
-        them.
+        Distributed results are cached, gated on the cluster's exact
+        :meth:`~repro.distributed.coordinator.Cluster.version_vector`
+        and kept alive across provably harmless ``apply_update`` deltas
+        by the same retention rules as centralized entries.  The store
+        of preference is the cluster's own shared ``result_store``
+        (present on the ``processes`` backend, or after
+        ``enable_result_store()``) so every service over one cluster
+        shares warm entries and single-flight leadership; this
+        service's cache is the fallback.  A warm hit replays the full
+        report — result set, per-site counts, and the query's own bus
+        charges on a fresh bus — byte-identically to a fresh
+        ``cluster.run``, without touching a worker; a fresh run's
+        report carries the cluster's live cumulative bus, as before.
+        ``cached=False`` bypasses store and single-flight entirely and
+        always runs the protocol (the force-recompute escape hatch).
         """
         return self._pool.submit(
-            self._execute_distributed, pattern, cluster, radius, engine
+            self._execute_distributed, pattern, cluster, radius, engine,
+            cached,
         )
 
     def query_distributed(
@@ -360,15 +382,109 @@ class MatchService:
         cluster,
         radius: Optional[int] = None,
         engine: Optional[str] = None,
+        cached: bool = True,
     ):
         """Synchronous convenience: submit a distributed run and wait."""
-        return self.submit_distributed(pattern, cluster, radius, engine).result()
+        return self.submit_distributed(
+            pattern, cluster, radius, engine, cached
+        ).result()
 
-    def _execute_distributed(self, pattern, cluster, radius, engine):
+    def _execute_distributed(self, pattern, cluster, radius, engine, cached=True):
         with self._stats_lock:
             self.stats.queries += 1
-            self.stats.computed += 1
-        return cluster.run(pattern, radius, engine=engine)
+        # NB: "is None" matters — an empty ResultCache is falsy.
+        store = getattr(cluster, "result_store", None) if cached else None
+        if store is None and cached:
+            store = self.cache
+        if store is None:
+            report = cluster.run(pattern, radius, engine=engine)
+            with self._stats_lock:
+                self.stats.computed += 1  # on success only
+            return report
+        canonical = canonical_form(pattern)
+        effective_radius = pattern.diameter if radius is None else radius
+        # Same single-flight loop as _execute, but the flight table
+        # lives on the store: services sharing a cluster's result store
+        # elect one leader per (cluster, fingerprint, radius) across
+        # all of them, so a miss storm costs one protocol run.  The
+        # key is engine-independent for the same reason cache keys are.
+        flight_key = (cluster, canonical.key, effective_radius)
+        coalesced = False
+        while True:
+            payload = store.lookup_distributed(
+                cluster, canonical.key, effective_radius
+            )
+            if payload is not None:
+                with self._stats_lock:
+                    self.stats.replayed += 1
+                return self._decode_run_report(
+                    payload, pattern, canonical, cluster
+                )
+            leader_done = store.begin_flight(flight_key)
+            if leader_done is None:
+                break  # this thread computes
+            if not coalesced:
+                coalesced = True
+                with self._stats_lock:
+                    self.stats.coalesced += 1
+            leader_done.wait()
+        try:
+            report = cluster.run(pattern, radius, engine=engine)
+            store.store_distributed(
+                cluster,
+                canonical.key,
+                effective_radius,
+                canonical.label_set,
+                self._encode_run_report(report, canonical),
+                computed_vector=report.version_vector,
+            )
+            with self._stats_lock:
+                self.stats.computed += 1  # on success only
+            return report
+        finally:
+            store.end_flight(flight_key)
+
+    @staticmethod
+    def _encode_run_report(report, canonical: CanonicalPattern):
+        from repro.distributed.runtime.wire import encode_run_report
+
+        # Distributed relations are keyed by the pattern's own nodes
+        # (the protocol unions per-ball `match` partials), so the plain
+        # canonical-position encoding applies — one entry serves every
+        # isomorphic pattern.
+        return encode_run_report(
+            _encode_match_result(report.result, canonical),
+            report.per_site_subgraphs,
+            report.query_log,
+        )
+
+    @staticmethod
+    def _decode_run_report(
+        payload, pattern: Pattern, canonical: CanonicalPattern, cluster
+    ):
+        from repro.distributed.coordinator import DistributedRunReport
+        from repro.distributed.network import MessageBus
+        from repro.distributed.runtime.wire import decode_run_report
+
+        entries, per_site, log = decode_run_report(payload)
+        result = _decode_match_result(
+            entries, pattern, canonical, minimized=False
+        )
+        # A replayed report carries a fresh bus holding exactly the
+        # query's own charges: no real traffic happened (that is the
+        # point of the hit), so the cluster's cumulative bus is not
+        # advanced, but the per-query observation — what a fresh
+        # cluster's run would show — is reproduced byte-identically.
+        bus = MessageBus()
+        for sender, receiver, kind, units in log:
+            bus.send(sender, receiver, kind, units)
+        return DistributedRunReport(
+            result,
+            bus,
+            per_site,
+            version_vector=cluster.version_vector(),
+            query_log=tuple(log),
+        )
 
     # ------------------------------------------------------------------
     def _execute(
@@ -384,17 +500,21 @@ class MatchService:
         canonical = canonical_form(pattern)
         # Single-flight loop: a miss either elects this thread the
         # leader (it computes and publishes) or finds a leader already
-        # computing the same (graph, fingerprint, algorithm, engine) key
-        # — then it waits and re-runs the lookup, which resolves to a
+        # computing the same (graph, fingerprint, algorithm) key —
+        # then it waits and re-runs the lookup, which resolves to a
         # hit replayed under this query's own pattern names.  Isomorphic
-        # patterns share the key, so N concurrent structurally identical
-        # misses cost one engine run, not N.  No deadlock is possible:
-        # an event only exists while its leader is already executing on
-        # some pool thread, and the leader never waits on anything.
-        flight_key = (data, canonical.key, algorithm, engine)
+        # patterns share the key — and so do engines (see _ENGINE_ANY):
+        # N concurrent structurally identical misses cost one engine
+        # run, not N, whatever mix of engines requested them.  No
+        # deadlock is possible: an event only exists while its leader is
+        # already executing on some pool thread, and the leader never
+        # waits on anything.
+        flight_key = (data, canonical.key, algorithm, _ENGINE_ANY)
         coalesced = False  # count each query at most once, even on retry
         while True:
-            payload = cache.lookup(data, canonical.key, algorithm, engine)
+            payload = cache.lookup(
+                data, canonical.key, algorithm, _ENGINE_ANY
+            )
             if payload is not None:
                 with self._stats_lock:
                     self.stats.replayed += 1
@@ -427,7 +547,7 @@ class MatchService:
                 data,
                 canonical.key,
                 algorithm,
-                engine,
+                _ENGINE_ANY,
                 canonical.label_set,
                 self._encode(result, pattern, canonical, algorithm),
                 computed_version=computed_version,
@@ -493,7 +613,14 @@ class WorkloadReport:
 
     @property
     def throughput(self) -> float:
-        """Completed queries per second."""
+        """Completed queries per second.
+
+        ``0.0`` for an empty stream (no queries completed, whatever the
+        clock read); ``inf`` only when queries did complete in less
+        than one clock tick.
+        """
+        if self.queries == 0:
+            return 0.0
         return self.queries / self.seconds if self.seconds else float("inf")
 
 

@@ -47,6 +47,7 @@ from repro.core.simulation import graph_simulation
 from repro.core.strong import match
 from repro.distributed import Cluster
 from repro.distributed.coordinator import DistributedRunReport
+from repro.distributed.network import MessageBus
 from repro.distributed.runtime import process_backend_available
 
 ENGINES = ("python", "kernel", "numpy")
@@ -104,6 +105,25 @@ def cluster_observation(report: DistributedRunReport) -> Dict[str, Any]:
         "result": canonical_result(report.result),
         "per_site_subgraphs": dict(report.per_site_subgraphs),
         "bus": bus_observation(report.bus),
+    }
+
+
+def distributed_observation(report: DistributedRunReport) -> Dict[str, Any]:
+    """The *per-query* observation of one distributed run.
+
+    Replays the report's own ``query_log`` onto a fresh bus, so reports
+    from warm clusters (whose live bus is cumulative), cache replays
+    (whose bus is already per-query) and freshly built clusters are all
+    directly comparable: result set, per-site partial counts, and the
+    query's complete bus accounting.
+    """
+    bus = MessageBus()
+    for sender, receiver, kind, units in report.query_log:
+        bus.send(sender, receiver, kind, units)
+    return {
+        "result": canonical_result(report.result),
+        "per_site_subgraphs": dict(report.per_site_subgraphs),
+        "bus": bus_observation(bus),
     }
 
 
@@ -572,3 +592,110 @@ def assert_update_workload_identical(
                 dict(fresh_report.per_site_subgraphs)
                 == observed["kernel"]["per_site_subgraphs"]
             ), "warm cluster per-site counts diverged from a fresh cluster"
+
+
+# ----------------------------------------------------------------------
+# Distributed-cache differential harness
+# ----------------------------------------------------------------------
+def assert_distributed_service_identical(
+    pattern: Pattern,
+    data: DiGraph,
+    assignment: Dict,
+    num_sites: int,
+    *,
+    engines: Tuple[str, ...] = ENGINES,
+    backends: Tuple[str, ...] = ("inproc",),
+    num_ops: int = 0,
+    op_seed: int = 0,
+) -> None:
+    """Cached vs uncached service vs direct ``cluster.run``, differentially.
+
+    For each backend: one warm cluster per engine over the same
+    partition, plus a master graph whose mutation deltas are mirrored
+    into every cluster through ``Cluster.apply_update``.  At every
+    checkpoint (before the first mutation and after each applied one),
+    per engine:
+
+    * a direct ``cluster.run`` fixes the expected per-query observation
+      (:func:`distributed_observation`);
+    * an uncached service submit (``cached=False``) must match it;
+    * a cached service submit must match it — whether it computes, was
+      provably retained across the deltas, or replays — and an
+      immediately repeated submit must match again *as a replay* (the
+      version vector is stable between the two).
+
+    Observations must also agree across engines.  A stale retained
+    entry, a wrong version-vector gate, or a lossy run-report encoding
+    all surface here as a byte-level divergence.
+    """
+    from repro.service import MatchService
+
+    for backend in backends:
+        master = data.copy()
+        recorder = DeltaRecorder(master)
+        clusters = {
+            engine: Cluster(
+                data.copy(), dict(assignment), num_sites,
+                engine=engine, backend=backend,
+            )
+            for engine in engines
+        }
+        service = MatchService(max_workers=2)
+        try:
+            def check() -> None:
+                observed = {}
+                for engine, cluster in clusters.items():
+                    direct = distributed_observation(cluster.run(pattern))
+                    uncached = distributed_observation(
+                        service.query_distributed(
+                            pattern, cluster, cached=False
+                        )
+                    )
+                    assert uncached == direct, (
+                        f"uncached service diverged from cluster.run "
+                        f"({engine=}, {backend=})"
+                    )
+                    first = distributed_observation(
+                        service.query_distributed(pattern, cluster)
+                    )
+                    assert first == direct, (
+                        f"cached service diverged from cluster.run "
+                        f"({engine=}, {backend=})"
+                    )
+                    replayed_before = service.stats.replayed
+                    second = distributed_observation(
+                        service.query_distributed(pattern, cluster)
+                    )
+                    assert second == direct, (
+                        f"cache replay diverged from cluster.run "
+                        f"({engine=}, {backend=})"
+                    )
+                    assert service.stats.replayed == replayed_before + 1, (
+                        f"repeat submit at a stable version vector must "
+                        f"replay, not recompute ({engine=}, {backend=})"
+                    )
+                    observed[engine] = direct
+                reference = observed[engines[0]]
+                for engine in engines[1:]:
+                    assert observed[engine] == reference, (
+                        f"distributed observation diverged between engines "
+                        f"{engines[0]!r} and {engine!r} ({backend=})"
+                    )
+
+            check()
+            rng = random.Random(op_seed)
+            fresh_node = 30_000 + op_seed
+            for _ in range(num_ops):
+                op = random_mutation(rng, master, fresh_node)
+                if op is None:
+                    continue
+                if op[0] == "add_node":
+                    fresh_node += 1
+                for delta in recorder.drain():
+                    for cluster in clusters.values():
+                        cluster.apply_update(delta)
+                check()
+        finally:
+            service.close()
+            for cluster in clusters.values():
+                cluster.close()

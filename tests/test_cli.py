@@ -128,3 +128,29 @@ class TestGenerateAndInfo:
         code = main(["info", "--data", str(out), "--format", "edgelist"])
         assert code == 0
         assert "nodes:  40" in capsys.readouterr().out
+
+
+class TestDistributedCommand:
+    def test_single_run_has_no_cache_line(
+        self, graph_file, pattern_file, capsys
+    ):
+        code = main([
+            "distributed", "--data", graph_file, "--pattern", pattern_file,
+            "--sites", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "data shipment" in out
+        assert "distributed cache" not in out
+
+    def test_repeat_reports_cache_accounting(
+        self, graph_file, pattern_file, capsys
+    ):
+        code = main([
+            "distributed", "--data", graph_file, "--pattern", pattern_file,
+            "--sites", "2", "--repeat", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distributed cache: 1 computed, 2 replayed over 3 runs" in out
+        assert "version vector (0, 0)" in out

@@ -87,6 +87,32 @@ class TestFixtureCorpus:
     def test_paper_figure(self, q1, g1):
         assert_engines_agree(q1, g1)
 
+    def test_trailing_empty_ball_segments(self):
+        """Balls after the last candidate-bearing one must not truncate it.
+
+        Regression: the batched numpy validity check clamped segment
+        boundaries of empty trailing balls (here, isolated node 6 with a
+        non-pattern label) into the last member position, which cut the
+        final member — center 4 itself, the only ``l0`` candidate — out
+        of ball(4)'s reduction and silently dropped its 3-node result.
+        """
+        data = DiGraph()
+        for node, label in [
+            (0, "l1"), (1, "l2"), (2, "l1"), (4, "l0"), (6, "l2"),
+        ]:
+            data.add_node(node, label)
+        for source, target in [(1, 4), (4, 1), (4, 2), (4, 0)]:
+            data.add_edge(source, target)
+        pgraph = DiGraph()
+        pgraph.add_node(1, "l0")
+        pgraph.add_node(0, "l1")
+        pgraph.add_edge(1, 0)
+        pattern = Pattern(pgraph)
+        assert_engines_agree(pattern, data)
+        assert sorted(
+            len(sg.graph) for sg in match(pattern, data, engine="numpy")
+        ) == [2, 2, 3]
+
     def test_small_synthetic_sampled_patterns(self, small_synthetic):
         for seed in range(6):
             pattern = pattern_from_subgraph(small_synthetic, seed, 4)

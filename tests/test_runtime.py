@@ -45,6 +45,7 @@ from tests.engines import (
     ENGINES,
     DeltaRecorder,
     assert_cluster_backends_identical,
+    bus_observation,
     canonical_result,
     cluster_observation,
     random_mutation,
@@ -314,6 +315,29 @@ class TestProcessRuntime:
         with pytest.raises(DistributedError):
             Cluster(small_synthetic, assignment, 2, backend="sparks")
 
+    def test_distributed_match_does_not_leak_threads(self, small_synthetic):
+        """A one-shot threads-backend call must close the per-site pool.
+
+        Regression: ``distributed_match`` used to close the cluster only
+        on the processes backend, leaving the (non-daemon) site threads
+        alive until interpreter exit on ``backend="threads"``."""
+        import threading
+
+        pattern = sample_pattern_from_data(small_synthetic, 3, seed=5)
+        assert pattern is not None
+        assignment = bfs_partition(small_synthetic, 2)
+        report = distributed_match(
+            pattern, small_synthetic, assignment, 2, backend="threads"
+        )
+        assert canonical_result(report.result) == canonical_result(
+            match(pattern, small_synthetic)
+        )
+        leaked = [
+            t for t in threading.enumerate()
+            if t.name.startswith("repro-site") and t.is_alive()
+        ]
+        assert not leaked, f"site threads survived the one-shot call: {leaked}"
+
 
 # ----------------------------------------------------------------------
 # CLI: the --backend flag
@@ -387,12 +411,14 @@ class TestServiceDistributed:
         assert served == direct
 
     @needs_processes
-    def test_concurrent_distributed_submits_serialize_per_cluster(
+    def test_concurrent_distributed_submits_coalesce_per_cluster(
         self, small_synthetic
     ):
         """Several in-flight distributed futures against one cluster:
-        the protocol lock serializes them, every report is exact, and
-        the cumulative bus accounting equals that many serial runs."""
+        the processes backend's shared result store single-flights them
+        into one protocol run, every report observes identically to a
+        serial run, and the cluster's cumulative bus shows exactly one
+        query's traffic."""
         pattern = sample_pattern_from_data(small_synthetic, 4, seed=2)
         assert pattern is not None
         assignment = bfs_partition(small_synthetic, 3)
@@ -400,19 +426,25 @@ class TestServiceDistributed:
         with Cluster(
             small_synthetic, assignment, 3, backend="processes"
         ) as cluster, MatchService(max_workers=rounds) as service:
+            assert cluster.result_store is not None
             futures = [
                 service.submit_distributed(pattern, cluster)
                 for _ in range(rounds)
             ]
             reports = [future.result() for future in futures]
+            assert service.stats.computed == 1
+            assert service.stats.computed + service.stats.replayed == rounds
         results = {canonical_result(r.result) for r in reports}
         assert len(results) == 1
         expected = canonical_result(match(pattern, small_synthetic))
         assert results.pop() == expected
         with Cluster(small_synthetic, assignment, 3) as serial_cluster:
-            for _ in range(rounds):
-                serial_report = serial_cluster.run(pattern)
+            serial_report = serial_cluster.run(pattern)
         assert (
-            reports[-1].bus.units_by_kind()
+            cluster.bus.units_by_kind()
             == serial_report.bus.units_by_kind()
-        ), "concurrent submits must account like the same number of serial runs"
+        ), "coalesced submits must cost exactly one protocol run"
+        for report in reports:
+            assert bus_observation(report.bus) == bus_observation(
+                serial_report.bus
+            ), "every report must account like one serial run"

@@ -43,9 +43,12 @@ from repro.service import (
     MatchService,
     Query,
     ResultCache,
+    ServiceStats,
+    WorkloadReport,
     canonical_form,
     pattern_fingerprint,
     replay_workload,
+    skewed_stream,
 )
 from repro.distributed import Cluster
 
@@ -670,3 +673,71 @@ class TestBallDistanceRetention:
             assert stats.hits == hits, "far edges must keep entries live"
             assert stats.stores == 2 and stats.invalidations == 0
             assert stats.retained >= 8
+
+# ----------------------------------------------------------------------
+# Workload helpers: report arithmetic and the shared stream builder
+# ----------------------------------------------------------------------
+class TestWorkloadHelpers:
+    def test_throughput_is_zero_for_an_empty_stream(self):
+        # Zero queries must not read as infinite throughput, whatever
+        # the clock measured around the empty replay.
+        assert WorkloadReport(0, 0.0, {}, ServiceStats()).throughput == 0.0
+        assert WorkloadReport(0, 1.5, {}, ServiceStats()).throughput == 0.0
+
+    def test_throughput_inf_only_when_work_completed_instantly(self):
+        report = WorkloadReport(4, 0.0, {}, ServiceStats())
+        assert report.throughput == float("inf")
+
+    def test_throughput_normal_division(self):
+        assert WorkloadReport(10, 2.0, {}, ServiceStats()).throughput == 5.0
+
+    def test_empty_replay_end_to_end(self):
+        with MatchService(max_workers=1) as service:
+            report, results = replay_workload(service, [])
+        assert results == []
+        assert report.queries == 0
+        assert report.by_algorithm == {}
+        assert report.throughput == 0.0
+
+    def test_skewed_stream_counts_and_order(self, q1, g1):
+        twin = permuted_pattern(q1, seed=1)
+        stream = skewed_stream([q1, twin], g1, rounds=1)
+        # Rank 0 repeats 2 * 2 times, rank 1 repeats 2 * 1, in order.
+        assert [q.pattern for q in stream] == [q1] * 4 + [twin] * 2
+        assert all(q.data is g1 for q in stream)
+        assert all(q.algorithm == "match-plus" for q in stream)
+        two_rounds = skewed_stream(
+            [q1, twin], g1, algorithm="match", rounds=2
+        )
+        assert [q.pattern for q in two_rounds] == ([q1] * 4 + [twin] * 2) * 2
+        assert all(q.algorithm == "match" for q in two_rounds)
+
+
+# ----------------------------------------------------------------------
+# Engine-independent cache keys: the auto-resolution flip stays warm
+# ----------------------------------------------------------------------
+class TestEngineIndependentKeys:
+    def test_auto_flip_replays_instead_of_refragmenting(self, q1, g1):
+        # On a tiny graph with no cached index, "auto" resolves to the
+        # reference engine; once an index exists it resolves to a
+        # compiled one.  The cache key carries no engine slot, so the
+        # same stream stays warm across the flip.
+        from repro.core.kernel import TINY_AUTO_THRESHOLD, get_index
+
+        assert g1.size < TINY_AUTO_THRESHOLD
+        with MatchService(max_workers=1) as service:
+            first = service.query(q1, g1, "match", engine="auto")
+            assert service.stats.computed == 1
+            get_index(g1)  # flips what "auto" resolves to
+            second = service.query(q1, g1, "match", engine="auto")
+            assert service.stats.computed == 1
+            assert service.stats.replayed == 1
+            assert canonical_result(first) == canonical_result(second)
+
+    def test_explicit_engines_share_one_entry(self, q1, g1):
+        with MatchService(max_workers=1) as service:
+            first = service.query(q1, g1, "match", engine="python")
+            second = service.query(q1, g1, "match", engine="kernel")
+            assert service.stats.computed == 1
+            assert service.stats.replayed == 1
+            assert canonical_result(first) == canonical_result(second)
