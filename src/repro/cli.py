@@ -40,7 +40,7 @@ from repro.io.jsonio import (
     write_graph_json,
 )
 
-ALGORITHMS = ("strong", "strong-plus", "dual", "sim")
+ALGORITHMS = ("strong", "strong-plus", "dual", "sim", "bounded", "regular")
 
 
 def _load_graph(path: str, fmt: str) -> DiGraph:
@@ -54,9 +54,104 @@ def _load_pattern(path: str) -> Pattern:
         return pattern_from_dict(json.load(handle))
 
 
+def _print_relation(relation) -> int:
+    if relation.is_empty():
+        print("no match")
+        return 1
+    print(f"match relation with {len(relation)} pairs over "
+          f"{len(relation.data_nodes())} data nodes:")
+    for u in relation.pattern_nodes():
+        images = sorted(map(str, relation.matches_of(u)))
+        shown = ", ".join(images[:8]) + (" ..." if len(images) > 8 else "")
+        print(f"  {u} -> {{{shown}}}")
+    return 0
+
+
+def _paths_spec(pattern: Pattern, path: Optional[str]):
+    """Parse a --paths-spec file into (bounds, constraints, radius).
+
+    The spec attaches hop bounds and regex constraints to pattern edges::
+
+        {"edges": [{"source": "q0", "target": "q1", "bound": 2},
+                   {"source": "q1", "target": "q2",
+                    "regex": "M*", "bound": null}],
+         "radius": 4}
+
+    A present ``"bound": null`` means unbounded reachability (the ``*``
+    of Fan et al.); an absent key leaves the algorithm's default (1 for
+    plain edges).  Unlisted pattern edges stay direct edges.
+    """
+    bounds = {}
+    constraints = {}
+    radius = None
+    if path is not None:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        for entry in payload.get("edges", []):
+            edge = (entry["source"], entry["target"])
+            if "bound" in entry:  # null is meaningful: unbounded
+                bounds[edge] = entry["bound"]
+            if "regex" in entry:
+                constraints[edge] = entry["regex"]
+        radius = payload.get("radius")
+    return bounds, constraints, radius
+
+
+def _cmd_match_paths(args: argparse.Namespace, data: DiGraph,
+                     pattern: Pattern) -> int:
+    """The path-semantics algorithms: bounded / regular matching."""
+    from repro.core.bounded import BoundedPattern, bounded_simulation
+    from repro.core.regular import RegularPattern, regular_strong_match
+    from repro.exceptions import PatternError
+
+    if args.engine == "numpy":
+        print("path algorithms run on the reach-index kernel, not the "
+              "numpy array engine; use --engine auto, python, or kernel")
+        return 2
+    try:
+        bounds, constraints, radius = _paths_spec(pattern, args.paths_spec)
+        if args.algorithm == "bounded":
+            if constraints:
+                print("regex constraints in the spec require "
+                      "--algorithm regular")
+                return 2
+            relation = bounded_simulation(
+                BoundedPattern(pattern, bounds), data, engine=args.engine
+            )
+            return _print_relation(relation)
+        rpattern = RegularPattern(pattern, constraints, bounds)
+        result = regular_strong_match(
+            rpattern, data, radius=radius, engine=args.engine
+        )
+    except PatternError as exc:
+        print(f"bad paths spec: {exc}")
+        return 2
+    if not result:
+        print("no match")
+        return 1
+    print(f"{len(result)} perfect subgraph(s):")
+    for subgraph in result:
+        nodes = sorted(map(str, subgraph.graph.nodes()))
+        preview = ", ".join(nodes[:10]) + (" ..." if len(nodes) > 10 else "")
+        print(f"  center={subgraph.center!r} "
+              f"|V|={subgraph.num_nodes} |E|={subgraph.num_edges}: "
+              f"{{{preview}}}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(match_result_to_dict(result), handle, indent=2,
+                      sort_keys=True)
+        print(f"full result written to {args.out}")
+    return 0
+
+
 def _cmd_match(args: argparse.Namespace) -> int:
     data = _load_graph(args.data, args.format)
     pattern = _load_pattern(args.pattern)
+    if args.algorithm in ("bounded", "regular"):
+        return _cmd_match_paths(args, data, pattern)
+    if args.paths_spec:
+        print("--paths-spec only applies to --algorithm bounded|regular")
+        return 2
     engine = resolve_engine(args.engine, data)
 
     if args.algorithm in ("sim", "dual"):
@@ -69,17 +164,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
                 runner = dual_simulation
         else:
             runner = lambda q, g: graph_simulation(q, g, engine=engine)
-        relation = runner(pattern, data)
-        if relation.is_empty():
-            print("no match")
-            return 1
-        print(f"match relation with {len(relation)} pairs over "
-              f"{len(relation.data_nodes())} data nodes:")
-        for u in relation.pattern_nodes():
-            images = sorted(map(str, relation.matches_of(u)))
-            shown = ", ".join(images[:8]) + (" ..." if len(images) > 8 else "")
-            print(f"  {u} -> {{{shown}}}")
-        return 0
+        return _print_relation(runner(pattern, data))
 
     if args.algorithm == "strong-plus":
         result = match_plus(pattern, data, engine=engine)
@@ -310,7 +395,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_match.add_argument("--pattern", required=True, help="pattern JSON file")
     p_match.add_argument(
         "--algorithm", choices=ALGORITHMS, default="strong-plus",
-        help="matching notion (default: strong-plus)",
+        help="matching notion; 'bounded' and 'regular' are the path "
+             "extensions (hop bounds / regex edge constraints, see "
+             "--paths-spec) (default: strong-plus)",
+    )
+    p_match.add_argument(
+        "--paths-spec",
+        help="JSON file attaching hop bounds and regex constraints to "
+             "pattern edges for --algorithm bounded|regular: "
+             "{\"edges\": [{\"source\": ..., \"target\": ..., "
+             "\"bound\": 2, \"regex\": \"a*\"}, ...], \"radius\": 4} "
+             "(\"bound\": null = unbounded)",
     )
     p_match.add_argument(
         "--format", choices=("json", "edgelist"), default="json",

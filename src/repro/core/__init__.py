@@ -7,7 +7,9 @@ knowing the module layout:
 * matching notions — :func:`graph_simulation`, :func:`dual_simulation`,
   :func:`match` (strong simulation), :func:`match_plus`;
 * optimizations — :func:`minimize_pattern`, :func:`dual_filter`;
-* extensions — :class:`BoundedPattern`, :func:`bounded_simulation`.
+* extensions — :class:`BoundedPattern`, :func:`bounded_simulation`,
+  :class:`RegularPattern`, :func:`regular_strong_match`, backed by the
+  :class:`ReachIndex` distance labeling for the ``kernel`` engine.
 """
 
 from repro.core.ball import Ball, extract_ball, extract_ball_restricted, iter_balls
@@ -40,7 +42,20 @@ from repro.core.kernel import (
 )
 from repro.core.npkernel import dual_simulation_numpy, graph_simulation_numpy
 from repro.core.indexing import IndexedMatcher, NeighborhoodLabelIndex
-from repro.core.regex import LabelNfa, compile_regex, regex_predecessors, regex_successors
+from repro.core.reach import (
+    PATH_ENGINES,
+    ReachIndex,
+    get_reach_index,
+    resolve_path_engine,
+)
+from repro.core.regex import (
+    LabelNfa,
+    LazyDfa,
+    compile_regex,
+    regex_predecessors,
+    regex_successors,
+    reversed_nfa,
+)
 from repro.core.regular import (
     RegularPattern,
     hop_bounded_pattern,
@@ -104,13 +119,19 @@ __all__ = [
     "IncrementalMatcher",
     "IndexedMatcher",
     "LabelNfa",
+    "LazyDfa",
     "NeighborhoodLabelIndex",
+    "PATH_ENGINES",
     "RankingWeights",
+    "ReachIndex",
     "RegularPattern",
     "compile_regex",
+    "get_reach_index",
     "hop_bounded_pattern",
     "regex_predecessors",
     "regex_successors",
+    "resolve_path_engine",
+    "reversed_nfa",
     "regular_dual_simulation",
     "regular_strong_match",
     "rank_matches",

@@ -10,8 +10,25 @@ plain simulation — fails to preserve topology; the library includes it
 both as a usable feature and so the test suite can demonstrate the
 containment ``strong ⊆ dual ⊆ bounded(1) = simulation``.
 
-The implementation precomputes, per pattern edge, the bounded-reachability
-witness test via BFS from candidate sources, memoized per (node, bound).
+Two-path architecture
+---------------------
+:func:`bounded_simulation` carries an ``engine`` seam.  The ``python``
+reference path below answers every witness test with a memoized BFS per
+``(node, bound)`` — simple, allocation-heavy, and kept verbatim as
+ground truth.  The ``kernel`` path
+(:func:`repro.core.reach.bounded_simulation_kernel`) routes the same
+fixpoint through the :class:`~repro.core.reach.ReachIndex` distance
+labeling compiled into the graph's :class:`~repro.core.kernel.GraphIndex`:
+witness tests become hub-label probes, so each fixpoint round costs
+adjacency-row scans instead of BFS traversals.  The index is built once
+per graph (lazily, on the first path query) and patched in place across
+edge insertions — it amortizes as soon as a graph is queried more than
+once, or once under repeated fixpoint rounds on graphs whose BFS
+frontiers are large (anything past a few hundred nodes); for one-shot
+queries on tiny graphs the reference path wins, which is exactly the
+``engine="auto"`` policy.  Both paths compute the unique maximum
+bounded-simulation relation, so their outputs are identical — enforced
+by the differential suite (``tests/test_paths_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -22,6 +39,7 @@ from typing import Dict, Mapping, Optional, Set, Tuple
 from repro.core.digraph import DiGraph, Node
 from repro.core.matchrel import MatchRelation
 from repro.core.pattern import Pattern
+from repro.core.reach import bounded_simulation_kernel, resolve_path_engine
 from repro.exceptions import PatternError
 
 Bound = Optional[int]  # None means "unbounded" (the * of Fan et al.)
@@ -85,15 +103,12 @@ class _ReachabilityOracle:
                     seen.add(child)
                     reached.add(child)
                     frontier.append((child, depth + 1))
-                elif child not in reached and child != source:
-                    reached.add(child)
-        # A self-loop (or a cycle back to source) makes source reachable
-        # from itself in >= 1 hops.
-        if any(
-            source in self._data.successors_raw(node)
-            for node in (reached | {source})
-        ):
-            reached.add(source)
+                elif child == source:
+                    # Cycle back to the source, detected during the BFS
+                    # itself: ``node`` sits at ``depth < bound``, so the
+                    # cycle closes in ``depth + 1 <= bound`` hops.  (A
+                    # self-loop is the ``depth == 0`` case.)
+                    reached.add(source)
         self._cache[key] = reached
         return reached
 
@@ -105,13 +120,20 @@ class _ReachabilityOracle:
 def bounded_simulation(
     bounded_pattern: BoundedPattern,
     data: DiGraph,
+    engine: str = "auto",
 ) -> MatchRelation:
     """The maximum bounded-simulation relation (empty when no match).
 
     Fixpoint refinement identical in shape to plain simulation, with the
     edge-witness test replaced by bounded reachability.  Cubic-time, as in
     Fan et al. (2010).
+
+    ``engine`` selects the evaluation path (``"auto"``, ``"python"``,
+    ``"kernel"`` — see the module docstring); every engine returns the
+    same relation.
     """
+    if resolve_path_engine(engine, data) == "kernel":
+        return bounded_simulation_kernel(bounded_pattern, data)
     pattern = bounded_pattern.pattern
     oracle = _ReachabilityOracle(data)
     sim: Dict[Node, Set[Node]] = {
@@ -147,6 +169,7 @@ def bounded_simulation(
 def matches_via_bounded_simulation(
     bounded_pattern: BoundedPattern,
     data: DiGraph,
+    engine: str = "auto",
 ) -> bool:
     """Decide bounded-simulation matching."""
-    return bounded_simulation(bounded_pattern, data).is_total()
+    return bounded_simulation(bounded_pattern, data, engine=engine).is_total()

@@ -15,6 +15,10 @@ query — one index serves any number of patterns with diameter ≤ cap.
 
 Index construction costs O(cap · (|V| + |E|) · L) time and O(|V| · L)
 space where L is the average label-set size; it is built once per graph.
+The index is a *snapshot*: it records the graph's version counter at
+build time and every probe checks it, raising :class:`MatchingError`
+once the graph has mutated — a stale label set would silently turn the
+sound filter into one that skips live matches.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ class NeighborhoodLabelIndex:
             raise MatchingError("max_radius must be non-negative")
         self.data = data
         self.max_radius = max_radius
+        self._built_version = data.version
         self.levels: List[Dict[Node, FrozenSet[Label]]] = []
         current: Dict[Node, FrozenSet[Label]] = {
             v: frozenset((data.label(v),)) for v in data.nodes()
@@ -60,6 +65,15 @@ class NeighborhoodLabelIndex:
             self.levels.append(nxt)
             current = nxt
 
+    def _check_fresh(self) -> None:
+        """Refuse to answer from a snapshot the graph has outgrown."""
+        if self.data.version != self._built_version:
+            raise MatchingError(
+                f"NeighborhoodLabelIndex is stale: built at graph version "
+                f"{self._built_version}, graph is now at "
+                f"{self.data.version}; rebuild the index"
+            )
+
     def labels_within(self, node: Node, radius: int) -> FrozenSet[Label]:
         """Labels occurring within ``radius`` hops of ``node``.
 
@@ -68,6 +82,7 @@ class NeighborhoodLabelIndex:
         "must contain all pattern labels" test *only when* radius <= cap,
         so :meth:`candidate_centers` refuses larger radii instead).
         """
+        self._check_fresh()
         if node not in self.data:
             raise MatchingError(f"node {node!r} is not in the indexed graph")
         if radius < 0:
@@ -81,6 +96,7 @@ class NeighborhoodLabelIndex:
         total match relation.  Requires ``pattern.diameter <= max_radius``
         (otherwise the index cannot answer exactly and raises).
         """
+        self._check_fresh()
         radius = pattern.diameter
         if radius > self.max_radius:
             raise MatchingError(
@@ -97,6 +113,7 @@ class NeighborhoodLabelIndex:
 
     def pruning_ratio(self, pattern: Pattern) -> float:
         """Fraction of data nodes the index eliminates as centers."""
+        self._check_fresh()
         if self.data.num_nodes == 0:
             return 0.0
         kept = len(self.candidate_centers(pattern))

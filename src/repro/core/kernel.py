@@ -333,12 +333,31 @@ class IndexStats:
         in one :meth:`~repro.core.digraph.DiGraph.batch` costs at most
         one move (zero when it returns to its initial label) — so this
         can be far below the number of ``relabel`` deltas applied.
+    reach_builds:
+        From-scratch compilations of the lazy :class:`ReachIndex`
+        component (see :mod:`repro.core.reach`).  A pure-insertion
+        workload holds this at 1 after the first path probe.
+    reach_patches:
+        Edge insertions absorbed by the reach labels in place (resumed
+        pruned BFS sweeps) instead of a rebuild.
+    reach_drops:
+        Times the reach index was discarded for a lazy rebuild —
+        deletions make stale distance labels over-approximate, so any
+        deletion drops it (the rebuild is only paid if another path
+        probe arrives).
+    reach_probes:
+        Distance/reachability questions answered from the labels
+        (witness tests, pairwise queries).
     """
 
     full_compiles: int = 0
     incremental_syncs: int = 0
     deltas_applied: int = 0
     label_moves: int = 0
+    reach_builds: int = 0
+    reach_patches: int = 0
+    reach_drops: int = 0
+    reach_probes: int = 0
 
 
 class GraphIndex(GrowableCSRIndex):
@@ -378,6 +397,7 @@ class GraphIndex(GrowableCSRIndex):
         "_overflowed",
         "_removed_weight",
         "_read_guard",
+        "_reach",
     )
 
     def __init__(self, graph: DiGraph) -> None:
@@ -386,6 +406,9 @@ class GraphIndex(GrowableCSRIndex):
         self._pending: List[GraphDelta] = []
         self._overflowed = False
         self._read_guard = _ReadGuard()
+        # Lazily built reachability/distance labeling (repro.core.reach);
+        # cached like _np_view and maintained off the delta stream.
+        self._reach = None
         self._compile(graph)
         graph.subscribe(self)
 
@@ -453,6 +476,7 @@ class GraphIndex(GrowableCSRIndex):
 
         self._removed_weight = 0
         self._np_view = None
+        self._drop_reach()
         self.stats.full_compiles += 1
         self.graph_version = graph.version
 
@@ -576,24 +600,37 @@ class GraphIndex(GrowableCSRIndex):
         if moved:
             self._np_view = None
 
+    def _drop_reach(self) -> None:
+        """Discard the reach labeling for a lazy rebuild on next probe."""
+        if self._reach is not None:
+            self._reach = None
+            self.stats.reach_drops += 1
+
     def _apply_delta(self, delta: GraphDelta) -> None:
         kind = delta.kind
         if kind == ADD_EDGE:
-            self._csr_add_edge(
-                self.index_of[delta.source], self.index_of[delta.target]
-            )
+            a = self.index_of[delta.source]
+            b = self.index_of[delta.target]
+            self._csr_add_edge(a, b)
             self.num_edges += 1
+            if self._reach is not None:
+                # Sound in place: inserted edges only shorten distances,
+                # and the resumed label sweeps restore the cover property.
+                self._reach.apply_add_edge(a, b)
         elif kind == REMOVE_EDGE:
             self._csr_remove_edge(
                 self.index_of[delta.source], self.index_of[delta.target]
             )
             self.num_edges -= 1
             self._removed_weight += 1
+            self._drop_reach()
         elif kind == ADD_NODE:
             i = self._new_slot(delta.node)
             self.labels[i] = delta.label
             self.label_groups.setdefault(delta.label, set()).add(i)
             self.n += 1
+            if self._reach is not None:
+                self._reach.add_slot()
         elif kind == REMOVE_NODE:
             # Incident-edge deltas always precede (same batch), so the
             # slot's rows are already empty; tombstone it.
@@ -606,6 +643,7 @@ class GraphIndex(GrowableCSRIndex):
             self.nodes[i] = None
             self._removed_weight += 1
             self._np_view = None
+            self._drop_reach()
         elif kind == RELABEL:
             # Normally coalesced by _apply_delta_group; kept for callers
             # applying single deltas.

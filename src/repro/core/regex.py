@@ -279,6 +279,77 @@ def compile_regex(expression: str) -> LabelNfa:
     return nfa
 
 
+def reversed_nfa(nfa: LabelNfa) -> LabelNfa:
+    """The NFA of the reversed language.
+
+    Reverses every consuming and epsilon transition and swaps
+    start/accept — walking a graph backwards while running this machine
+    recognizes exactly the words the original machine reads forwards.
+    """
+    result = LabelNfa()
+    # Allocate matching states (two already exist; add the rest).
+    while len(result.transitions) < len(nfa.transitions):
+        result._new_state()
+    result.start = nfa.accept
+    result.accept = nfa.start
+    for state, edges in enumerate(nfa.transitions):
+        for label, nxt in edges:
+            result.add_edge(nxt, label, state)
+    for state, targets in enumerate(nfa.epsilon):
+        for nxt in targets:
+            result.add_epsilon(nxt, state)
+    return result
+
+
+class LazyDfa:
+    """On-the-fly subset construction over a :class:`LabelNfa`.
+
+    The product-graph walks of :func:`regex_successors` key their
+    visited sets by frozensets of NFA states and re-derive each
+    ``step(states, label)`` from scratch.  For the index-backed kernel
+    path, which replays the same machine over many sources, this class
+    interns each reachable state-set once (small integer ids) and
+    memoizes the per-label transitions, so repeated walks step through
+    a dict of ints.  ``-1`` is the dead state (empty subset).
+    """
+
+    DEAD = -1
+
+    __slots__ = ("nfa", "start", "_intern", "_sets", "_accepting", "_trans")
+
+    def __init__(self, nfa: LabelNfa) -> None:
+        self.nfa = nfa
+        initial = nfa.epsilon_closure({nfa.start})
+        self._intern: Dict[FrozenSet[int], int] = {initial: 0}
+        self._sets: List[FrozenSet[int]] = [initial]
+        self._accepting: List[bool] = [nfa.accept in initial]
+        self._trans: List[Dict[Label, int]] = [{}]
+        self.start = 0
+
+    def accepting(self, state: int) -> bool:
+        """Does this DFA state contain the NFA accept state?"""
+        return self._accepting[state]
+
+    def step(self, state: int, label: Label) -> int:
+        """Memoized transition; returns :data:`DEAD` when the set empties."""
+        trans = self._trans[state]
+        nxt = trans.get(label)
+        if nxt is None:
+            target = self.nfa.step(self._sets[state], label)
+            if not target:
+                nxt = self.DEAD
+            else:
+                nxt = self._intern.get(target)
+                if nxt is None:
+                    nxt = len(self._sets)
+                    self._intern[target] = nxt
+                    self._sets.append(target)
+                    self._accepting.append(self.nfa.accept in target)
+                    self._trans.append({})
+            trans[label] = nxt
+        return nxt
+
+
 # ----------------------------------------------------------------------
 # Product-graph reachability
 # ----------------------------------------------------------------------
@@ -291,34 +362,41 @@ def regex_successors(
     """Nodes ``t`` with a directed path source → t whose *intermediate*
     labels spell a word in the regex language.
 
-    BFS over the product (node, NFA-state-set); a target qualifies when
+    Walks the product (node, NFA-state-set); a target qualifies when
     it is entered while the pre-step state set is accepting (the target's
     own label is not consumed).  ``max_hops`` bounds path length
     (``None`` = unbounded).  A direct edge corresponds to the empty word.
+
+    Visited pruning is depth-aware: a (node, state-set) pair is
+    re-expanded when reached again by a *shorter* path.  Keying the
+    visited set on the pair alone would let a longer first arrival
+    shadow a shorter one and silently drop targets near the hop bound
+    (the truncated product walk is only complete from minimal depths).
     """
     start_states = nfa.epsilon_closure({nfa.start})
     results: Set[Node] = set()
-    seen: Dict[Node, Set[FrozenSet[int]]] = {}
+    seen: Dict[Node, Dict[FrozenSet[int], int]] = {source: {start_states: 0}}
     frontier: List[Tuple[Node, FrozenSet[int], int]] = [
         (source, start_states, 0)
     ]
-    seen.setdefault(source, set()).add(start_states)
     while frontier:
         node, states, depth = frontier.pop()
         if max_hops is not None and depth >= max_hops:
             continue
         accepting = nfa.accept in states
+        next_depth = depth + 1
         for child in data.successors_raw(node):
             if accepting:
                 results.add(child)
             next_states = nfa.step(states, data.label(child))
             if not next_states:
                 continue
-            visited = seen.setdefault(child, set())
-            if next_states in visited:
+            visited = seen.setdefault(child, {})
+            prev = visited.get(next_states)
+            if prev is not None and prev <= next_depth:
                 continue
-            visited.add(next_states)
-            frontier.append((child, next_states, depth + 1))
+            visited[next_states] = next_depth
+            frontier.append((child, next_states, next_depth))
     return results
 
 
@@ -334,24 +412,12 @@ def regex_predecessors(
     intermediate labels read from ``s`` to ``target`` must match, so we
     walk predecessors while running the NFA of the *reversed* language —
     obtained by reversing all consuming and epsilon transitions and
-    swapping start/accept.
+    swapping start/accept (:func:`reversed_nfa`).
     """
-    reversed_nfa = LabelNfa()
-    # Allocate matching states (two already exist; add the rest).
-    while len(reversed_nfa.transitions) < len(nfa.transitions):
-        reversed_nfa._new_state()
-    reversed_nfa.start = nfa.accept
-    reversed_nfa.accept = nfa.start
-    for state, edges in enumerate(nfa.transitions):
-        for label, nxt in edges:
-            reversed_nfa.add_edge(nxt, label, state)
-    for state, targets in enumerate(nfa.epsilon):
-        for nxt in targets:
-            reversed_nfa.add_epsilon(nxt, state)
-
-    start_states = reversed_nfa.epsilon_closure({reversed_nfa.start})
+    rnfa = reversed_nfa(nfa)
+    start_states = rnfa.epsilon_closure({rnfa.start})
     results: Set[Node] = set()
-    seen: Dict[Node, Set[FrozenSet[int]]] = {target: {start_states}}
+    seen: Dict[Node, Dict[FrozenSet[int], int]] = {target: {start_states: 0}}
     frontier: List[Tuple[Node, FrozenSet[int], int]] = [
         (target, start_states, 0)
     ]
@@ -359,16 +425,18 @@ def regex_predecessors(
         node, states, depth = frontier.pop()
         if max_hops is not None and depth >= max_hops:
             continue
-        accepting = reversed_nfa.accept in states
+        accepting = rnfa.accept in states
+        next_depth = depth + 1
         for parent in data.predecessors_raw(node):
             if accepting:
                 results.add(parent)
-            next_states = reversed_nfa.step(states, data.label(parent))
+            next_states = rnfa.step(states, data.label(parent))
             if not next_states:
                 continue
-            visited = seen.setdefault(parent, set())
-            if next_states in visited:
+            visited = seen.setdefault(parent, {})
+            prev = visited.get(next_states)
+            if prev is not None and prev <= next_depth:
                 continue
-            visited.add(next_states)
-            frontier.append((parent, next_states, depth + 1))
+            visited[next_states] = next_depth
+            frontier.append((parent, next_states, next_depth))
     return results

@@ -21,6 +21,23 @@ node-labeled graphs:
 With every edge regex equal to the empty expression (direct edges only)
 the functions coincide with :func:`~repro.core.dualsim.dual_simulation`
 and strong simulation respectively — property-tested in the suite.
+
+Two-path architecture
+---------------------
+Both matchers carry an ``engine`` seam.  The ``python`` reference path
+in this module walks the product graph with fresh NFA state-sets per
+query (kept verbatim as ground truth).  The ``kernel`` path
+(:mod:`repro.core.reach`) compiles each regex once into an interned
+lazy DFA, classifies every pattern edge — direct edges become CSR row
+tests, the wildcard ``.*`` becomes distance probes against the
+:class:`~repro.core.reach.ReachIndex` 2-hop labeling, general regexes
+become memoized DFA product walks — and runs the same fixpoint over
+integer candidate sets.  The index is shared with bounded simulation
+and patched in place across edge insertions, so the kernel path
+amortizes under the same conditions (repeat queries, non-tiny graphs,
+update-heavy workloads); outputs are identical by the uniqueness of the
+maximum relation, enforced differentially in
+``tests/test_paths_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -32,6 +49,11 @@ from repro.core.ball import extract_ball
 from repro.core.digraph import DiGraph, Node
 from repro.core.matchrel import MatchRelation
 from repro.core.pattern import Pattern
+from repro.core.reach import (
+    regular_dual_simulation_kernel,
+    regular_strong_match_kernel,
+    resolve_path_engine,
+)
 from repro.core.regex import LabelNfa, compile_regex, regex_successors
 from repro.core.result import MatchResult, PerfectSubgraph
 from repro.core.simulation import _collapse_if_failed, initial_candidates
@@ -106,6 +128,7 @@ def _witness_cache_successors(
 def regular_dual_simulation(
     rpattern: RegularPattern,
     data: DiGraph,
+    engine: str = "auto",
 ) -> MatchRelation:
     """The maximum dual-simulation relation under regex path semantics.
 
@@ -114,7 +137,13 @@ def regular_dual_simulation(
     ``v → v′`` (and symmetrically a regex-matching path into ``v`` for
     each pattern edge entering ``u``).  Regex reachability is memoized
     per (edge, node).
+
+    ``engine`` selects the evaluation path (``"auto"``, ``"python"``,
+    ``"kernel"`` — see the module docstring); every engine returns the
+    same relation.
     """
+    if resolve_path_engine(engine, data) == "kernel":
+        return regular_dual_simulation_kernel(rpattern, data)
     pattern = rpattern.pattern
     sim = initial_candidates(pattern, data)
     succ_cache: Dict[Edge, Dict[Node, Set[Node]]] = _witness_cache_successors(
@@ -221,12 +250,19 @@ def regular_strong_match(
     rpattern: RegularPattern,
     data: DiGraph,
     radius: Optional[int] = None,
+    engine: str = "auto",
 ) -> MatchResult:
     """Strong simulation with regex edge constraints.
 
     Per ball: regular dual simulation, then the connected component of
     the (path-semantics) match graph containing the center.
+
+    ``engine`` selects the evaluation path (``"auto"``, ``"python"``,
+    ``"kernel"`` — see the module docstring); every engine returns the
+    same result set.
     """
+    if resolve_path_engine(engine, data) == "kernel":
+        return regular_strong_match_kernel(rpattern, data, radius)
     pattern = rpattern.pattern
     if radius is None:
         radius = rpattern.default_radius()

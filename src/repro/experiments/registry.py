@@ -157,6 +157,66 @@ def incremental_updates(scale: int) -> str:
     )
 
 
+def bounded_paths(scale: int) -> str:
+    """Path matching: reference BFS vs reach-index kernel (PR 8)."""
+    import time
+
+    from repro.core.bounded import BoundedPattern, bounded_simulation
+    from repro.core.kernel import get_index
+    from repro.core.reach import get_reach_index
+
+    # 10 labels -> large per-label candidate sets, the regime where the
+    # reference path's per-candidate BFS dominates.
+    data = generate_graph(scale * 2, alpha=1.2, num_labels=10, seed=83)
+    pattern = sample_pattern_from_data(data, 6, seed=811)
+    if pattern is None:
+        return "could not sample a pattern at this scale"
+    cycle = (1, 2, 3, None)
+    bounds = {
+        edge: cycle[i % len(cycle)]
+        for i, edge in enumerate(sorted(pattern.edges(), key=repr))
+    }
+    bp = BoundedPattern(pattern, bounds)
+
+    timings = {}
+    for engine in ("python", "kernel"):
+        bounded_simulation(bp, data, engine=engine)  # warm-up / index build
+        start = time.perf_counter()
+        for _ in range(3):
+            relation = bounded_simulation(bp, data, engine=engine)
+        timings[engine] = (time.perf_counter() - start) / 3
+        if engine == "python":
+            reference_pairs = relation.pair_set()
+        elif relation.pair_set() != reference_pairs:  # pragma: no cover
+            return "kernel diverged from the reference — bug!"
+
+    stats = get_index(data).stats
+    ri = get_reach_index(data)
+    label_entries = sum(len(d) for d in ri.out_labels) + sum(
+        len(d) for d in ri.in_labels
+    )
+    rows = {
+        "seconds/query": [round(timings[e], 4) for e in ("python", "kernel")],
+        "speedup vs python": [
+            "1.0x",
+            f"{timings['python'] / max(timings['kernel'], 1e-9):.1f}x",
+        ],
+    }
+    table = render_table(
+        f"bounded matching (|V|={data.num_nodes}, |Vq|={pattern.num_nodes}, "
+        f"mixed bounds {sorted(set(map(str, bounds.values())))}, warm index)",
+        "engine",
+        ["python", "kernel"],
+        rows,
+    )
+    return (
+        table
+        + f"\nreach index: {label_entries} label entries, "
+        f"{stats.reach_builds} build(s), {stats.reach_patches} patch(es), "
+        f"{stats.reach_probes} probes"
+    )
+
+
 def distributed_backends(scale: int) -> str:
     """Runtime backends: wall-clock and traffic per backend (Sec. 4.3)."""
     import time
@@ -272,6 +332,7 @@ EXPERIMENTS: Dict[str, Renderer] = {
     "table3": table3,
     "fig8-time-vq": fig8_time_vq,
     "fig8-time-v": fig8_time_v,
+    "bounded-paths": bounded_paths,
     "incremental-updates": incremental_updates,
     "distributed": distributed,
     "distributed-backends": distributed_backends,

@@ -595,6 +595,169 @@ def assert_update_workload_identical(
 
 
 # ----------------------------------------------------------------------
+# Path-matching differential harness (bounded / regular, PR 8)
+# ----------------------------------------------------------------------
+#: The engines the path algorithms run on (no numpy batch path yet —
+#: ROADMAP open item).
+PATH_ENGINES_TESTED = ("python", "kernel")
+
+#: Default per-edge bound cycle for mixed-bound patterns: one plain
+#: edge, two finite path bounds, one unbounded edge.
+BOUND_CYCLE = (1, 2, 3, None)
+
+
+def mixed_bounds(pattern: Pattern, cycle: Tuple = BOUND_CYCLE) -> Dict:
+    """Deterministic mixed per-edge bounds: cycle over sorted edges."""
+    edges = sorted(pattern.edges(), key=repr)
+    return {edge: cycle[i % len(cycle)] for i, edge in enumerate(edges)}
+
+
+def canonical_path_observation(
+    pattern: Pattern,
+    data: DiGraph,
+    engine: str,
+    *,
+    bounds: Optional[Dict] = None,
+    constraints: Optional[Dict] = None,
+    radius: Optional[int] = None,
+) -> Dict[str, Any]:
+    """One engine's complete path-matching observation.
+
+    Bounded simulation under ``bounds`` plus regular dual simulation and
+    regular strong matching under ``bounds`` + ``constraints`` (wildcard
+    ``.*`` constraints when none given — plain hop-bound semantics), all
+    in canonical comparable form.
+    """
+    from repro.core.bounded import BoundedPattern, bounded_simulation
+    from repro.core.regular import (
+        RegularPattern,
+        hop_bounded_pattern,
+        regular_dual_simulation,
+        regular_strong_match,
+    )
+
+    if bounds is None:
+        bounds = mixed_bounds(pattern)
+    bp = BoundedPattern(pattern, bounds)
+    if constraints is None:
+        rpattern = hop_bounded_pattern(pattern, bounds)
+    else:
+        rpattern = RegularPattern(pattern, constraints, bounds)
+    return {
+        "bounded": canonical_relation(
+            bounded_simulation(bp, data, engine=engine)
+        ),
+        "regular_dual": canonical_relation(
+            regular_dual_simulation(rpattern, data, engine=engine)
+        ),
+        "regular_strong": canonical_result(
+            regular_strong_match(rpattern, data, radius=radius, engine=engine)
+        ),
+    }
+
+
+def assert_paths_identical(
+    pattern: Pattern,
+    data: DiGraph,
+    *,
+    bounds: Optional[Dict] = None,
+    constraints: Optional[Dict] = None,
+    radius: Optional[int] = None,
+) -> None:
+    """Assert every path algorithm observes identically on every engine."""
+    kwargs = {"bounds": bounds, "constraints": constraints, "radius": radius}
+    reference = canonical_path_observation(
+        pattern, data, PATH_ENGINES_TESTED[0], **kwargs
+    )
+    for engine in PATH_ENGINES_TESTED[1:]:
+        observed = canonical_path_observation(pattern, data, engine, **kwargs)
+        for key in reference:
+            assert observed[key] == reference[key], (
+                f"{key} diverged between engines "
+                f"{PATH_ENGINES_TESTED[0]!r} and {engine!r}"
+            )
+
+
+def assert_paths_containment(pattern: Pattern, data: DiGraph) -> None:
+    """The containment chain ``strong ⊆ dual ⊆ bounded(1) = simulation``.
+
+    With every bound 1, bounded simulation *is* plain simulation (checked
+    as pair-set equality on both engines); dual simulation refines it and
+    the union of strong simulation's per-ball relations refines that.
+    """
+    from repro.core.bounded import BoundedPattern, bounded_simulation
+
+    sim_pairs = canonical_relation(graph_simulation(pattern, data))
+    ones = BoundedPattern(pattern, {e: 1 for e in pattern.edges()})
+    for engine in PATH_ENGINES_TESTED:
+        assert canonical_relation(
+            bounded_simulation(ones, data, engine=engine)
+        ) == sim_pairs, (
+            f"bounded(1) != simulation on engine {engine!r}"
+        )
+    dual_pairs = canonical_relation(dual_simulation(pattern, data))
+    assert dual_pairs <= sim_pairs, "dual ⊄ simulation"
+    strong_pairs = set()
+    for subgraph in match(pattern, data):
+        strong_pairs |= subgraph.relation.pair_set()
+    assert strong_pairs <= dual_pairs, "strong ⊄ dual"
+
+
+def assert_paths_update_workload_identical(
+    pattern: Pattern,
+    graph: DiGraph,
+    num_ops: int,
+    op_seed: int,
+    *,
+    bounds: Optional[Dict] = None,
+    constraints: Optional[Dict] = None,
+    check_every: int = 1,
+) -> None:
+    """Drive random mutations against a warm reach index, differentially.
+
+    Primes the graph's ``GraphIndex`` *and* its ``ReachIndex``, then
+    mutates the graph in place (seeded by ``op_seed``), asserting after
+    every ``check_every``-th applied mutation that the warm kernel —
+    whose labeling was patched in place for insertions and rebuilt only
+    after deletions — observes identically to the reference engine on
+    the same graph and to a from-scratch kernel compile of a copy.
+    """
+    from repro.core.reach import get_reach_index
+
+    get_index(graph)
+    get_reach_index(graph)  # prime the labeling before the first mutation
+    rng = random.Random(op_seed)
+    fresh_node = 40_000 + op_seed
+    applied = 0
+    for _ in range(num_ops):
+        op = random_mutation(rng, graph, fresh_node)
+        if op is None:
+            continue
+        if op[0] == "add_node":
+            fresh_node += 1
+        applied += 1
+        if applied % check_every:
+            continue
+        kwargs = {"bounds": bounds, "constraints": constraints}
+        reference = canonical_path_observation(
+            pattern, graph, "python", **kwargs
+        )
+        warm = canonical_path_observation(pattern, graph, "kernel", **kwargs)
+        fresh = canonical_path_observation(
+            pattern, graph.copy(), "kernel", **kwargs
+        )
+        for key in reference:
+            assert warm[key] == reference[key], (
+                f"{key}: warm incremental kernel diverged from the "
+                f"reference after updates"
+            )
+            assert fresh[key] == reference[key], (
+                f"{key}: from-scratch kernel diverged from the reference "
+                f"after updates"
+            )
+
+
+# ----------------------------------------------------------------------
 # Distributed-cache differential harness
 # ----------------------------------------------------------------------
 def assert_distributed_service_identical(

@@ -97,3 +97,61 @@ class TestBoundedSimulation:
         bounded = bounded_simulation(BoundedPattern(pattern), data)
         strong_nodes = match(pattern, data).matched_data_nodes()
         assert strong_nodes <= bounded.data_nodes()
+
+
+class TestCycleBackBoundSemantics:
+    """The bound applies to the cycle back to the source too.
+
+    A 3-cycle reaches its own source in exactly 3 hops: bound 2 must
+    exclude it, bound 3 (and unbounded) must include it.  The original
+    implementation patched the source in with a bound-oblivious fixup
+    after the BFS; these tests pin the corrected in-BFS detection.
+    """
+
+    def _three_cycle(self) -> DiGraph:
+        return DiGraph.from_parts(
+            {0: "X", 1: "X", 2: "X"}, [(0, 1), (1, 2), (2, 0)]
+        )
+
+    def test_cycle_longer_than_bound_excluded(self):
+        from repro.core.bounded import _ReachabilityOracle
+
+        oracle = _ReachabilityOracle(self._three_cycle())
+        assert oracle.reachable_set(0, 2) == {1, 2}
+
+    def test_cycle_within_bound_included(self):
+        from repro.core.bounded import _ReachabilityOracle
+
+        oracle = _ReachabilityOracle(self._three_cycle())
+        assert 0 in oracle.reachable_set(0, 3)
+        assert 0 in oracle.reachable_set(0, None)
+
+    def test_self_loop_is_depth_one(self):
+        from repro.core.bounded import _ReachabilityOracle
+
+        g = DiGraph.from_parts({0: "X", 1: "X"}, [(0, 0), (0, 1)])
+        oracle = _ReachabilityOracle(g)
+        assert 0 in oracle.reachable_set(0, 1)
+
+    def test_matching_respects_cycle_bound(self):
+        p = Pattern.build({"x": "X", "y": "X"}, [("x", "y"), ("y", "x")])
+        data = self._three_cycle()
+        # Bound 2 per edge: every pair is witnessed by the two forward
+        # hops, so the relation is total.
+        total = bounded_simulation(
+            BoundedPattern(p, {("x", "y"): 2, ("y", "x"): 2}), data
+        )
+        assert total.matches_of("x") == frozenset({0, 1, 2})
+        # With distinct labels the only witness for a pattern self-loop
+        # is the node itself: the 3-cycle closes in 3 hops, so bound 2
+        # fails and bound 3 succeeds.
+        distinct = DiGraph.from_parts(
+            {0: "X", 1: "Y", 2: "Z"}, [(0, 1), (1, 2), (2, 0)]
+        )
+        loop = Pattern.build({"x": "X"}, [("x", "x")])
+        assert bounded_simulation(
+            BoundedPattern(loop, {("x", "x"): 2}), distinct
+        ).is_empty()
+        assert not bounded_simulation(
+            BoundedPattern(loop, {("x", "x"): 3}), distinct
+        ).is_empty()

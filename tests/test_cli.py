@@ -154,3 +154,104 @@ class TestDistributedCommand:
         out = capsys.readouterr().out
         assert "distributed cache: 1 computed, 2 replayed over 3 runs" in out
         assert "version vector (0, 0)" in out
+
+
+@pytest.fixture
+def paths_spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps({
+        "edges": [
+            {"source": "ST", "target": "B", "bound": 2},
+            {"source": "TE", "target": "B", "bound": None, "regex": ".*"},
+        ],
+        "radius": 3,
+    }))
+    return str(path)
+
+
+class TestPathAlgorithms:
+    def test_bounded_algorithm(self, tmp_path, graph_file, pattern_file,
+                               capsys):
+        spec = tmp_path / "bounds.json"
+        spec.write_text(json.dumps({"edges": [
+            {"source": "ST", "target": "B", "bound": 2},
+            {"source": "TE", "target": "B", "bound": None},
+        ]}))
+        code = main([
+            "match", "--data", graph_file, "--pattern", pattern_file,
+            "--algorithm", "bounded", "--paths-spec", str(spec),
+        ])
+        assert code == 0
+        assert "match relation" in capsys.readouterr().out
+
+    def test_bounded_without_spec_defaults_to_simulation(
+        self, graph_file, pattern_file, capsys
+    ):
+        code = main([
+            "match", "--data", graph_file, "--pattern", pattern_file,
+            "--algorithm", "bounded",
+        ])
+        assert code == 0
+        assert "match relation" in capsys.readouterr().out
+
+    def test_regular_algorithm(self, graph_file, pattern_file,
+                               paths_spec_file, capsys):
+        code = main([
+            "match", "--data", graph_file, "--pattern", pattern_file,
+            "--algorithm", "regular", "--paths-spec", paths_spec_file,
+        ])
+        assert code == 0
+        assert "perfect subgraph" in capsys.readouterr().out
+
+    def test_engines_agree(self, graph_file, pattern_file, paths_spec_file,
+                           capsys):
+        outputs = {}
+        for engine in ("python", "kernel"):
+            code = main([
+                "match", "--data", graph_file, "--pattern", pattern_file,
+                "--algorithm", "regular", "--paths-spec", paths_spec_file,
+                "--engine", engine,
+            ])
+            assert code == 0
+            outputs[engine] = capsys.readouterr().out
+        assert outputs["python"] == outputs["kernel"]
+
+    def test_regex_in_bounded_spec_rejected(self, graph_file, pattern_file,
+                                            paths_spec_file, capsys):
+        code = main([
+            "match", "--data", graph_file, "--pattern", pattern_file,
+            "--algorithm", "bounded", "--paths-spec", paths_spec_file,
+        ])
+        assert code == 2
+        assert "regular" in capsys.readouterr().out
+
+    def test_numpy_engine_rejected(self, graph_file, pattern_file, capsys):
+        code = main([
+            "match", "--data", graph_file, "--pattern", pattern_file,
+            "--algorithm", "bounded", "--engine", "numpy",
+        ])
+        assert code == 2
+        assert "numpy" in capsys.readouterr().out
+
+    def test_bad_spec_edge_rejected(self, tmp_path, graph_file, pattern_file,
+                                    capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({"edges": [
+            {"source": "B", "target": "ST", "bound": 2},  # not a pattern edge
+        ]}))
+        code = main([
+            "match", "--data", graph_file, "--pattern", pattern_file,
+            "--algorithm", "bounded", "--paths-spec", str(spec),
+        ])
+        assert code == 2
+        assert "bad paths spec" in capsys.readouterr().out
+
+    def test_spec_with_other_algorithm_rejected(self, graph_file,
+                                                pattern_file, paths_spec_file,
+                                                capsys):
+        code = main([
+            "match", "--data", graph_file, "--pattern", pattern_file,
+            "--algorithm", "dual", "--paths-spec", paths_spec_file,
+        ])
+        assert code == 2
+        assert "--paths-spec" in capsys.readouterr().out

@@ -122,3 +122,40 @@ class TestIndexedMatcher:
         matcher = IndexedMatcher(g, max_radius=2)
         pattern = Pattern.build({"x": "Z", "y": "Z"}, [("x", "y")])
         assert len(matcher.match_plus(pattern)) == 0
+
+
+class TestIndexStaleness:
+    """The index is a snapshot: probes after any mutation must raise."""
+
+    def _pattern(self) -> Pattern:
+        return Pattern.build({"x": "A", "y": "B"}, [("x", "y")])
+
+    def test_fresh_index_answers(self):
+        g = chain("AB")
+        index = NeighborhoodLabelIndex(g, 2)
+        assert index.candidate_centers(self._pattern())
+
+    @pytest.mark.parametrize("mutate", [
+        lambda g: g.add_node(99, "Z"),
+        lambda g: g.add_edge(1, 0),
+        lambda g: g.remove_edge(0, 1),
+        lambda g: g.remove_node(1),
+        lambda g: g.relabel_node(0, "Z"),
+    ])
+    def test_stale_probe_raises(self, mutate):
+        g = chain("AB")
+        index = NeighborhoodLabelIndex(g, 2)
+        mutate(g)
+        with pytest.raises(MatchingError, match="stale"):
+            index.labels_within(0, 1)
+        with pytest.raises(MatchingError, match="stale"):
+            index.candidate_centers(self._pattern())
+        with pytest.raises(MatchingError, match="stale"):
+            index.pruning_ratio(self._pattern())
+
+    def test_rebuild_clears_staleness(self):
+        g = chain("AB")
+        index = NeighborhoodLabelIndex(g, 2)
+        g.add_node(99, "Z")
+        rebuilt = NeighborhoodLabelIndex(g, 2)
+        assert rebuilt.labels_within(99, 0) == frozenset("Z")
