@@ -29,7 +29,6 @@ machine-readable ``benchmarks/results/BENCH_proc.json``.
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Dict, List
 
@@ -39,7 +38,7 @@ from repro.datasets import generate_graph
 from repro.datasets.patterns import sample_pattern_from_data
 from repro.distributed import Cluster, bfs_partition, process_backend_available
 
-from benchmarks.conftest import RESULTS_DIR, best_of, emit
+from benchmarks.conftest import best_of, emit, emit_result
 from tests.engines import cluster_observation
 
 SITES = 4
@@ -150,11 +149,7 @@ def test_process_backend_beats_threads(scale):
             )
         ),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_proc.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    emit_result("BENCH_proc", payload)
     emit("bench_distributed_proc", "\n".join(lines))
 
     if gated and payload["scale"] == "small":

@@ -27,7 +27,6 @@ Set ``REPRO_KERNEL_BENCH_SMOKE=1`` to shrink the sweep to one small size
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Dict, List
 
@@ -43,7 +42,7 @@ from repro.experiments.performance import (
 from repro.datasets import generate_graph
 from repro.datasets.patterns import sample_pattern_from_data
 from repro.distributed import Cluster, bfs_partition
-from benchmarks.conftest import RESULTS_DIR, best_of, emit
+from benchmarks.conftest import best_of, emit, emit_result
 
 PATTERN_SIZE = 10
 PATTERN_REPEATS = 3
@@ -57,6 +56,10 @@ DISTRIBUTED_SITES = 4
 DISTRIBUTED_PATTERN_SIZE = 6
 INCREMENTAL_SMALL_SCALE_BAR = 2.0
 INCREMENTAL_PATTERN_SIZE = 6
+#: Disabled-path tracing overhead budget: the no-op spans left on the
+#: hot paths may cost at most this fraction of a match_plus query.
+OBS_DISABLED_OVERHEAD_BAR = 0.02
+OBS_NOOP_TIMING_CALLS = 200_000
 
 
 def _canonical(result) -> frozenset:
@@ -373,10 +376,7 @@ def test_kernel_vs_python_engines(scale):
         "numpy_vs_kernel": numpy_section,
         "equivalence": "all result sets identical across engines",
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_kernel.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    emit_result("BENCH_kernel", payload)
 
     lines = ["Compiled engines vs reference engine (seconds, lower is better)",
              f"{'|V|':>8} {'algorithm':>11} {'python':>10} {'kernel':>10} "
@@ -439,3 +439,79 @@ def test_kernel_vs_python_engines(scale):
             f"below {NUMPY_MATCH_PLUS_SMALL_SCALE_BAR}x on the "
             "numpy-vs-kernel workload"
         )
+
+
+def test_observability_disabled_overhead(scale):
+    """The tracing instrumentation must be free when tracing is off.
+
+    The hot paths carry ``span()`` calls that compile to a shared no-op
+    when tracing is disabled (the default).  This gate bounds what those
+    call sites can cost: (spans per query, counted from a real traced
+    run) x (measured per-call cost of a disabled span) must stay under
+    ``OBS_DISABLED_OVERHEAD_BAR`` of the disabled-path query time.  The
+    construction keeps the bound honest as instrumentation accretes —
+    adding a span inside the per-ball loop would multiply the span count
+    and trip it.  Also asserts tracing does not perturb results.
+    """
+    import time as _time
+
+    from repro.obs import collector, set_tracing, tracing_enabled
+    from repro.obs.trace import span as obs_span
+
+    smoke = os.environ.get("REPRO_KERNEL_BENCH_SMOKE") == "1"
+    n = 300 if smoke else 1000
+    data = generate_graph(n, alpha=1.2, num_labels=scale["labels"], seed=53)
+    pattern = sample_pattern_from_data(data, PATTERN_SIZE, seed=701)
+    assert pattern is not None
+    get_array_view(get_index(data))  # compile + array view once
+
+    assert not tracing_enabled()
+    baseline = _canonical(match_plus(pattern, data, engine="kernel"))
+    disabled_s = best_of(
+        lambda: match_plus(pattern, data, engine="kernel"), TIMING_REPS
+    )
+
+    collector().clear()
+    previous = set_tracing(True)
+    try:
+        traced = _canonical(match_plus(pattern, data, engine="kernel"))
+        root = collector().roots()[-1]
+    finally:
+        set_tracing(previous)
+    assert traced == baseline, "tracing perturbed the match_plus result"
+    assert root.name == "kernel.match_plus"
+    spans_per_query = root.span_count()
+
+    start = _time.perf_counter()
+    for _ in range(OBS_NOOP_TIMING_CALLS):
+        with obs_span("bench.noop"):
+            pass
+    noop_s = (_time.perf_counter() - start) / OBS_NOOP_TIMING_CALLS
+
+    overhead_s = spans_per_query * noop_s
+    ratio = overhead_s / disabled_s if disabled_s else 0.0
+    emit_result("BENCH_obs", {
+        "benchmark": "bench_obs",
+        "workload": (
+            f"match_plus, synthetic |V|={n}, alpha=1.2, "
+            f"{scale['labels']} labels, |Vq|={PATTERN_SIZE}"
+        ),
+        "smoke": smoke,
+        "disabled_query_s": round(disabled_s, 6),
+        "spans_per_query": spans_per_query,
+        "noop_span_ns": round(noop_s * 1e9, 2),
+        "disabled_overhead_ratio": round(ratio, 6),
+        "bar": OBS_DISABLED_OVERHEAD_BAR,
+        "equivalence": "traced result identical to untraced",
+    })
+    print(
+        f"\nobservability: {spans_per_query} spans/query, "
+        f"noop span {noop_s * 1e9:.0f} ns -> disabled overhead "
+        f"{ratio:.4%} of {disabled_s * 1e3:.2f} ms (bar "
+        f"{OBS_DISABLED_OVERHEAD_BAR:.0%})"
+    )
+    assert ratio <= OBS_DISABLED_OVERHEAD_BAR, (
+        f"disabled-path tracing overhead {ratio:.4%} exceeds "
+        f"{OBS_DISABLED_OVERHEAD_BAR:.0%} of a match_plus query "
+        f"({spans_per_query} spans x {noop_s * 1e9:.0f} ns)"
+    )

@@ -30,11 +30,10 @@ no speedup assertion, equivalence still enforced).
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Dict, List
 
-from benchmarks.conftest import RESULTS_DIR, best_of, emit
+from benchmarks.conftest import best_of, emit, emit_result
 from repro.core.bounded import BoundedPattern, bounded_simulation
 from repro.core.kernel import get_index
 from repro.core.reach import get_reach_index
@@ -275,10 +274,7 @@ def test_paths_kernel_vs_reference(scale):
         },
         "equivalence": "all kernel results identical to the reference",
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_paths.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    emit_result("BENCH_paths", payload)
 
     lines = [
         "Path matching: reach-index kernel vs reference (seconds, lower "

@@ -35,7 +35,6 @@ timing gates, equivalence still enforced).
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Dict, List
 
@@ -45,7 +44,7 @@ from repro.datasets.patterns import sample_pattern_from_data
 from repro.distributed import Cluster, bfs_partition
 from repro.service import MatchService, replay_workload, skewed_stream
 
-from benchmarks.conftest import RESULTS_DIR, best_of, emit
+from benchmarks.conftest import best_of, emit, emit_result
 from tests.engines import canonical_result as _canonical
 from tests.engines import distributed_observation, permuted_pattern
 
@@ -293,11 +292,7 @@ def test_service_cache_and_parallel_sites(scale):
             "replays identical to fresh Cluster.run observations"
         ),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_service.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    emit_result("BENCH_service", payload)
     emit("bench_service", "\n".join(lines))
 
     if not smoke and payload["scale"] == "small":

@@ -89,6 +89,47 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
 
 
+#: Version of the machine-readable result envelope below.  Bump when a
+#: shared field changes shape; per-benchmark payload fields are owned by
+#: their module and versioned implicitly through ``benchmark``.
+RESULT_SCHEMA_VERSION = 1
+
+
+def emit_result(name: str, payload: Dict) -> Path:
+    """Write one ``BENCH_*.json`` result with the shared envelope.
+
+    All machine-readable benchmark artifacts go through here so they
+    carry the same metadata: ``schema_version``, a ``host`` block
+    (platform / python / machine / cpus) and a UTC ``generated_at``
+    timestamp.  The per-benchmark ``payload`` keys are merged in as-is
+    and win on collision — a module may pin its own timestamp for
+    reproducibility, for example.
+    """
+    import datetime
+    import json
+    import platform
+
+    envelope = {
+        "schema_version": RESULT_SCHEMA_VERSION,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "generated_at": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+    }
+    envelope.update(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(
+        json.dumps(envelope, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
 # ----------------------------------------------------------------------
 # Session-scoped datasets (generated once per benchmark session)
 # ----------------------------------------------------------------------

@@ -43,6 +43,49 @@ from repro.io.jsonio import (
 ALGORITHMS = ("strong", "strong-plus", "dual", "sim", "bounded", "regular")
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (match / distributed / workload)."""
+    parser.add_argument(
+        "--trace", nargs="?", const="-", default=None, metavar="FILE",
+        help="enable structured tracing: prints the last query's phase "
+             "breakdown after the run and, when FILE is given, writes "
+             "the full JSON trace document there",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write a Prometheus-style text exposition of the metrics "
+             "registry to FILE after the run",
+    )
+
+
+def _report_observability(args: argparse.Namespace, trace, metrics_out) -> None:
+    from repro.obs import (
+        QueryReport,
+        collector,
+        export_traces_json,
+        render_prometheus,
+    )
+
+    if trace is not None:
+        roots = collector().roots()
+        if roots:
+            print(f"trace: {len(roots)} root span(s) captured")
+            print(QueryReport.from_span(roots[-1]).format())
+        else:
+            print("trace: no spans captured")
+        if trace != "-":
+            export_traces_json(roots, trace)
+            print(f"trace JSON written to {trace}")
+    if metrics_out:
+        # The distributed command stashes its cluster-merged snapshot
+        # (coordinator + worker processes); everything else exposes the
+        # process-wide registry.
+        snapshot = getattr(args, "_metrics_snapshot", None)
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(snapshot))
+        print(f"metrics exposition written to {metrics_out}")
+
+
 def _load_graph(path: str, fmt: str) -> DiGraph:
     if fmt == "edgelist":
         return read_edgelist(path)
@@ -230,6 +273,10 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
                     f"{service.stats.replayed} replayed over {repeat} runs "
                     f"(version vector {cluster.version_vector()})"
                 )
+        if getattr(args, "metrics_out", None):
+            # Merge the worker processes' shipped snapshots while the
+            # cluster is still alive; _report_observability writes it.
+            args._metrics_snapshot = cluster.metrics_snapshot()
 
     print(f"{len(report.result)} perfect subgraph(s) across "
           f"{cluster.num_sites} site(s) [engine={args.engine}, "
@@ -299,6 +346,12 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     cache_size = 0 if args.no_cache else args.cache_size
     with MatchService(max_workers=args.workers, cache_size=cache_size) as svc:
         report, results = replay_workload(svc, queries)
+        if getattr(args, "metrics_out", None):
+            # Snapshot while the service is alive: its collector-backed
+            # counters (service.*, cache.*) fold only live services.
+            from repro.obs import get_registry
+
+            args._metrics_snapshot = get_registry().snapshot()
 
     matched = sum(1 for r in results if len(r) > 0)
     print(f"served {report.queries} queries in {report.seconds:.3f}s "
@@ -422,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_match.add_argument("--top", type=int, default=0,
                          help="show only the k best-ranked matches")
     p_match.add_argument("--out", help="write the full result as JSON here")
+    _add_obs_arguments(p_match)
     p_match.set_defaults(func=_cmd_match)
 
     p_dist = sub.add_parser(
@@ -476,6 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
              "protocol, the rest replay the stored report at the "
              "cluster's version vector (default: 1, a plain run)",
     )
+    _add_obs_arguments(p_dist)
     p_dist.set_defaults(func=_cmd_distributed)
 
     p_work = sub.add_parser(
@@ -501,6 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="result-cache LRU bound (default: 256)")
     p_work.add_argument("--no-cache", action="store_true",
                         help="disable the result cache (baseline mode)")
+    _add_obs_arguments(p_work)
     p_work.set_defaults(func=_cmd_workload)
 
     p_gen = sub.add_parser("generate", help="generate a dataset")
@@ -536,7 +592,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace is None and metrics_out is None:
+        return args.func(args)
+    from repro.obs import collector, set_tracing
+
+    previous = None
+    if trace is not None:
+        collector().clear()  # the document should cover this run only
+        previous = set_tracing(True)
+    try:
+        code = args.func(args)
+    finally:
+        if trace is not None:
+            set_tracing(previous)
+    _report_observability(args, trace, metrics_out)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -99,6 +99,8 @@ from repro.core.matchrel import MatchRelation
 from repro.core.pattern import Pattern
 from repro.core.result import MatchResult, PerfectSubgraph
 from repro.exceptions import GraphError, MatchingError, NodeNotFound
+from repro.obs.metrics import get_registry as _obs_registry
+from repro.obs.trace import span as _obs_span
 
 try:  # The numpy engine is optional; probe availability once at import.
     import numpy as _numpy_probe  # noqa: F401
@@ -360,6 +362,56 @@ class IndexStats:
     reach_probes: int = 0
 
 
+#: Every live :class:`GraphIndex` in this process, for metric
+#: aggregation.  Weak: an index dies with its graph, exactly as the
+#: ``_INDEX_CACHE`` entry does.
+_ALL_INDEXES: "weakref.WeakSet" = weakref.WeakSet()
+
+#: Maps :class:`IndexStats` fields to the registry's unified namespace.
+_STATS_METRIC_NAMES = (
+    ("full_compiles", "index.full_compiles"),
+    ("incremental_syncs", "index.incremental_syncs"),
+    ("deltas_applied", "index.deltas_applied"),
+    ("label_moves", "index.label_moves"),
+    ("reach_builds", "reach.builds"),
+    ("reach_patches", "reach.patches"),
+    ("reach_drops", "reach.drops"),
+    ("reach_probes", "reach.probes"),
+)
+
+
+def aggregate_index_stats() -> IndexStats:
+    """Sum the :class:`IndexStats` of every live index in this process.
+
+    The process-wide view of the hot-path counters: the kernel loops
+    keep their plain-int increments (zero observability overhead), and
+    this aggregation runs only when someone asks — the metrics
+    registry's collector, or a distributed worker's ``runtime_stats``.
+    """
+    total = IndexStats()
+    for index in list(_ALL_INDEXES):
+        stats = index.stats
+        for field_name, _ in _STATS_METRIC_NAMES:
+            setattr(
+                total,
+                field_name,
+                getattr(total, field_name) + getattr(stats, field_name),
+            )
+    return total
+
+
+def _sample_index_metrics():
+    """Registry collector: absorb ``IndexStats`` into ``index.*``/``reach.*``."""
+    total = aggregate_index_stats()
+    return [
+        (metric_name, {}, getattr(total, field_name))
+        for field_name, metric_name in _STATS_METRIC_NAMES
+    ]
+
+
+_obs_registry().register_collector(_sample_index_metrics, _sample_index_metrics)
+
+
 class GraphIndex(GrowableCSRIndex):
     """A ``DiGraph`` compiled to integer ids + growable CSR rows.
 
@@ -409,6 +461,7 @@ class GraphIndex(GrowableCSRIndex):
         # Lazily built reachability/distance labeling (repro.core.reach);
         # cached like _np_view and maintained off the delta stream.
         self._reach = None
+        _ALL_INDEXES.add(self)
         self._compile(graph)
         graph.subscribe(self)
 
@@ -441,6 +494,12 @@ class GraphIndex(GrowableCSRIndex):
         deltas as "safe to use without the lock", so the stamp must not
         become visible to other threads until every array is rebuilt.
         """
+        with _obs_span("index.compile") as _sp:
+            self._compile_impl(graph)
+            if _sp.enabled:
+                _sp.set(nodes=self.n, edges=self.num_edges)
+
+    def _compile_impl(self, graph: DiGraph) -> None:
         nodes: List[Node] = list(graph.nodes())
         self.nodes = nodes
         n = len(nodes)
@@ -522,23 +581,30 @@ class GraphIndex(GrowableCSRIndex):
         deltas, self._pending = self._pending, []
         if self._overflowed:
             self._overflowed = False
-            self._compile(graph)
+            with _obs_span("index.sync") as _sp:
+                _sp.set(outcome="recompile-overflow")
+                self._compile(graph)
             return
         if not deltas and self.graph_version == graph.version:
             return
-        pending_deletions = sum(
-            1 for d in deltas if d.kind in (REMOVE_EDGE, REMOVE_NODE)
-        )
-        if (
-            self.graph_version + len(deltas) != graph.version
-            or self._deletions_over_threshold(pending_deletions)
-        ):
-            self._compile(graph)
-            return
-        self._apply_delta_group(deltas)
-        self.graph_version = graph.version
-        self.stats.incremental_syncs += 1
-        self.stats.deltas_applied += len(deltas)
+        with _obs_span("index.sync") as _sp:
+            if _sp.enabled:
+                _sp.set(deltas=len(deltas))
+            pending_deletions = sum(
+                1 for d in deltas if d.kind in (REMOVE_EDGE, REMOVE_NODE)
+            )
+            if (
+                self.graph_version + len(deltas) != graph.version
+                or self._deletions_over_threshold(pending_deletions)
+            ):
+                _sp.set(outcome="recompile-deletions")
+                self._compile(graph)
+                return
+            _sp.set(outcome="incremental")
+            self._apply_delta_group(deltas)
+            self.graph_version = graph.version
+            self.stats.incremental_syncs += 1
+            self.stats.deltas_applied += len(deltas)
 
     def _apply_delta_group(self, deltas: Iterable[GraphDelta]) -> None:
         """Apply one synced delta group with coalesced label-group moves.
@@ -1089,17 +1155,23 @@ def dual_simulation_kernel(pattern: Pattern, data: DiGraph) -> MatchRelation:
     maximum relation is unique by Lemma 1; both engines compute the
     greatest fixpoint below the label seeds).
     """
-    gi = get_index(data)
-    cp = _CompiledPattern(pattern)
-    with gi.reading():
-        sim = _seed_by_label_full(cp, gi)
-        ok = all(sim) and _dual_sim_eager(cp, gi, sim)
-        nodes = gi.nodes
-        if not ok:
-            return MatchRelation({u: set() for u in cp.nodes})
-        return MatchRelation(
-            {cp.nodes[u]: {nodes[v] for v in sim[u]} for u in range(cp.size)}
-        )
+    with _obs_span("kernel.dual_simulation") as _sp:
+        gi = get_index(data)
+        if _sp.enabled:
+            _sp.set(engine="kernel", pattern=pattern.size, nodes=gi.num_live)
+        cp = _CompiledPattern(pattern)
+        with gi.reading():
+            sim = _seed_by_label_full(cp, gi)
+            ok = all(sim) and _dual_sim_eager(cp, gi, sim)
+            nodes = gi.nodes
+            if not ok:
+                return MatchRelation({u: set() for u in cp.nodes})
+            return MatchRelation(
+                {
+                    cp.nodes[u]: {nodes[v] for v in sim[u]}
+                    for u in range(cp.size)
+                }
+            )
 
 
 # ======================================================================
@@ -1201,17 +1273,23 @@ def graph_simulation_kernel(pattern: Pattern, data: DiGraph) -> MatchRelation:
     greatest fixpoint below the label seeds, and both collapse to the
     empty relation when any pattern node ends up with no matches).
     """
-    gi = get_index(data)
-    cp = _CompiledPattern(pattern)
-    with gi.reading():
-        sim = _seed_by_label_full(cp, gi)
-        ok = all(sim) and _sim_child_only(cp, gi, sim)
-        if not ok:
-            return MatchRelation({u: set() for u in cp.nodes})
-        nodes = gi.nodes
-        return MatchRelation(
-            {cp.nodes[u]: {nodes[v] for v in sim[u]} for u in range(cp.size)}
-        )
+    with _obs_span("kernel.graph_simulation") as _sp:
+        gi = get_index(data)
+        if _sp.enabled:
+            _sp.set(engine="kernel", pattern=pattern.size, nodes=gi.num_live)
+        cp = _CompiledPattern(pattern)
+        with gi.reading():
+            sim = _seed_by_label_full(cp, gi)
+            ok = all(sim) and _sim_child_only(cp, gi, sim)
+            if not ok:
+                return MatchRelation({u: set() for u in cp.nodes})
+            nodes = gi.nodes
+            return MatchRelation(
+                {
+                    cp.nodes[u]: {nodes[v] for v in sim[u]}
+                    for u in range(cp.size)
+                }
+            )
 
 
 # ======================================================================
@@ -1512,29 +1590,48 @@ def kernel_match(
     """
     if radius is None:
         radius = pattern.diameter
-    gi = get_index(data)
-    cp = _CompiledPattern(pattern)
-    result = MatchResult(pattern)
-    with gi.reading():
-        if centers is None:
-            # All live slots, in id (= insertion) order; tombstoned slots
-            # could only ever yield empty seeds, so skip them outright.
-            labels = gi.labels
-            center_ids: Iterable[int] = (
-                i for i in range(gi.n) if labels[i] is not _DEAD
-            )
-            if radius < 0 and gi.num_live:
-                raise GraphError(
-                    f"ball radius must be non-negative, got {radius}"
+    with _obs_span("kernel.match") as _sp:
+        gi = get_index(data)
+        cp = _CompiledPattern(pattern)
+        result = MatchResult(pattern)
+        scanned = 0
+        with gi.reading():
+            if centers is None:
+                # All live slots, in id (= insertion) order; tombstoned
+                # slots could only ever yield empty seeds, so skip them
+                # outright.
+                labels = gi.labels
+                center_ids: Iterable[int] = (
+                    i for i in range(gi.n) if labels[i] is not _DEAD
                 )
-        else:
-            center_ids = _resolve_centers(gi, centers, radius)
-        seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]] = set()
-        for center in center_ids:
-            subgraph = _match_ball(cp, gi, center, radius, seen=seen)
-            if subgraph is not None:
-                result.add(subgraph)
-    return result
+                if radius < 0 and gi.num_live:
+                    raise GraphError(
+                        f"ball radius must be non-negative, got {radius}"
+                    )
+            else:
+                center_ids = _resolve_centers(gi, centers, radius)
+            seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]] = set()
+            if _sp.enabled:
+                for center in center_ids:
+                    scanned += 1
+                    subgraph = _match_ball(cp, gi, center, radius, seen=seen)
+                    if subgraph is not None:
+                        result.add(subgraph)
+                _sp.set(
+                    engine="kernel",
+                    pattern=pattern.size,
+                    radius=radius,
+                    **{
+                        "balls.scanned": scanned,
+                        "balls.matched": len(result),
+                    },
+                )
+            else:
+                for center in center_ids:
+                    subgraph = _match_ball(cp, gi, center, radius, seen=seen)
+                    if subgraph is not None:
+                        result.add(subgraph)
+        return result
 
 
 def _resolve_centers(
@@ -1557,16 +1654,21 @@ def kernel_matches_via_strong_simulation(
 ) -> bool:
     """Decide ``Q ≺_LD G`` on the kernel engine (early exit)."""
     radius = pattern.diameter
-    gi = get_index(data)
-    cp = _CompiledPattern(pattern)
-    with gi.reading():
-        labels = gi.labels
-        for center in range(gi.n):
-            if labels[center] is _DEAD:
-                continue
-            if _match_ball(cp, gi, center, radius) is not None:
-                return True
-        return False
+    with _obs_span("kernel.matches") as _sp:
+        gi = get_index(data)
+        cp = _CompiledPattern(pattern)
+        with gi.reading():
+            labels = gi.labels
+            for center in range(gi.n):
+                if labels[center] is _DEAD:
+                    continue
+                if _match_ball(cp, gi, center, radius) is not None:
+                    if _sp.enabled:
+                        _sp.set(engine="kernel", outcome=True)
+                    return True
+            if _sp.enabled:
+                _sp.set(engine="kernel", outcome=False)
+            return False
 
 
 def kernel_match_plus(
@@ -1590,43 +1692,71 @@ def kernel_match_plus(
     the matched-node *set* while the kernel visits centers in graph node
     order.
     """
-    gi = get_index(data)
-    cp = _CompiledPattern(pattern)
-    result = MatchResult(pattern)
+    with _obs_span("kernel.match_plus") as _sp:
+        gi = get_index(data)
+        if _sp.enabled:
+            _sp.set(
+                engine="kernel",
+                pattern=pattern.size,
+                radius=radius,
+                nodes=gi.num_live,
+            )
+        cp = _CompiledPattern(pattern)
+        result = MatchResult(pattern)
 
-    with gi.reading():
-        if use_dual_filter:
-            sim_global = _seed_by_label_full(cp, gi)
-            if not all(sim_global) or not _dual_sim_eager(cp, gi, sim_global):
+        with gi.reading():
+            if use_dual_filter:
+                with _obs_span("kernel.global_dual_filter"):
+                    sim_global = _seed_by_label_full(cp, gi)
+                    filtered = all(sim_global) and _dual_sim_eager(
+                        cp, gi, sim_global
+                    )
+                if not filtered:
+                    _sp.set(**{"balls.scanned": 0, "balls.matched": 0})
+                    return result
+                matched: Set[int] = set()
+                for s in sim_global:
+                    matched |= s
+                seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]] = set()
+                with _obs_span("kernel.ball_scan"):
+                    for center in range(gi.n):
+                        if center not in matched:
+                            continue
+                        subgraph = _refine_ball(
+                            cp, gi, center, radius, sim_global, use_pruning,
+                            seen=seen,
+                        )
+                        if subgraph is not None:
+                            result.add(subgraph)
+                if _sp.enabled:
+                    _sp.set(
+                        **{
+                            "balls.scanned": len(matched),
+                            "balls.matched": len(result),
+                        }
+                    )
                 return result
-            matched: Set[int] = set()
-            for s in sim_global:
-                matched |= s
-            seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]] = set()
-            for center in range(gi.n):
-                if center not in matched:
-                    continue
-                subgraph = _refine_ball(
-                    cp, gi, center, radius, sim_global, use_pruning, seen=seen
-                )
-                if subgraph is not None:
-                    result.add(subgraph)
-            return result
 
-        # Dual filter off: per-ball dual simulation from label seeds.
-        labels = gi.labels
-        if restrict_centers_by_label:
-            pattern_labels = set(cp.labels)
-            center_ids: Iterable[int] = (
-                i for i in range(gi.n) if labels[i] in pattern_labels
-            )
-        else:
-            center_ids = (i for i in range(gi.n) if labels[i] is not _DEAD)
-        seen = set()
-        for center in center_ids:
-            subgraph = _match_ball(
-                cp, gi, center, radius, use_pruning=use_pruning, seen=seen
-            )
-            if subgraph is not None:
-                result.add(subgraph)
-        return result
+            # Dual filter off: per-ball dual simulation from label seeds.
+            labels = gi.labels
+            if restrict_centers_by_label:
+                pattern_labels = set(cp.labels)
+                center_ids: Iterable[int] = (
+                    i for i in range(gi.n) if labels[i] in pattern_labels
+                )
+            else:
+                center_ids = (
+                    i for i in range(gi.n) if labels[i] is not _DEAD
+                )
+            seen = set()
+            with _obs_span("kernel.ball_scan"):
+                for center in center_ids:
+                    subgraph = _match_ball(
+                        cp, gi, center, radius, use_pruning=use_pruning,
+                        seen=seen,
+                    )
+                    if subgraph is not None:
+                        result.add(subgraph)
+            if _sp.enabled:
+                _sp.set(**{"balls.matched": len(result)})
+            return result

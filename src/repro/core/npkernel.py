@@ -69,6 +69,7 @@ from repro.core.matchrel import MatchRelation
 from repro.core.pattern import Pattern
 from repro.core.result import MatchResult
 from repro.exceptions import GraphError, MatchingError
+from repro.obs.trace import span as _obs_span
 
 __all__ = [
     "np_match",
@@ -894,53 +895,83 @@ def np_match(
     _require_numpy()
     if radius is None:
         radius = pattern.diameter
-    gi = get_index(data)
-    cp = _CompiledPattern(pattern)
-    result = MatchResult(pattern)
-    with gi.reading():
-        view = get_array_view(gi)
-        seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]] = set()
-        if centers is None:
-            if radius < 0 and gi.num_live:
-                raise GraphError(
-                    f"ball radius must be non-negative, got {radius}"
+    with _obs_span("numpy.match") as _sp:
+        gi = get_index(data)
+        cp = _CompiledPattern(pattern)
+        result = MatchResult(pattern)
+        with gi.reading():
+            view = get_array_view(gi)
+            seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]] = set()
+            if centers is None:
+                if radius < 0 and gi.num_live:
+                    raise GraphError(
+                        f"ball radius must be non-negative, got {radius}"
+                    )
+                # Full scan in ascending id order: run the batched path
+                # with plain label seeds as the global candidate relation.
+                labels = gi.labels
+                live = np.fromiter(
+                    (i for i in range(gi.n) if labels[i] is not _DEAD),
+                    dtype=np.int64,
                 )
-            # Full scan in ascending id order: run the batched path with
-            # plain label seeds as the global candidate relation.
-            labels = gi.labels
-            live = np.fromiter(
-                (i for i in range(gi.n) if labels[i] is not _DEAD),
-                dtype=np.int64,
-            )
-            cand_global = _seed_masks(view, gi, cp)
-            if cand_global is not None and live.size:
-                _np_refine_all_balls(
-                    cp, gi, view, live, radius, cand_global,
-                    False, seen, result,
+                cand_global = _seed_masks(view, gi, cp)
+                if cand_global is not None and live.size:
+                    _np_refine_all_balls(
+                        cp, gi, view, live, radius, cand_global,
+                        False, seen, result,
+                    )
+                if _sp.enabled:
+                    _sp.set(
+                        engine="numpy",
+                        pattern=pattern.size,
+                        radius=radius,
+                        **{
+                            "balls.scanned": int(live.size),
+                            "balls.matched": len(result),
+                        },
+                    )
+                return result
+            scanned = 0
+            for center in _resolve_centers(gi, centers, radius):
+                scanned += 1
+                subgraph = _np_match_ball(
+                    cp, gi, view, center, radius, seen=seen
                 )
-            return result
-        for center in _resolve_centers(gi, centers, radius):
-            subgraph = _np_match_ball(cp, gi, view, center, radius, seen=seen)
-            if subgraph is not None:
-                result.add(subgraph)
-    return result
+                if subgraph is not None:
+                    result.add(subgraph)
+            if _sp.enabled:
+                _sp.set(
+                    engine="numpy",
+                    pattern=pattern.size,
+                    radius=radius,
+                    **{
+                        "balls.scanned": scanned,
+                        "balls.matched": len(result),
+                    },
+                )
+        return result
 
 
 def np_matches_via_strong_simulation(pattern: Pattern, data: DiGraph) -> bool:
     """Decide ``Q ≺_LD G`` on the numpy engine (early exit)."""
     _require_numpy()
     radius = pattern.diameter
-    gi = get_index(data)
-    cp = _CompiledPattern(pattern)
-    with gi.reading():
-        view = get_array_view(gi)
-        labels = gi.labels
-        for center in range(gi.n):
-            if labels[center] is _DEAD:
-                continue
-            if _np_match_ball(cp, gi, view, center, radius) is not None:
-                return True
-        return False
+    with _obs_span("numpy.matches") as _sp:
+        gi = get_index(data)
+        cp = _CompiledPattern(pattern)
+        with gi.reading():
+            view = get_array_view(gi)
+            labels = gi.labels
+            for center in range(gi.n):
+                if labels[center] is _DEAD:
+                    continue
+                if _np_match_ball(cp, gi, view, center, radius) is not None:
+                    if _sp.enabled:
+                        _sp.set(engine="numpy", outcome=True)
+                    return True
+            if _sp.enabled:
+                _sp.set(engine="numpy", outcome=False)
+            return False
 
 
 def np_match_plus(
@@ -959,72 +990,113 @@ def np_match_plus(
     order, so even the incidental center attribution matches it).
     """
     _require_numpy()
-    gi = get_index(data)
-    cp = _CompiledPattern(pattern)
-    result = MatchResult(pattern)
+    with _obs_span("numpy.match_plus") as _sp:
+        gi = get_index(data)
+        if _sp.enabled:
+            _sp.set(
+                engine="numpy",
+                pattern=pattern.size,
+                radius=radius,
+                nodes=gi.num_live,
+            )
+        cp = _CompiledPattern(pattern)
+        result = MatchResult(pattern)
 
-    with gi.reading():
-        view = get_array_view(gi)
-        if use_dual_filter:
+        with gi.reading():
+            view = get_array_view(gi)
+            if use_dual_filter:
+                with _obs_span("numpy.global_dual_filter"):
+                    cand_global = _seed_masks(view, gi, cp)
+                    filtered = cand_global is not None and _np_dual_fixpoint(
+                        view, cp, cand_global
+                    )
+                if not filtered:
+                    _sp.set(**{"balls.scanned": 0, "balls.matched": 0})
+                    return result
+                matched = cand_global.any(axis=0)
+                seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]] = set()
+                with _obs_span("numpy.ball_scan"):
+                    _np_refine_all_balls(
+                        cp, gi, view, np.nonzero(matched)[0], radius,
+                        cand_global, use_pruning, seen, result,
+                    )
+                if _sp.enabled:
+                    _sp.set(
+                        **{
+                            "balls.scanned": int(matched.sum()),
+                            "balls.matched": len(result),
+                        }
+                    )
+                return result
+
+            # Dual filter off: per-ball dual simulation from label seeds,
+            # still batched — the projected relation is just the seeds.
+            labels = gi.labels
+            if restrict_centers_by_label:
+                pattern_labels = set(cp.labels)
+                center_ids = (
+                    i for i in range(gi.n) if labels[i] in pattern_labels
+                )
+            else:
+                center_ids = (
+                    i for i in range(gi.n) if labels[i] is not _DEAD
+                )
+            centers_arr = np.fromiter(center_ids, dtype=np.int64)
+            seen = set()
             cand_global = _seed_masks(view, gi, cp)
-            if cand_global is None:
-                return result
-            if not _np_dual_fixpoint(view, cp, cand_global):
-                return result
-            matched = cand_global.any(axis=0)
-            seen: Set[Tuple[FrozenSet[int], FrozenSet[Pair]]] = set()
-            _np_refine_all_balls(
-                cp, gi, view, np.nonzero(matched)[0], radius,
-                cand_global, use_pruning, seen, result,
-            )
+            with _obs_span("numpy.ball_scan"):
+                if cand_global is not None and centers_arr.size:
+                    _np_refine_all_balls(
+                        cp, gi, view, centers_arr, radius, cand_global,
+                        use_pruning, seen, result,
+                    )
+            if _sp.enabled:
+                _sp.set(
+                    **{
+                        "balls.scanned": int(centers_arr.size),
+                        "balls.matched": len(result),
+                    }
+                )
             return result
-
-        # Dual filter off: per-ball dual simulation from label seeds,
-        # still batched — the projected relation is just the seeds.
-        labels = gi.labels
-        if restrict_centers_by_label:
-            pattern_labels = set(cp.labels)
-            center_ids = (
-                i for i in range(gi.n) if labels[i] in pattern_labels
-            )
-        else:
-            center_ids = (i for i in range(gi.n) if labels[i] is not _DEAD)
-        centers_arr = np.fromiter(center_ids, dtype=np.int64)
-        seen = set()
-        cand_global = _seed_masks(view, gi, cp)
-        if cand_global is not None and centers_arr.size:
-            _np_refine_all_balls(
-                cp, gi, view, centers_arr, radius, cand_global,
-                use_pruning, seen, result,
-            )
-        return result
 
 
 def dual_simulation_numpy(pattern: Pattern, data: DiGraph) -> MatchRelation:
     """Maximum dual-simulation relation of ``Q`` on ``G`` — numpy engine."""
     _require_numpy()
-    gi = get_index(data)
-    cp = _CompiledPattern(pattern)
-    with gi.reading():
-        sim = np_dual_sim_ids(cp, gi)
-        nodes = gi.nodes
-        return MatchRelation(
-            {cp.nodes[u]: {nodes[v] for v in sim[u]} for u in range(cp.size)}
-        )
+    with _obs_span("numpy.dual_simulation") as _sp:
+        gi = get_index(data)
+        if _sp.enabled:
+            _sp.set(engine="numpy", pattern=pattern.size, nodes=gi.num_live)
+        cp = _CompiledPattern(pattern)
+        with gi.reading():
+            sim = np_dual_sim_ids(cp, gi)
+            nodes = gi.nodes
+            return MatchRelation(
+                {
+                    cp.nodes[u]: {nodes[v] for v in sim[u]}
+                    for u in range(cp.size)
+                }
+            )
 
 
 def graph_simulation_numpy(pattern: Pattern, data: DiGraph) -> MatchRelation:
     """Maximum graph-simulation relation of ``Q ≺ G`` — numpy engine."""
     _require_numpy()
-    gi = get_index(data)
-    cp = _CompiledPattern(pattern)
-    with gi.reading():
-        view = get_array_view(gi)
-        cand = _seed_masks(view, gi, cp)
-        if cand is None or not _np_sim_fixpoint(view, cp, cand):
-            return MatchRelation({u: set() for u in cp.nodes})
-        nodes = gi.nodes
-        sim = _cand_to_sets(cand)
-        return MatchRelation(
-            {cp.nodes[u]: {nodes[v] for v in sim[u]} for u in range(cp.size)}
-        )
+    with _obs_span("numpy.graph_simulation") as _sp:
+        gi = get_index(data)
+        if _sp.enabled:
+            _sp.set(engine="numpy", pattern=pattern.size, nodes=gi.num_live)
+        cp = _CompiledPattern(pattern)
+        with gi.reading():
+            view = get_array_view(gi)
+            cand = _seed_masks(view, gi, cp)
+            if cand is None or not _np_sim_fixpoint(view, cp, cand):
+                return MatchRelation({u: set() for u in cp.nodes})
+            nodes = gi.nodes
+            sim = _cand_to_sets(cand)
+            return MatchRelation(
+                {
+                    cp.nodes[u]: {nodes[v] for v in sim[u]}
+                    for u in range(cp.size)
+                }
+            )

@@ -68,6 +68,7 @@ from repro.core.kernel import (
 from repro.core.matchrel import MatchRelation
 from repro.core.regex import LazyDfa, reversed_nfa
 from repro.core.result import MatchResult, PerfectSubgraph
+from repro.obs.trace import span as _obs_span
 
 Bound = Optional[int]
 
@@ -137,7 +138,10 @@ class ReachIndex:
 
     def __init__(self, gi: GraphIndex) -> None:
         self.gi = gi
-        self._build()
+        with _obs_span("reach.build") as _sp:
+            self._build()
+            if _sp.enabled:
+                _sp.set(nodes=gi.num_live, edges=gi.num_edges)
         gi.stats.reach_builds += 1
 
     # ------------------------------------------------------------------

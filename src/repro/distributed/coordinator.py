@@ -67,6 +67,11 @@ from repro.exceptions import (
     EdgeNotFound,
     NodeNotFound,
 )
+from repro.obs.metrics import (
+    get_registry as _obs_registry,
+    merge_snapshots,
+)
+from repro.obs.trace import span as _obs_span
 
 COORDINATOR_ID = -1
 
@@ -176,6 +181,20 @@ class Cluster:
         self._transport = make_transport(
             self.backend, self.workers, self.assignment, self.bus, engine
         )
+        # Absorb the cluster's bus accounting into the metrics namespace
+        # (sampled at snapshot time; the bus's hot path is untouched).
+        _obs_registry().register_collector(self, self._sample_bus_metrics)
+
+    def _sample_bus_metrics(self):
+        bus = self.bus
+        samples = [("bus.messages", {}, bus.total_messages)]
+        for kind, units in sorted(bus.units_by_kind().items()):
+            samples.append(("bus.units", {"kind": kind}, units))
+        for (sender, receiver), units in sorted(bus.units_by_link().items()):
+            samples.append(
+                ("bus.units", {"link": f"{sender}->{receiver}"}, units)
+            )
+        return samples
 
     @property
     def num_sites(self) -> int:
@@ -384,7 +403,7 @@ class Cluster:
         """
         if engine is not None:
             resolve_engine(engine)  # fail before any traffic is charged
-        with self._protocol_lock:
+        with self._protocol_lock, _obs_span("distributed.run") as _sp:
             if radius is None:
                 radius = pattern.diameter
             # The protocol lock serializes runs against updates, so the
@@ -398,23 +417,48 @@ class Cluster:
 
             # Step 2: each site matches the balls of its own centers.
             use_parallel = self.parallel if parallel is None else parallel
-            partials = self._transport.evaluate(
-                pattern, radius, engine, use_parallel
-            )
+            with _obs_span("coordinator.evaluate"):
+                partials = self._transport.evaluate(
+                    pattern, radius, engine, use_parallel
+                )
+            if _sp.enabled:
+                # Graft the per-site ``site.evaluate`` subtrees (captured
+                # worker-side, shipped in wire form on the process
+                # backend) in site order: ONE merged trace per query.
+                site_spans = self._transport.site_spans()
+                for site in sorted(site_spans):
+                    _sp.adopt(site_spans[site])
 
             # Steps 3-4: ship partials and union with dedup, in site order.
-            result = MatchResult(pattern)
-            per_site: Dict[int, int] = {}
-            for site, partial in partials.items():
-                per_site[site] = len(partial)
-                units = sum(sg.graph.size for sg in partial)
-                self.bus.send(site, COORDINATOR_ID, "result", units)
-                for subgraph in partial:
-                    result.add(subgraph)
+            with _obs_span("coordinator.union"):
+                result = MatchResult(pattern)
+                per_site: Dict[int, int] = {}
+                for site, partial in partials.items():
+                    per_site[site] = len(partial)
+                    units = sum(sg.graph.size for sg in partial)
+                    self.bus.send(site, COORDINATOR_ID, "result", units)
+                    for subgraph in partial:
+                        result.add(subgraph)
             query_log = tuple(
                 (m.sender, m.receiver, m.kind, m.units)
                 for m in self.bus.messages[log_start:]
             )
+            if _sp.enabled:
+                _sp.set(
+                    backend=self.backend,
+                    sites=self.num_sites,
+                    engine=self.engine if engine is None else engine,
+                    pattern=pattern.size,
+                    radius=radius,
+                    result=len(result),
+                    **{
+                        "bus.log": query_log,
+                        "bus.messages": len(query_log),
+                        "bus.units": sum(
+                            entry[3] for entry in query_log
+                        ),
+                    },
+                )
             return DistributedRunReport(
                 result,
                 self.bus,
@@ -468,6 +512,19 @@ class Cluster:
         """
         with self._protocol_lock:
             return self._transport.worker_stats()
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """One merged metrics view across coordinator and sites.
+
+        The coordinator's own registry snapshot (which the in-process
+        backends' workers publish into directly) merged with the per-site
+        snapshots remote worker processes shipped back with the last
+        query's ``done`` frames — counters and histogram buckets sum,
+        per :func:`repro.obs.metrics.merge_snapshots`.
+        """
+        with self._protocol_lock:
+            site_snapshots = list(self._transport.site_metrics().values())
+        return merge_snapshots(_obs_registry().snapshot(), *site_snapshots)
 
     def close(self) -> None:
         """Release the transport (site thread pool or worker processes).

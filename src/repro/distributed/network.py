@@ -70,6 +70,11 @@ class MessageBus:
         """Shipped volume per message kind (e.g. 'query', 'fetch', 'result')."""
         return dict(self._units_by_kind)
 
+    def units_by_link(self) -> Dict[Tuple[int, int], int]:
+        """Shipped volume per directed ``(sender, receiver)`` link."""
+        with self._lock:
+            return dict(self._units_by_link)
+
     def units_between(self, sender: int, receiver: int) -> int:
         """Shipped volume on one directed link."""
         return self._units_by_link.get((sender, receiver), 0)

@@ -17,9 +17,10 @@ Protocol (one duplex pipe per site; the coordinator end lives in
 ===============================  =====================================
 coordinator -> worker             worker -> coordinator
 ===============================  =====================================
-``("query", pattern, r, e)``      ``("fetch_many", nodes)`` * per BFS
+``("query", pattern, r, e, t)``   ``("fetch_many", nodes)`` * per BFS
                                   layer with unmaterialized remotes,
-                                  then ``("done", partials, bus_log)``
+                                  then ``("done", partials, bus_log,
+                                  span, metrics)``
 ``("update", deltas, owner)``     ``("ok",)``
 ``("forget", node)``              ``("ok",)``
 ``("stats",)``                    ``("stats", dict)``
@@ -51,9 +52,13 @@ from repro.distributed.runtime.wire import (
     decode_fragment,
     decode_pattern,
     encode_bus_log,
+    encode_metrics,
     encode_partials,
+    encode_span,
 )
 from repro.exceptions import DistributedError
+from repro.obs.metrics import get_registry as _obs_registry
+from repro.obs.trace import set_tracing, tracing_enabled
 
 
 class _PipeSiteWorker(SiteWorker):
@@ -83,11 +88,14 @@ class _PipeSiteWorker(SiteWorker):
                 f"fetch of {nodes!r} failed at the coordinator: {reply[1]}"
             )
         site_id = self.fragment.site_id
+        self.fetch_round_trips += 1
+        self.fetch_records += len(nodes)
         for node, (owner, record) in zip(nodes, reply[1]):
             # Same tariff as the in-process path: one bus message per
             # record, one unit for it plus one per incident edge.
             units = 1 + len(record[1]) + len(record[2])
             self.fetch_log.append((owner, site_id, "fetch", units))
+            self.fetch_units += units
             self._remote_cache[node] = record
 
 
@@ -104,18 +112,27 @@ def worker_main(conn, wire_fragment, engine: str) -> None:
             command = message[0]
             try:
                 if command == "query":
-                    _, wire_pattern, radius, engine_override = message
+                    _, wire_pattern, radius, engine_override, trace = message
                     pattern = decode_pattern(wire_pattern)
                     worker.clear_cache()
                     worker.fetch_log = []
-                    partial = worker.match_local(
-                        pattern, radius, engine=engine_override
-                    )
+                    # Per-query tracing: the coordinator's flag turns the
+                    # worker's tracing on for exactly this evaluation (a
+                    # worker already enabled via REPRO_TRACE stays on).
+                    previous = set_tracing(trace or tracing_enabled())
+                    try:
+                        partial = worker.match_local(
+                            pattern, radius, engine=engine_override
+                        )
+                    finally:
+                        set_tracing(previous)
                     conn.send(
                         (
                             "done",
                             encode_partials(partial),
                             encode_bus_log(worker.fetch_log),
+                            encode_span(worker.last_span),
+                            encode_metrics(_obs_registry().snapshot()),
                         )
                     )
                 elif command == "update":

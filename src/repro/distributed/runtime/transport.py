@@ -44,13 +44,16 @@ from repro.distributed.network import MessageBus
 from repro.distributed.runtime.procworker import worker_main
 from repro.distributed.runtime.wire import (
     decode_bus_log,
+    decode_metrics,
     decode_partials,
+    decode_span,
     encode_deltas,
     encode_fragment,
     encode_pattern,
 )
 from repro.distributed.worker import SiteWorker
 from repro.exceptions import DistributedError
+from repro.obs.trace import tracing_enabled
 
 #: The cluster backends, in "zero surprises" order: ``inproc`` is the
 #: serial reference, ``threads`` adds concurrency inside one
@@ -133,6 +136,21 @@ class Transport:
         """Per-site runtime counters (see ``SiteWorker.runtime_stats``)."""
         raise NotImplementedError
 
+    def site_spans(self) -> Dict[int, object]:
+        """The per-site ``site.evaluate`` trace subtrees of the last
+        :meth:`evaluate`, by site — empty when tracing was off.  The
+        coordinator grafts them under its ``distributed.run`` span."""
+        return {}
+
+    def site_metrics(self) -> Dict[int, Dict[str, object]]:
+        """Per-site registry snapshots from the last :meth:`evaluate`.
+
+        Only remote-hosted workers report here (their registries live in
+        other processes); in-process workers publish straight into the
+        coordinator's own registry, which `snapshot()` already covers.
+        """
+        return {}
+
     def close(self) -> None:
         """Release transport resources (idempotent)."""
         raise NotImplementedError
@@ -191,6 +209,13 @@ class InProcTransport(Transport):
             for site, worker in self._workers.items()
         }
 
+    def site_spans(self):
+        return {
+            site: worker.last_span
+            for site, worker in self._workers.items()
+            if worker.last_span is not None
+        }
+
     def close(self):
         pool, self._pool = self._pool, None
         if pool is not None:
@@ -233,6 +258,11 @@ class ProcessTransport(Transport):
         #: Per-site buffered deltas awaiting one batched ``update`` frame:
         #: ``site -> (deltas in arrival order, merged owner captures)``.
         self._pending_updates: Dict[int, tuple] = {}
+        #: Observability payloads the workers shipped with the last
+        #: query's ``done`` replies: traced span subtrees (only when the
+        #: query ran traced) and registry snapshots (every query).
+        self._last_site_spans: Dict[int, object] = {}
+        self._last_site_metrics: Dict[int, Dict[str, object]] = {}
         self._closed = False
         # The shared result store (see the Transport class attribute):
         # created before the workers so a bootstrap failure cannot leave
@@ -324,11 +354,14 @@ class ProcessTransport(Transport):
         self._guard_open()
         self._flush_updates()
         wire_pattern = encode_pattern(pattern)
+        trace = tracing_enabled()
         for conn in self._conns.values():
-            conn.send(("query", wire_pattern, radius, engine))
+            conn.send(("query", wire_pattern, radius, engine, trace))
         pending = {conn: site for site, conn in self._conns.items()}
         partials: Dict[int, List[PerfectSubgraph]] = {}
         logs: Dict[int, list] = {}
+        self._last_site_spans = {}
+        self._last_site_metrics = {}
         while pending:
             for conn in multiprocessing.connection.wait(list(pending)):
                 site = pending[conn]
@@ -351,6 +384,10 @@ class ProcessTransport(Transport):
                 elif kind == "done":
                     partials[site] = decode_partials(message[1])
                     logs[site] = decode_bus_log(message[2])
+                    shipped_span = decode_span(message[3])
+                    if shipped_span is not None:
+                        self._last_site_spans[site] = shipped_span
+                    self._last_site_metrics[site] = decode_metrics(message[4])
                     del pending[conn]
                 else:
                     detail = message[1] if len(message) > 1 else kind
@@ -404,6 +441,12 @@ class ProcessTransport(Transport):
                 raise self._fail(f"site {site} stats failed:\n{reply[1]}")
             stats[site] = reply[1]
         return stats
+
+    def site_spans(self):
+        return dict(self._last_site_spans)
+
+    def site_metrics(self):
+        return dict(self._last_site_metrics)
 
     def close(self):
         if self._closed:

@@ -49,6 +49,11 @@ from repro.core.pattern import Pattern
 from repro.core.result import PerfectSubgraph
 from repro.distributed.fragment import Fragment
 from repro.exceptions import WireFormatError
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    get_registry as _obs_registry,
+)
+from repro.obs.trace import Span
 
 #: Bump when any wire form changes shape; both ends must agree exactly.
 WIRE_VERSION = 1
@@ -62,14 +67,18 @@ KIND_DELTAS = "deltas"
 KIND_PARTIALS = "partials"
 KIND_BUS_LOG = "bus-log"
 KIND_RUN_REPORT = "run-report"
+KIND_SPAN = "span"
+KIND_METRICS = "metrics"
 
 
 def _stamp(kind: str, body: tuple) -> tuple:
+    _obs_registry().counter("wire.frames", kind=kind, op="encode").inc()
     return (_MAGIC, WIRE_VERSION, kind, body)
 
 
 def _unstamp(kind: str, wire: object) -> tuple:
     """Validate the ``(magic, version, kind, body)`` envelope."""
+    _obs_registry().counter("wire.frames", kind=kind, op="decode").inc()
     if not isinstance(wire, tuple) or len(wire) != 4:
         raise WireFormatError(
             f"malformed wire frame: expected a 4-tuple envelope, "
@@ -337,3 +346,99 @@ def decode_bus_log(wire: object) -> List[Tuple[int, int, str, int]]:
             raise WireFormatError("malformed bus-log entry")
         log.append(entry)
     return log
+
+
+# ======================================================================
+# Trace span subtrees (the merged distributed trace)
+# ======================================================================
+def _span_body(span_obj: Span) -> tuple:
+    return (
+        span_obj.name,
+        span_obj.start,
+        span_obj.end,
+        tuple(span_obj.attrs.items()),
+        tuple(_span_body(child) for child in span_obj.children),
+    )
+
+
+def _span_from_body(entry: object) -> Span:
+    try:
+        name, start, end, attrs, children = entry
+        rebuilt = Span(name)
+        rebuilt.start = start
+        rebuilt.end = end
+        rebuilt.attrs = dict(attrs)
+        rebuilt.children = [_span_from_body(child) for child in children]
+    except (ValueError, TypeError) as exc:
+        raise WireFormatError(f"malformed span entry: {exc}") from exc
+    return rebuilt
+
+
+def encode_span(span_obj: "Span | None") -> tuple:
+    """A worker's traced ``site.evaluate`` subtree — or its absence.
+
+    The body is a 0- or 1-entry tuple so "tracing was off for this
+    query" ships as an explicit empty frame rather than an out-of-band
+    ``None``; timings stay in the worker's own monotonic clock (only
+    durations are meaningful coordinator-side).
+    """
+    if span_obj is None:
+        return _stamp(KIND_SPAN, ())
+    return _stamp(KIND_SPAN, (_span_body(span_obj),))
+
+
+def decode_span(wire: object) -> "Span | None":
+    """Rebuild a shipped span subtree (``None`` for the empty frame)."""
+    body = _unstamp(KIND_SPAN, wire)
+    if not body:
+        return None
+    if len(body) != 1:
+        raise WireFormatError("malformed span body: expected one root")
+    return _span_from_body(body[0])
+
+
+# ======================================================================
+# Metrics snapshots
+# ======================================================================
+def encode_metrics(snapshot: Dict[str, object]) -> tuple:
+    """A registry snapshot in wire form (sorted, all-tuple body)."""
+    try:
+        body = (
+            snapshot.get("schema_version", METRICS_SCHEMA_VERSION),
+            tuple(sorted(snapshot.get("counters", {}).items())),
+            tuple(sorted(snapshot.get("gauges", {}).items())),
+            tuple(
+                sorted(
+                    (key, tuple(data["counts"]), data["sum"], data["count"])
+                    for key, data in snapshot.get("histograms", {}).items()
+                )
+            ),
+        )
+    except (AttributeError, KeyError, TypeError) as exc:
+        raise WireFormatError(f"malformed metrics snapshot: {exc}") from exc
+    return _stamp(KIND_METRICS, body)
+
+
+def decode_metrics(wire: object) -> Dict[str, object]:
+    """Rebuild a snapshot dict (mergeable via ``merge_snapshots``)."""
+    body = _unstamp(KIND_METRICS, wire)
+    if len(body) != 4:
+        raise WireFormatError("malformed metrics body")
+    version, counters, gauges, histograms = body
+    if version != METRICS_SCHEMA_VERSION:
+        raise WireFormatError(
+            f"metrics schema {version!r} is not the supported "
+            f"{METRICS_SCHEMA_VERSION}"
+        )
+    try:
+        return {
+            "schema_version": version,
+            "counters": dict(counters),
+            "gauges": dict(gauges),
+            "histograms": {
+                key: {"counts": list(counts), "sum": total, "count": count}
+                for key, counts, total, count in histograms
+            },
+        }
+    except (ValueError, TypeError) as exc:
+        raise WireFormatError(f"malformed metrics body: {exc}") from exc

@@ -49,7 +49,11 @@ from repro.core.digraph import (
     Node,
 )
 from repro.core.dualsim import dual_simulation
-from repro.core.kernel import _CompiledPattern, resolve_engine
+from repro.core.kernel import (
+    _CompiledPattern,
+    aggregate_index_stats,
+    resolve_engine,
+)
 from repro.core.pattern import Pattern
 from repro.core.result import PerfectSubgraph
 from repro.core.strong import extract_max_perfect_subgraph
@@ -62,6 +66,7 @@ from repro.distributed.sitekernel import (
     site_match_ball_numpy,
 )
 from repro.exceptions import DistributedError
+from repro.obs.trace import capture as _obs_capture
 
 
 class SiteWorker:
@@ -87,6 +92,15 @@ class SiteWorker:
         self.index_builds = 0
         #: Queries this worker evaluated (any engine).
         self.queries_served = 0
+        #: Per-query fetch telemetry (reset with the remote cache):
+        #: batched fetch calls, records shipped, bus units charged.
+        self.fetch_round_trips = 0
+        self.fetch_records = 0
+        self.fetch_units = 0
+        #: The traced ``site.evaluate`` subtree of the last query, when
+        #: tracing was enabled during it (``None`` otherwise).  The
+        #: coordinator grafts it under its ``distributed.run`` span.
+        self.last_span = None
 
     # ------------------------------------------------------------------
     # Cluster wiring
@@ -143,12 +157,15 @@ class SiteWorker:
         backend overrides this method); the protocol observation is
         identical either way.
         """
+        self.fetch_round_trips += 1
+        self.fetch_records += len(nodes)
         for node in nodes:
             owner = self._owner_of(node)
             record = self._peers[owner].serve_node(node)
             # One unit for the node record + one per incident edge.
             units = 1 + len(record[1]) + len(record[2])
             self.bus.send(owner, self.fragment.site_id, "fetch", units)
+            self.fetch_units += units
             self._remote_cache[node] = record
 
     def _ensure_records(self, nodes: List[Node]) -> None:
@@ -184,6 +201,9 @@ class SiteWorker:
         site.
         """
         self._remote_cache.clear()
+        self.fetch_round_trips = 0
+        self.fetch_records = 0
+        self.fetch_units = 0
         if self._site_index is not None:
             self._site_index.reset_remote()
 
@@ -293,13 +313,23 @@ class SiteWorker:
 
         The one stats shape every backend reports: the process runtime's
         ``stats`` command delegates here, so `Cluster.worker_stats()` is
-        key-compatible wherever the workers live.
+        key-compatible wherever the workers live.  The ``reach_*``
+        counters aggregate every centralized ``GraphIndex`` alive in this
+        worker's *process* (distributed path matching is future work, so
+        they count the co-resident centralized reach indexes — zero in a
+        fresh worker process until something in it runs the bounded or
+        regular matchers).
         """
+        index_stats = aggregate_index_stats()
         return {
             "site": self.fragment.site_id,
             "index_builds": self.index_builds,
             "queries_served": self.queries_served,
             "owned_nodes": self.fragment.num_nodes,
+            "reach_builds": index_stats.reach_builds,
+            "reach_patches": index_stats.reach_patches,
+            "reach_drops": index_stats.reach_drops,
+            "reach_probes": index_stats.reach_probes,
         }
 
     def build_ball(self, center: Node, radius: int) -> Ball:
@@ -356,11 +386,26 @@ class SiteWorker:
             radius = pattern.diameter
         resolved = resolve_engine(self.engine if engine is None else engine)
         self.queries_served += 1
-        if resolved == "kernel":
-            return self._match_local_kernel(pattern, radius)
-        if resolved == "numpy":
-            return self._match_local_numpy(pattern, radius)
-        return self._match_local_python(pattern, radius)
+        with _obs_capture("site.evaluate") as _sp:
+            if resolved == "kernel":
+                partial = self._match_local_kernel(pattern, radius)
+            elif resolved == "numpy":
+                partial = self._match_local_numpy(pattern, radius)
+            else:
+                partial = self._match_local_python(pattern, radius)
+            if _sp.enabled:
+                _sp.set(
+                    site=self.fragment.site_id,
+                    engine=resolved,
+                    partial=len(partial),
+                    **{
+                        "fetch.round_trips": self.fetch_round_trips,
+                        "fetch.records": self.fetch_records,
+                        "fetch.units": self.fetch_units,
+                    },
+                )
+        self.last_span = _sp if _sp.enabled else None
+        return partial
 
     def _match_local_python(
         self, pattern: Pattern, radius: int

@@ -50,8 +50,10 @@ differential style.
 from __future__ import annotations
 
 import threading
+import weakref
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.digraph import DiGraph
@@ -66,6 +68,8 @@ from repro.core.result import MatchResult, PerfectSubgraph
 from repro.core.simulation import graph_simulation
 from repro.core.strong import match
 from repro.exceptions import MatchingError
+from repro.obs.metrics import get_registry as _obs_registry
+from repro.obs.trace import span as _obs_span
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.fingerprint import CanonicalPattern, canonical_form
 
@@ -109,6 +113,48 @@ class ServiceStats:
     replayed: int = 0
     coalesced: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
+
+
+#: Every live service, for the metrics collector below (weak: a closed
+#: or dropped service stops being sampled without unregistration).
+_ALL_SERVICES: "weakref.WeakSet" = weakref.WeakSet()
+
+_SERVICE_FIELDS = ("queries", "computed", "replayed", "coalesced")
+_CACHE_FIELDS = (
+    "hits", "misses", "stores", "invalidations", "retained", "evictions",
+)
+
+
+def _sample_service_metrics():
+    """Snapshot-time fold of every live service's counters.
+
+    Services sharing one :class:`ResultCache` share its ``CacheStats``
+    object — deduplicate by identity so ``cache.*`` counts each store
+    once, however many services front it.
+    """
+    totals = {name: 0 for name in _SERVICE_FIELDS}
+    cache_totals = {name: 0 for name in _CACHE_FIELDS}
+    seen_caches: set = set()
+    for service in list(_ALL_SERVICES):
+        stats = service.stats
+        for name in _SERVICE_FIELDS:
+            totals[name] += getattr(stats, name)
+        cache_stats = stats.cache
+        if id(cache_stats) in seen_caches:
+            continue
+        seen_caches.add(id(cache_stats))
+        for name in _CACHE_FIELDS:
+            cache_totals[name] += getattr(cache_stats, name)
+    return [
+        (f"service.{name}", {}, totals[name]) for name in _SERVICE_FIELDS
+    ] + [
+        (f"cache.{name}", {}, cache_totals[name]) for name in _CACHE_FIELDS
+    ]
+
+
+_obs_registry().register_collector(
+    _sample_service_metrics, _sample_service_metrics
+)
 
 
 # ======================================================================
@@ -288,6 +334,7 @@ class MatchService:
         self.stats = ServiceStats(
             cache=self.cache.stats if self.cache is not None else CacheStats()
         )
+        _ALL_SERVICES.add(self)
 
     # ------------------------------------------------------------------
     def submit(
@@ -312,7 +359,8 @@ class MatchService:
             )
         resolved = resolve_engine(engine, data)
         return self._pool.submit(
-            self._execute, pattern, data, algorithm, resolved
+            self._execute, pattern, data, algorithm, resolved,
+            perf_counter(),
         )
 
     def submit_batch(
@@ -373,7 +421,7 @@ class MatchService:
         """
         return self._pool.submit(
             self._execute_distributed, pattern, cluster, radius, engine,
-            cached,
+            cached, perf_counter(),
         )
 
     def query_distributed(
@@ -389,7 +437,27 @@ class MatchService:
             pattern, cluster, radius, engine, cached
         ).result()
 
-    def _execute_distributed(self, pattern, cluster, radius, engine, cached=True):
+    def _execute_distributed(
+        self, pattern, cluster, radius, engine, cached=True,
+        submitted_at=None,
+    ):
+        started = perf_counter()
+        registry = _obs_registry()
+        if submitted_at is not None:
+            registry.histogram("service.queue_wait_seconds").observe(
+                started - submitted_at
+            )
+        with _obs_span("service.distributed_query") as _sp:
+            try:
+                return self._run_distributed(
+                    pattern, cluster, radius, engine, cached, _sp
+                )
+            finally:
+                registry.histogram(
+                    "service.query_seconds", algorithm="distributed"
+                ).observe(perf_counter() - started)
+
+    def _run_distributed(self, pattern, cluster, radius, engine, cached, _sp):
         with self._stats_lock:
             self.stats.queries += 1
         # NB: "is None" matters — an empty ResultCache is falsy.
@@ -400,6 +468,7 @@ class MatchService:
             report = cluster.run(pattern, radius, engine=engine)
             with self._stats_lock:
                 self.stats.computed += 1  # on success only
+            _sp.set(outcome="computed")
             return report
         canonical = canonical_form(pattern)
         effective_radius = pattern.diameter if radius is None else radius
@@ -417,6 +486,8 @@ class MatchService:
             if payload is not None:
                 with self._stats_lock:
                     self.stats.replayed += 1
+                if _sp.enabled:
+                    _sp.set(outcome="replayed", coalesced=coalesced)
                 return self._decode_run_report(
                     payload, pattern, canonical, cluster
                 )
@@ -440,6 +511,7 @@ class MatchService:
             )
             with self._stats_lock:
                 self.stats.computed += 1  # on success only
+            _sp.set(outcome="computed")
             return report
         finally:
             store.end_flight(flight_key)
@@ -488,7 +560,32 @@ class MatchService:
 
     # ------------------------------------------------------------------
     def _execute(
-        self, pattern: Pattern, data: DiGraph, algorithm: str, engine: str
+        self,
+        pattern: Pattern,
+        data: DiGraph,
+        algorithm: str,
+        engine: str,
+        submitted_at: Optional[float] = None,
+    ):
+        started = perf_counter()
+        registry = _obs_registry()
+        if submitted_at is not None:
+            registry.histogram("service.queue_wait_seconds").observe(
+                started - submitted_at
+            )
+        with _obs_span("service.query") as _sp:
+            if _sp.enabled:
+                _sp.set(algorithm=algorithm, engine=engine)
+            try:
+                return self._run_query(pattern, data, algorithm, engine, _sp)
+            finally:
+                registry.histogram(
+                    "service.query_seconds", algorithm=algorithm
+                ).observe(perf_counter() - started)
+
+    def _run_query(
+        self, pattern: Pattern, data: DiGraph, algorithm: str, engine: str,
+        _sp,
     ):
         with self._stats_lock:
             self.stats.queries += 1
@@ -496,6 +593,7 @@ class MatchService:
         if cache is None:
             with self._stats_lock:
                 self.stats.computed += 1
+            _sp.set(outcome="computed")
             return _COMPUTE[algorithm](pattern, data, engine)
         canonical = canonical_form(pattern)
         # Single-flight loop: a miss either elects this thread the
@@ -518,6 +616,8 @@ class MatchService:
             if payload is not None:
                 with self._stats_lock:
                     self.stats.replayed += 1
+                if _sp.enabled:
+                    _sp.set(outcome="replayed", coalesced=coalesced)
                 return self._decode(payload, pattern, canonical, algorithm)
             with self._inflight_lock:
                 leader_done = self._inflight.get(flight_key)
@@ -555,6 +655,7 @@ class MatchService:
             )
             with self._stats_lock:
                 self.stats.computed += 1
+            _sp.set(outcome="computed")
             return result
         finally:
             # Publish-and-release even when the compute raises: followers

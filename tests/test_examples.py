@@ -28,6 +28,14 @@ LIGHT_EXAMPLES = {
         "site indexes compiled once per worker process: True",
         "still compiled once after live updates: True",
     ],
+    "traced_query.py": [
+        "merged per-site phase breakdown:",
+        "distributed.run",
+        "site.evaluate",
+        "site spans merged into one trace: [0, 1, 2]",
+        "trace bus log identical to protocol log: True",
+        "bus units by kind (metrics registry):",
+    ],
 }
 
 
