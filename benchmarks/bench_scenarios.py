@@ -1,0 +1,61 @@
+"""The scenario-matrix baseline: deterministic digests + SLO rows.
+
+Runs the seeded scenario matrix (``repro.scenarios``) and commits the
+observation to ``benchmarks/results/BENCH_scenarios.json`` — the
+baseline ``repro scenarios diff`` compares against.  Digest gating is
+enforced here exactly as in ``repro scenarios run``: every non-skipped
+case must reproduce its pinned ``EXPECTED_DIGESTS`` entry, on every
+engine and backend.
+
+``REPRO_KERNEL_BENCH_SMOKE=1`` restricts the matrix to the smoke scale
+(what CI runs); a full run covers smoke + S, the scales with pinned
+digests and committed baselines.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from repro.scenarios import matrix_payload, render_cases, run_matrix
+
+from benchmarks.conftest import emit, emit_result
+
+
+def test_scenario_matrix() -> None:
+    smoke = os.environ.get("REPRO_KERNEL_BENCH_SMOKE") == "1"
+    scales = ["smoke"] if smoke else ["smoke", "S"]
+
+    all_cases: List = []
+    for matrix_scale in scales:
+        all_cases.extend(run_matrix(None, matrix_scale))
+
+    ran = [case for case in all_cases if case.skipped is None]
+    assert ran, "the scenario matrix produced no runnable cases"
+
+    # The digest gate: wrong results fail the benchmark, not just the
+    # CLI.  (digest_ok is None only where no digest is pinned.)
+    mismatches = [
+        f"{case.case_key}: expected {case.expected_digest}, "
+        f"observed {case.digest}"
+        for case in ran
+        if case.digest_ok is False
+    ]
+    assert not mismatches, "observation digest mismatches:\n" + "\n".join(
+        mismatches
+    )
+
+    # Engine/backend independence, re-asserted across the whole matrix:
+    # one digest per (scenario, scale), however many cells produced it.
+    by_key: Dict = {}
+    for case in ran:
+        key = (case.scenario, case.scale)
+        by_key.setdefault(key, set()).add(case.digest)
+    divergent = {k: v for k, v in by_key.items() if len(v) > 1}
+    assert not divergent, f"engine-dependent digests: {divergent}"
+
+    payload = matrix_payload(all_cases, "+".join(scales))
+    payload["benchmark"] = "bench_scenarios"
+    payload["smoke"] = smoke
+    emit_result("BENCH_scenarios", payload)
+    emit("bench_scenarios", render_cases(all_cases))

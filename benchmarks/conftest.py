@@ -15,12 +15,13 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import pytest
 
 from repro.datasets import generate_amazon, generate_graph, generate_youtube
 from repro.experiments import sweep_pattern_sizes, sweep_data_sizes
+from repro.utils.results import RESULT_SCHEMA_VERSION, write_result
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -81,53 +82,35 @@ def best_of(fn: Callable[[], object], reps: int = 3) -> float:
     return best
 
 
-def emit(name: str, text: str) -> None:
-    """Print a rendered table and persist it under benchmarks/results/."""
+def emit(name: str, text: str, payload: Optional[Dict] = None) -> None:
+    """Print a rendered table and persist it under benchmarks/results/.
+
+    Persists twice: the rendered text as ``<name>.txt`` (the historical
+    artifact) and a machine-readable ``BENCH_<name>.json`` in the shared
+    :func:`repro.utils.results.result_envelope` — so every legacy
+    ``bench_fig*`` / ``bench_table*`` table is diffable by the scenario
+    dashboard without per-file parsing rules.  ``payload`` adds
+    structured fields next to the rendered text when a module has them.
+    """
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
-
-
-#: Version of the machine-readable result envelope below.  Bump when a
-#: shared field changes shape; per-benchmark payload fields are owned by
-#: their module and versioned implicitly through ``benchmark``.
-RESULT_SCHEMA_VERSION = 1
+    data: Dict = {"benchmark": name, "rendered": text}
+    if payload:
+        data.update(payload)
+    write_result(RESULTS_DIR / f"BENCH_{name}.json", data)
 
 
 def emit_result(name: str, payload: Dict) -> Path:
     """Write one ``BENCH_*.json`` result with the shared envelope.
 
-    All machine-readable benchmark artifacts go through here so they
-    carry the same metadata: ``schema_version``, a ``host`` block
-    (platform / python / machine / cpus) and a UTC ``generated_at``
-    timestamp.  The per-benchmark ``payload`` keys are merged in as-is
-    and win on collision — a module may pin its own timestamp for
-    reproducibility, for example.
+    Thin wrapper over :func:`repro.utils.results.write_result` (where
+    the envelope — ``schema_version``, ``host`` block, ``generated_at``
+    — now lives, shared with ``repro scenarios run``); kept so the
+    benchmark modules keep their one-name emission call.
     """
-    import datetime
-    import json
-    import platform
-
-    envelope = {
-        "schema_version": RESULT_SCHEMA_VERSION,
-        "host": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "cpus": os.cpu_count(),
-        },
-        "generated_at": datetime.datetime.now(datetime.timezone.utc)
-        .isoformat(timespec="seconds"),
-    }
-    envelope.update(payload)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.json"
-    path.write_text(
-        json.dumps(envelope, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
-    return path
+    return write_result(RESULTS_DIR / f"{name}.json", payload)
 
 
 # ----------------------------------------------------------------------

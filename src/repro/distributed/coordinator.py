@@ -113,6 +113,18 @@ class DistributedRunReport:
         """Graph-data volume shipped between sites (the Sec. 4.3 bound)."""
         return self.bus.data_units()
 
+    def units_by_kind(self) -> Dict[str, int]:
+        """This query's shipped units folded per message kind.
+
+        Derived from ``query_log`` (the exact per-query slice), not the
+        bus — the bus may be the cluster's cumulative one.  Empty when
+        the report predates query logs.
+        """
+        units: Dict[str, int] = {}
+        for _, _, kind, amount in self.query_log:
+            units[kind] = units.get(kind, 0) + amount
+        return units
+
 
 class Cluster:
     """A simulated cluster over a partitioned graph.

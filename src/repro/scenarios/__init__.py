@@ -1,0 +1,56 @@
+"""Scenario harness: manifest-driven workload fixtures with SLO gates.
+
+The consumption layer over the PR-9 observability substrate (ROADMAP
+open item 5, in the spirit of MADlib's reproducible
+library-of-workloads methodology):
+
+* :mod:`repro.scenarios.manifest` — the declarative, seeded scenario
+  matrix (:data:`SCENARIOS`) and the pinned observation digests
+  (:data:`EXPECTED_DIGESTS`);
+* :mod:`repro.scenarios.digest` — canonical, engine- and
+  backend-independent observation digests;
+* :mod:`repro.scenarios.runner` — deterministic replay through
+  :class:`~repro.service.MatchService` / a
+  :class:`~repro.distributed.Cluster` with tracing and metrics on;
+* :mod:`repro.scenarios.report` — per-case reports, the result-file
+  payload, and the mechanical baseline diff behind
+  ``repro scenarios diff``.
+
+CLI surface: ``repro scenarios list | run | diff``.
+"""
+
+from repro.scenarios.digest import canonical_observation, digest_observations
+from repro.scenarios.manifest import (
+    EXPECTED_DIGESTS,
+    SCALES,
+    SCENARIOS,
+    ScenarioManifest,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenarios.report import (
+    SCENARIO_SCHEMA_VERSION,
+    ScenarioCaseReport,
+    diff_payloads,
+    matrix_payload,
+    render_cases,
+)
+from repro.scenarios.runner import ScenarioRunner, run_matrix
+
+__all__ = [
+    "EXPECTED_DIGESTS",
+    "SCALES",
+    "SCENARIOS",
+    "SCENARIO_SCHEMA_VERSION",
+    "ScenarioCaseReport",
+    "ScenarioManifest",
+    "ScenarioRunner",
+    "canonical_observation",
+    "diff_payloads",
+    "digest_observations",
+    "get_scenario",
+    "matrix_payload",
+    "render_cases",
+    "run_matrix",
+    "scenario_names",
+]

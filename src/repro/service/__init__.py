@@ -25,6 +25,7 @@ from repro.service.cache import (
     ResultCache,
 )
 from repro.service.executor import (
+    PATH_SERVICE_ALGORITHMS,
     SERVICE_ALGORITHMS,
     MatchService,
     Query,
@@ -44,6 +45,7 @@ __all__ = [
     "CacheStats",
     "CanonicalPattern",
     "MatchService",
+    "PATH_SERVICE_ALGORITHMS",
     "Query",
     "ResultCache",
     "SERVICE_ALGORITHMS",

@@ -56,6 +56,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.bounded import bounded_simulation
 from repro.core.digraph import DiGraph
 from repro.core.dualsim import dual_simulation
 from repro.core.kernel import dual_simulation_kernel, resolve_engine
@@ -64,6 +65,8 @@ from repro.core.matchplus import match_plus
 from repro.core.matchrel import MatchRelation
 from repro.core.minimize import minimize_pattern
 from repro.core.pattern import Pattern
+from repro.core.reach import resolve_path_engine
+from repro.core.regular import regular_strong_match
 from repro.core.result import MatchResult, PerfectSubgraph
 from repro.core.simulation import graph_simulation
 from repro.core.strong import match
@@ -73,8 +76,18 @@ from repro.obs.trace import span as _obs_span
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.fingerprint import CanonicalPattern, canonical_form
 
+#: Path-constrained algorithms (Fan et al. 2010/2011 extensions).  The
+#: service executes them on the pool and observes them in the same
+#: ``service.query_seconds{algorithm=..}`` histograms, but always
+#: computes: pattern canonicalization (and hence the result cache) is
+#: defined on plain label-graph patterns, not on edge bounds / regex
+#: constraints, so there is no sound cache key to share entries under.
+PATH_SERVICE_ALGORITHMS = ("bounded", "regular")
+
 #: The algorithms the service can execute, by CLI-compatible name.
-SERVICE_ALGORITHMS = ("match-plus", "match", "dual", "sim")
+SERVICE_ALGORITHMS = (
+    "match-plus", "match", "dual", "sim"
+) + PATH_SERVICE_ALGORITHMS
 
 #: The engine slot cache and single-flight keys use.  Entries are keyed
 #: engine-independently: the engines' output-identity contract (the
@@ -283,11 +296,24 @@ def _compute_sim(pattern: Pattern, data: DiGraph, engine: str):
     return graph_simulation(pattern, data, engine=engine)
 
 
+def _compute_bounded(pattern, data: DiGraph, engine: str):
+    # ``pattern`` is a BoundedPattern; engine was pre-resolved through
+    # resolve_path_engine in submit().
+    return bounded_simulation(pattern, data, engine=engine)
+
+
+def _compute_regular(pattern, data: DiGraph, engine: str):
+    # ``pattern`` is a RegularPattern.
+    return regular_strong_match(pattern, data, engine=engine)
+
+
 _COMPUTE: Dict[str, Callable] = {
     "match-plus": _compute_match_plus,
     "match": _compute_match,
     "dual": _compute_dual,
     "sim": _compute_sim,
+    "bounded": _compute_bounded,
+    "regular": _compute_regular,
 }
 
 
@@ -350,14 +376,25 @@ class MatchService:
         ``match-plus`` / ``match`` return a
         :class:`~repro.core.result.MatchResult`, ``dual`` / ``sim`` a
         :class:`~repro.core.matchrel.MatchRelation` — exactly what the
-        corresponding direct call returns.
+        corresponding direct call returns.  For the path algorithms
+        (``"bounded"`` / ``"regular"``) pass a
+        :class:`~repro.core.bounded.BoundedPattern` /
+        :class:`~repro.core.regular.RegularPattern` as ``pattern``;
+        they run uncached (see :data:`PATH_SERVICE_ALGORITHMS`).
         """
         if algorithm not in _COMPUTE:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; "
                 f"expected one of {SERVICE_ALGORITHMS}"
             )
-        resolved = resolve_engine(engine, data)
+        if algorithm in PATH_SERVICE_ALGORITHMS:
+            # ``pattern`` is a BoundedPattern / RegularPattern here and
+            # only the python/kernel tiers exist for path matching;
+            # explicit engine="numpy" stays the caller error the direct
+            # entry points make it.
+            resolved = resolve_path_engine(engine, data)
+        else:
+            resolved = resolve_engine(engine, data)
         return self._pool.submit(
             self._execute, pattern, data, algorithm, resolved,
             perf_counter(),
@@ -590,7 +627,9 @@ class MatchService:
         with self._stats_lock:
             self.stats.queries += 1
         cache = self.cache
-        if cache is None:
+        if cache is None or algorithm in PATH_SERVICE_ALGORITHMS:
+            # Path-constrained patterns have no canonical form (see
+            # PATH_SERVICE_ALGORITHMS) — always compute.
             with self._stats_lock:
                 self.stats.computed += 1
             _sp.set(outcome="computed")

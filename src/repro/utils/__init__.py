@@ -1,6 +1,19 @@
-"""Shared utilities: seeded RNG streams and timers."""
+"""Shared utilities: seeded RNG streams, timers, result envelopes."""
 
+from repro.utils.results import (
+    RESULT_SCHEMA_VERSION,
+    result_envelope,
+    write_result,
+)
 from repro.utils.rng import rng_from_seed, spawn_streams
 from repro.utils.timer import Timer, timed
 
-__all__ = ["Timer", "rng_from_seed", "spawn_streams", "timed"]
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "Timer",
+    "result_envelope",
+    "rng_from_seed",
+    "spawn_streams",
+    "timed",
+    "write_result",
+]

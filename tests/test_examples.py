@@ -28,6 +28,11 @@ LIGHT_EXAMPLES = {
         "site indexes compiled once per worker process: True",
         "still compiled once after live updates: True",
     ],
+    "scenario_run.py": [
+        "digest matches the committed pin: True",
+        "clean diff findings: 0",
+        "injected regressions flagged: ['digest', 'slo']",
+    ],
     "traced_query.py": [
         "merged per-site phase breakdown:",
         "distributed.run",
